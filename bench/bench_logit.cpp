@@ -1,0 +1,104 @@
+// E9 — Section 2.2's smoothed best response: logit sampling with
+// parameter c approximates best response as c grows. The paper notes that
+// combined with a *smoothed better-response* migration rule this family
+// fails to converge under staleness — smoothness of the migration rule,
+// not the sampling rule, is what rescues convergence.
+//
+// Two sweeps on the pulse instance at a fixed T:
+//   (a) logit(c) + constant migration (NOT alpha-smooth): oscillates, and
+//       the amplitude grows with c towards the best-response amplitude.
+//   (b) logit(c) + linear migration (alpha-smooth): settles for every c.
+#include <cmath>
+#include <iostream>
+
+#include "staleflow/staleflow.h"
+
+namespace staleflow {
+namespace {
+
+struct Outcome {
+  /// How much the flow still moves per phase in the tail (0 = settled).
+  double step_amp = 0.0;
+  /// Mean max-latency-deviation over the tail (for a period-2 cycle this
+  /// is the sustained oscillation cost; compare to the BR amplitude).
+  double mean_tail_deviation = 0.0;
+  double final_gap = 0.0;
+  bool settled = false;
+};
+
+Outcome run_policy(const Instance& inst, Policy policy, double T) {
+  const FluidSimulator sim(inst, policy);
+  TrajectoryRecorder::Options rec_options;
+  rec_options.store_flows = true;
+  TrajectoryRecorder recorder(inst, rec_options);
+  SimulationOptions options;
+  options.update_period = T;
+  options.horizon = 240.0;
+  const SimulationResult result =
+      sim.run(FlowVector(inst, {0.9, 0.1}), options, recorder.observer());
+
+  Outcome outcome;
+  const std::size_t window = recorder.samples().size() / 3;
+  RunningStats tail_devs;
+  for (std::size_t i = recorder.samples().size() - window;
+       i < recorder.samples().size(); ++i) {
+    tail_devs.add(recorder.samples()[i].max_deviation);
+  }
+  outcome.mean_tail_deviation = tail_devs.mean();
+  outcome.final_gap = result.final_gap;
+  const OscillationReport report = analyse_oscillation(
+      recorder.flows(), recorder.flows().size() / 3, 1e-7);
+  outcome.step_amp = report.step_amplitude;
+  outcome.settled = report.settled;
+  return outcome;
+}
+
+void run() {
+  const double beta = 8.0;
+  const Instance inst = two_link_pulse(beta);
+  const Policy reference = make_uniform_linear_policy(inst);
+  const double T = inst.safe_update_period(*reference.smoothness());
+
+  // Best-response amplitude at this T, for reference.
+  const double br_amplitude =
+      beta * (1.0 - std::exp(-T)) / (2.0 * std::exp(-T) + 2.0);
+  std::cout << "instance " << inst.describe() << ", T = " << T
+            << " (safe for the linear rule)\n"
+            << "best-response amplitude at this T: " << fmt(br_amplitude, 6)
+            << "\n\n";
+
+  std::cout << "-- Table E9: logit parameter sweep under staleness\n\n";
+  Table table({"c", "migration", "alpha-smooth", "flow step amp",
+               "mean tail deviation", "final gap", "settled"});
+  for (const double c : {0.5, 2.0, 8.0, 32.0, 128.0}) {
+    const Outcome naive = run_policy(
+        inst, Policy(logit_sampling(c), constant_migration(1.0)), T);
+    table.add_row({fmt(c, 1), "constant(1)", "no", fmt_sci(naive.step_amp),
+                   fmt(naive.mean_tail_deviation, 6),
+                   fmt_sci(naive.final_gap), fmt_bool(naive.settled)});
+  }
+  for (const double c : {0.5, 2.0, 8.0, 32.0, 128.0}) {
+    const Outcome smooth = run_policy(
+        inst,
+        Policy(logit_sampling(c), linear_migration(inst.max_latency())), T);
+    table.add_row({fmt(c, 1), "linear", "yes", fmt_sci(smooth.step_amp),
+                   fmt(smooth.mean_tail_deviation, 6),
+                   fmt_sci(smooth.final_gap), fmt_bool(smooth.settled)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace staleflow
+
+int main() {
+  std::cout << "=== E9: smoothed best response (logit sampling) under "
+               "staleness (paper Section 2.2) ===\n\n";
+  staleflow::run();
+  std::cout << "\nShape check: with a non-smooth migration rule the logit\n"
+               "dynamics keeps oscillating and its amplitude approaches the\n"
+               "best-response amplitude as c grows; swapping in the\n"
+               "alpha-smooth linear migration restores convergence for\n"
+               "every c — Definition 2 is what matters.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// E15 (related work) — the price of anarchy of the instances in play.
+//
+// The paper frames itself against Roughgarden & Tardos [22]: selfish
+// routing converges (that is this paper's contribution) but to an
+// equilibrium whose social cost can exceed the optimum. This bench
+// reproduces the classical PoA landmarks with the library's social-
+// optimum machinery: Pigou and Braess at exactly 4/3, affine instances
+// never above 4/3, and polynomial latencies of growing degree pushing
+// the ratio towards the known Theta(d / ln d) growth.
+#include <cmath>
+#include <iostream>
+
+#include "staleflow/staleflow.h"
+
+namespace staleflow {
+namespace {
+
+Instance pigou_like(double degree) {
+  // l1 = x^d vs l2 = 1: the worst-case Pigou family for degree d.
+  Graph g(2);
+  const EdgeId e1 = g.add_edge(VertexId{0}, VertexId{1});
+  const EdgeId e2 = g.add_edge(VertexId{0}, VertexId{1});
+  InstanceBuilder b(std::move(g));
+  b.set_latency(e1, monomial(1.0, degree));
+  b.set_latency(e2, constant(1.0));
+  b.add_commodity(VertexId{0}, VertexId{1}, 1.0);
+  return std::move(b).build();
+}
+
+void run() {
+  std::cout << "-- Table E15a: classical landmarks\n\n";
+  {
+    Table table({"instance", "eq cost", "opt cost", "PoA", "known value"});
+    auto row = [&table](const std::string& name, const Instance& inst,
+                        const std::string& known) {
+      const PriceOfAnarchyResult poa = price_of_anarchy(inst);
+      table.add_row({name, fmt(poa.equilibrium_cost, 6),
+                     fmt(poa.optimum_cost, 6), fmt(poa.ratio, 6), known});
+    };
+    row("pigou (l=x vs 1)", pigou_like(1.0), "4/3");
+    row("braess + shortcut", braess(true), "4/3");
+    row("braess, no shortcut", braess(false), "1");
+    row("chained braess k=3", chained_braess(3), "4/3");
+    table.print(std::cout);
+  }
+
+  std::cout << "\n-- Table E15b: affine random instances stay below 4/3 "
+               "(Roughgarden-Tardos)\n\n";
+  {
+    Table table({"seed", "links", "PoA", "<= 4/3"});
+    for (int seed = 1; seed <= 8; ++seed) {
+      Rng rng(static_cast<std::uint64_t>(seed));
+      const auto links = static_cast<std::size_t>(3 + seed % 4);
+      const Instance inst = random_parallel_links(links, rng, 1.0, 0.1, 2.0);
+      const PriceOfAnarchyResult poa = price_of_anarchy(inst);
+      table.add_row({fmt_int(seed), fmt_int(static_cast<long long>(links)),
+                     fmt(poa.ratio, 6),
+                     fmt_bool(poa.ratio <= 4.0 / 3.0 + 1e-6)});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\n-- Table E15c: polynomial degree sweep on the Pigou "
+               "family (PoA grows with d)\n\n";
+  {
+    Table table({"degree d", "PoA", "exact (1-d(d+1)^{-(d+1)/d})^{-1}"});
+    for (const double d : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+      const PriceOfAnarchyResult poa = price_of_anarchy(pigou_like(d));
+      const double exact =
+          1.0 / (1.0 - d * std::pow(d + 1.0, -(d + 1.0) / d));
+      table.add_row({fmt(d, 0), fmt(poa.ratio, 6), fmt(exact, 6)});
+    }
+    table.print(std::cout);
+  }
+}
+
+}  // namespace
+}  // namespace staleflow
+
+int main() {
+  std::cout << "=== E15 (related work): price of anarchy of the library's "
+               "instances ===\n\n";
+  staleflow::run();
+  std::cout << "\nShape check: Pigou/Braess hit exactly 4/3, affine\n"
+               "instances never exceed it, and the degree-d Pigou family\n"
+               "matches the known closed form — the adaptive agents of the\n"
+               "main benches converge to exactly these equilibria.\n";
+  return 0;
+}

@@ -1,0 +1,147 @@
+// E7 — Theorem 7: proportional sampling (the replicator policy) reaches
+// weak approximate equilibria in O( 1/(eps T) * (l_max/delta)^2 ) bad
+// rounds — *independent of the number of paths* m, unlike Theorem 6.
+//
+// Same sweeps as E6 but counting weak (delta, eps)-violations, plus the
+// head-to-head m-sweep of both samplers that shows uniform pays the
+// factor m while proportional stays flat.
+#include <cmath>
+#include <iostream>
+
+#include "staleflow/staleflow.h"
+
+namespace staleflow {
+namespace {
+
+Instance spread_links(std::size_t m) {
+  return parallel_links(m, [m](std::size_t j) {
+    return affine(0.5 * static_cast<double>(j) / static_cast<double>(m),
+                  1.0);
+  });
+}
+
+/// Start: most demand on the worst link, the rest spread evenly (the
+/// replicator cannot discover paths with zero flow, so the start must be
+/// interior).
+FlowVector interior_start(const Instance& inst) {
+  const std::size_t m = inst.path_count();
+  std::vector<double> f(m, 0.1 / static_cast<double>(m - 1));
+  f[m - 1] = 0.9;
+  return FlowVector(inst, std::move(f));
+}
+
+struct Measurement {
+  std::size_t bad_rounds = 0;
+  std::size_t last_bad = 0;
+  double bound = 0.0;
+  double T = 0.0;
+};
+
+Measurement measure(std::size_t m, double delta, double eps, bool uniform) {
+  const Instance inst = spread_links(m);
+  const Policy policy = uniform ? make_uniform_linear_policy(inst)
+                                : make_replicator_policy(inst);
+  const double T =
+      std::min(inst.safe_update_period(*policy.smoothness()), 1.0);
+
+  const FluidSimulator sim(inst, policy);
+  RoundCounter counter(inst, RoundCounter::Mode::kWeak, delta, eps);
+  SimulationOptions options;
+  options.update_period = T;
+  options.horizon = 1e9;
+  options.max_phases = 20'000;
+  options.stop_gap = 1e-10;
+  options.step_size = T / 16.0;
+  sim.run(interior_start(inst), options, counter.observer());
+
+  Measurement result;
+  result.bad_rounds = counter.bad_rounds();
+  result.last_bad = counter.last_bad_round();
+  result.T = T;
+  result.bound = 1.0 / (eps * T) * (inst.max_latency() / delta) *
+                 (inst.max_latency() / delta);
+  return result;
+}
+
+void sweep_m_comparison() {
+  std::cout << "-- Table E7a: weak bad rounds vs m — proportional vs "
+               "uniform (delta=0.10, eps=0.05)\n\n";
+  Table table({"m", "proportional", "uniform", "Thm7 bound",
+               "prop/bound"});
+  std::vector<double> xs, prop_ys, unif_ys;
+  for (const std::size_t m : {2u, 4u, 8u, 16u, 32u}) {
+    const Measurement prop = measure(m, 0.10, 0.05, /*uniform=*/false);
+    const Measurement unif = measure(m, 0.10, 0.05, /*uniform=*/true);
+    table.add_row(
+        {fmt_int(static_cast<long long>(m)),
+         fmt_int(static_cast<long long>(prop.bad_rounds)),
+         fmt_int(static_cast<long long>(unif.bad_rounds)),
+         fmt_sci(prop.bound),
+         fmt_sci(static_cast<double>(prop.bad_rounds) / prop.bound)});
+    xs.push_back(static_cast<double>(m));
+    prop_ys.push_back(
+        static_cast<double>(std::max<std::size_t>(prop.bad_rounds, 1)));
+    unif_ys.push_back(
+        static_cast<double>(std::max<std::size_t>(unif.bad_rounds, 1)));
+  }
+  table.print(std::cout);
+  const PowerFit prop_fit = fit_power(xs, prop_ys);
+  const PowerFit unif_fit = fit_power(xs, unif_ys);
+  std::cout << "m-exponent: proportional " << fmt(prop_fit.exponent, 2)
+            << " (Theorem 7 predicts ~0), uniform "
+            << fmt(unif_fit.exponent, 2) << " (Theorem 6 pays up to 1)\n\n";
+}
+
+void sweep_delta() {
+  std::cout << "-- Table E7b: weak bad rounds vs delta (m=8, eps=0.05)\n\n";
+  Table table({"delta", "bad rounds", "Thm7 bound", "measured/bound"});
+  std::vector<double> xs, ys;
+  for (const double delta : {0.05, 0.10, 0.20, 0.40}) {
+    const Measurement r = measure(8, delta, 0.05, /*uniform=*/false);
+    table.add_row({fmt(delta, 2),
+                   fmt_int(static_cast<long long>(r.bad_rounds)),
+                   fmt_sci(r.bound),
+                   fmt_sci(static_cast<double>(r.bad_rounds) / r.bound)});
+    xs.push_back(delta);
+    ys.push_back(static_cast<double>(std::max<std::size_t>(r.bad_rounds, 1)));
+  }
+  table.print(std::cout);
+  const PowerFit fit = fit_power(xs, ys);
+  std::cout << "delta-exponent: " << fmt(fit.exponent, 2)
+            << " (bound predicts >= -2)\n\n";
+}
+
+void sweep_eps() {
+  std::cout << "-- Table E7c: weak bad rounds vs eps (m=8, delta=0.10)\n\n";
+  Table table({"eps", "bad rounds", "Thm7 bound", "measured/bound"});
+  std::vector<double> xs, ys;
+  for (const double eps : {0.02, 0.05, 0.10, 0.20}) {
+    const Measurement r = measure(8, 0.10, eps, /*uniform=*/false);
+    table.add_row({fmt(eps, 2),
+                   fmt_int(static_cast<long long>(r.bad_rounds)),
+                   fmt_sci(r.bound),
+                   fmt_sci(static_cast<double>(r.bad_rounds) / r.bound)});
+    xs.push_back(eps);
+    ys.push_back(static_cast<double>(std::max<std::size_t>(r.bad_rounds, 1)));
+  }
+  table.print(std::cout);
+  const PowerFit fit = fit_power(xs, ys);
+  std::cout << "eps-exponent: " << fmt(fit.exponent, 2)
+            << " (bound predicts >= -1)\n\n";
+}
+
+}  // namespace
+}  // namespace staleflow
+
+int main() {
+  std::cout << "=== E7: proportional sampling convergence time "
+               "(paper Theorem 7) ===\n\n";
+  staleflow::sweep_m_comparison();
+  staleflow::sweep_delta();
+  staleflow::sweep_eps();
+  std::cout << "Shape check: the proportional sampler's bad-round count is\n"
+               "flat in m (Theorem 7's |P|-free bound) while the uniform\n"
+               "sampler's count grows with m; both shrink in delta and eps\n"
+               "and stay below the respective bounds.\n";
+  return 0;
+}

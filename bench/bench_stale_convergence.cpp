@@ -1,0 +1,146 @@
+// E3 — Corollary 5: an alpha-smooth policy converges in the bulletin-board
+// model whenever T <= T_safe = 1/(4 D alpha beta).
+//
+// Sweeps T across multiples of T_safe for a smooth policy and for the
+// naive better-response baseline. The paper guarantees convergence on the
+// safe side; the baseline oscillates at every T.
+#include <iostream>
+
+#include "staleflow/staleflow.h"
+
+namespace staleflow {
+namespace {
+
+struct RunOutcome {
+  double final_gap = 0.0;
+  double tail_amp = 0.0;
+  double max_phi_rise = 0.0;
+  std::size_t lemma4_violations = 0;
+  bool settled = false;
+};
+
+RunOutcome run_policy(const Instance& inst, const Policy& policy, double T,
+                      double horizon) {
+  const FluidSimulator sim(inst, policy);
+  TrajectoryRecorder::Options rec_options;
+  rec_options.store_flows = true;
+  rec_options.stride = 1;
+  TrajectoryRecorder recorder(inst, rec_options);
+  AccountingRecorder accounting(inst);
+  const PhaseObserver rec_obs = recorder.observer();
+  const PhaseObserver acc_obs = accounting.observer();
+
+  SimulationOptions options;
+  options.update_period = T;
+  options.horizon = horizon;
+  const SimulationResult result =
+      sim.run(FlowVector(inst, {0.9, 0.1}), options,
+              [&](const PhaseInfo& info) {
+                rec_obs(info);
+                acc_obs(info);
+              });
+
+  RunOutcome outcome;
+  outcome.final_gap = result.final_gap;
+  std::vector<double> deviations;
+  for (const PhaseSample& s : recorder.samples()) {
+    deviations.push_back(s.max_deviation);
+  }
+  outcome.tail_amp =
+      tail_amplitude(deviations, std::max<std::size_t>(deviations.size() / 4,
+                                                       4));
+  outcome.max_phi_rise = accounting.max_delta_phi();
+  outcome.lemma4_violations = accounting.lemma4_violations();
+  if (recorder.flows().size() >= 4) {
+    outcome.settled = analyse_oscillation(recorder.flows(),
+                                          recorder.flows().size() / 4, 1e-7)
+                          .settled;
+  }
+  return outcome;
+}
+
+void run() {
+  const double beta = 8.0;
+  const Instance inst = two_link_pulse(beta);
+  const double alpha = 0.5;
+  const Policy smooth = make_alpha_policy(alpha);
+  const Policy naive = make_naive_better_response_policy();
+  const double t_safe = inst.safe_update_period(alpha);
+
+  std::cout << "instance: " << inst.describe() << "\n"
+            << "smooth policy: " << smooth.name() << " (alpha=" << alpha
+            << "), T_safe = 1/(4*D*alpha*beta) = " << t_safe << "\n\n";
+
+  Table table({"policy", "T/T_safe", "final gap", "tail amp",
+               "max dPhi rise", "L4 violations", "settled"});
+
+  for (const double fraction : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const double T = fraction * t_safe;
+    const RunOutcome outcome = run_policy(inst, smooth, T, 400.0);
+    table.add_row({"smooth", fmt(fraction, 2), fmt_sci(outcome.final_gap),
+                   fmt_sci(outcome.tail_amp), fmt_sci(outcome.max_phi_rise),
+                   fmt_int(static_cast<long long>(outcome.lemma4_violations)),
+                   fmt_bool(outcome.settled)});
+  }
+  for (const double fraction : {1.0, 4.0, 16.0}) {
+    const double T = fraction * t_safe;
+    const RunOutcome outcome = run_policy(inst, naive, T, 400.0);
+    table.add_row({"better-resp", fmt(fraction, 2),
+                   fmt_sci(outcome.final_gap), fmt_sci(outcome.tail_amp),
+                   fmt_sci(outcome.max_phi_rise),
+                   fmt_int(static_cast<long long>(outcome.lemma4_violations)),
+                   fmt_bool(outcome.settled)});
+  }
+  table.print(std::cout);
+}
+
+void jitter_table() {
+  // Model extension: randomised board intervals. Lemma 4 bounds every
+  // phase of length <= T_safe, so convergence survives as long as the
+  // longest possible phase stays safe.
+  const Instance inst = two_link_pulse(8.0);
+  const Policy policy = make_uniform_linear_policy(inst);
+  const double t_safe = inst.safe_update_period(*policy.smoothness());
+  std::cout << "\n-- Table E3b (extension): randomised update intervals\n"
+            << "   lengths ~ U[T(1-j), T(1+j)]; safe iff T(1+j) <= T_safe\n\n";
+  Table table({"T/T_safe", "jitter", "max phase <= T_safe", "final gap",
+               "L4 violations"});
+  for (const double fraction : {0.5, 0.8, 1.0}) {
+    for (const double jitter : {0.0, 0.25, 0.5, 0.9}) {
+      const double T = fraction * t_safe;
+      const FluidSimulator sim(inst, policy);
+      AccountingRecorder recorder(inst);
+      SimulationOptions options;
+      options.update_period = T;
+      options.period_jitter = jitter;
+      options.jitter_seed = 7;
+      options.horizon = 300.0;
+      options.stop_gap = 1e-10;
+      const SimulationResult result =
+          sim.run(FlowVector(inst, {0.9, 0.1}), options,
+                  recorder.observer());
+      table.add_row(
+          {fmt(fraction, 2), fmt(jitter, 2),
+           fmt_bool(T * (1.0 + jitter) <= t_safe + 1e-12),
+           fmt_sci(result.final_gap),
+           fmt_int(static_cast<long long>(recorder.lemma4_violations()))});
+    }
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace staleflow
+
+int main() {
+  std::cout << "=== E3: staleness sweep around the safe period "
+               "(paper Corollary 5) ===\n\n";
+  staleflow::run();
+  staleflow::jitter_table();
+  std::cout
+      << "\nShape check: the smooth policy has zero Lemma 4 violations and\n"
+         "settles whenever T/T_safe <= 1 (and, being a conservative bound,\n"
+         "often somewhat beyond), while better response keeps a visible\n"
+         "oscillation amplitude at every period.\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// ISP-style scenario: multiple customer populations share a backbone and
+// receive load reports only every T seconds (the motivation the paper's
+// introduction cites: real-time load-adaptive traffic engineering
+// oscillates when its feedback loop is too aggressive, cf. the revised
+// ARPANET metric).
+//
+//   $ ./isp_traffic
+//
+// Two commodities, a shared bottleneck, BPR-style road/queueing latencies.
+// We sweep the report period T and compare:
+//   * the naive operator (better response): oscillation cost,
+//   * the smooth operator (alpha tuned to T per Corollary 5): converges,
+//     but more slowly the staler the reports.
+#include <iostream>
+
+#include "staleflow/staleflow.h"
+
+namespace {
+
+staleflow::Instance backbone() {
+  using namespace staleflow;
+  // Two access routers (a, b) feed a shared backbone link to the sink,
+  // each with a private overflow path.
+  Graph g(4);
+  const VertexId a{0}, b{1}, hub{2}, t{3};
+  const EdgeId a_hub = g.add_edge(a, hub);
+  const EdgeId b_hub = g.add_edge(b, hub);
+  const EdgeId hub_t = g.add_edge(hub, t);   // the shared bottleneck
+  const EdgeId a_t = g.add_edge(a, t);       // private overflow
+  const EdgeId b_t = g.add_edge(b, t);
+  InstanceBuilder builder(std::move(g));
+  builder.set_latency(a_hub, bpr(0.2, 0.5, 0.8, 2.0));
+  builder.set_latency(b_hub, bpr(0.2, 0.5, 0.8, 2.0));
+  builder.set_latency(hub_t, bpr(0.3, 2.0, 0.6, 2.0));  // congests quickly
+  builder.set_latency(a_t, constant(1.0));
+  builder.set_latency(b_t, constant(1.0));
+  builder.add_commodity(a, t, 0.55);
+  builder.add_commodity(b, t, 0.45);
+  return std::move(builder).build();
+}
+
+}  // namespace
+
+int main() {
+  using namespace staleflow;
+  const Instance inst = backbone();
+  std::cout << "backbone instance: " << inst.describe() << "\n";
+
+  const FrankWolfeResult eq = solve_equilibrium(inst);
+  std::cout << "optimal potential Phi* = " << fmt(eq.potential, 6)
+            << ", equilibrium average latency "
+            << fmt(evaluate(inst, eq.flow.values()).average_latency, 4)
+            << "\n\n";
+
+  Table table({"report period T", "operator", "final gap", "avg latency",
+               "tail amplitude"});
+  for (const double T : {0.1, 0.5, 2.0}) {
+    // Naive operator: always jump to the best-looking route.
+    {
+      const BestResponseSimulator sim(inst);
+      TrajectoryRecorder recorder(inst);
+      BestResponseOptions options;
+      options.update_period = T;
+      options.horizon = 300.0;
+      const SimulationResult result = sim.run(
+          FlowVector::uniform(inst), options, recorder.observer());
+      std::vector<double> latencies;
+      for (const PhaseSample& s : recorder.samples()) {
+        latencies.push_back(s.average_latency);
+      }
+      table.add_row({fmt(T, 2), "best response", fmt_sci(result.final_gap),
+                     fmt(latencies.back(), 4),
+                     fmt_sci(tail_amplitude(latencies,
+                                            latencies.size() / 3))});
+    }
+    // Smooth operator: migration aggressiveness tuned to the report
+    // period via alpha = 1/(4 D beta T) (Corollary 5).
+    {
+      const double alpha =
+          1.0 / (4.0 * static_cast<double>(inst.max_path_length()) *
+                 inst.max_slope() * T);
+      const Policy policy = make_alpha_policy(alpha);
+      const FluidSimulator sim(inst, policy);
+      TrajectoryRecorder recorder(inst);
+      SimulationOptions options;
+      options.update_period = T;
+      options.horizon = 300.0;
+      const SimulationResult result = sim.run(
+          FlowVector::uniform(inst), options, recorder.observer());
+      std::vector<double> latencies;
+      for (const PhaseSample& s : recorder.samples()) {
+        latencies.push_back(s.average_latency);
+      }
+      table.add_row({fmt(T, 2), "smooth (Cor. 5)",
+                     fmt_sci(result.final_gap), fmt(latencies.back(), 4),
+                     fmt_sci(tail_amplitude(latencies,
+                                            latencies.size() / 3))});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: the naive operator's traffic keeps sloshing\n"
+               "between the backbone and the overflow paths (non-zero tail\n"
+               "amplitude), while the smooth operator converges at every\n"
+               "report period by scaling its migration probability with\n"
+               "1/T — the paper's prescription.\n";
+  return 0;
+}

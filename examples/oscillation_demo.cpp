@@ -1,0 +1,79 @@
+// Oscillation demo: watch best response thrash under stale information,
+// then fix it with an alpha-smooth policy — the paper's core story on one
+// screen.
+//
+//   $ ./oscillation_demo [beta] [T]
+//
+// Prints an ASCII strip chart of the flow on link 1 over time for both
+// dynamics on the two-link pulse network l(x) = max{0, beta(x - 1/2)}.
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "staleflow/staleflow.h"
+
+namespace {
+
+/// Renders f1 in [0,1] as a bar with a marker, e.g. "[#######|....]".
+std::string bar(double f1) {
+  const int width = 48;
+  const int pos = static_cast<int>(f1 * width);
+  std::string out = "[";
+  for (int i = 0; i < width; ++i) {
+    out += (i == width / 2) ? '|' : (i < pos ? '#' : '.');
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace staleflow;
+  const double beta = argc > 1 ? std::atof(argv[1]) : 4.0;
+  const double T = argc > 2 ? std::atof(argv[2]) : 0.5;
+
+  const Instance inst = two_link_pulse(beta);
+  std::cout << "network: two links, l(x) = max{0, " << beta
+            << "(x - 1/2)}; bulletin board refreshed every T = " << T
+            << "\nWardrop equilibrium: f = (1/2, 1/2), latency 0."
+            << "\nThe '|' marks the equilibrium split.\n";
+
+  // Start on the paper's closed-form period-2 orbit.
+  const double f1 = 1.0 / (std::exp(-T) + 1.0);
+  const FlowVector start(inst, {f1, 1.0 - f1});
+
+  std::cout << "\n--- best response against the stale board (Eq. (4)) ---\n";
+  const BestResponseSimulator naive(inst);
+  BestResponseOptions naive_options;
+  naive_options.update_period = T;
+  naive_options.horizon = 14.0 * T;
+  naive.run(start, naive_options, [&](const PhaseInfo& info) {
+    std::cout << "t=" << fmt(info.end_time, 2) << "  " << bar(info.flow_after[0])
+              << "  f1=" << fmt(info.flow_after[0], 4) << '\n';
+  });
+  const double amplitude =
+      beta * (1.0 - std::exp(-T)) / (2.0 * std::exp(-T) + 2.0);
+  std::cout << "=> period-2 oscillation forever; sustained latency "
+            << fmt(amplitude, 4) << " above equilibrium (paper Sec. 3.2)\n";
+
+  std::cout << "\n--- smooth policy (uniform sampling + linear migration, "
+               "Corollary 5) ---\n";
+  const Policy policy = make_uniform_linear_policy(inst);
+  const double T_safe = inst.safe_update_period(*policy.smoothness());
+  std::cout << "safe period 1/(4*D*alpha*beta) = " << fmt(T_safe, 4)
+            << (T <= T_safe ? " (T is safe)\n" : " (T exceeds it — the "
+               "guarantee needs a slower rule; watch it still behave)\n");
+  const FluidSimulator smooth(inst, policy);
+  SimulationOptions smooth_options;
+  smooth_options.update_period = T;
+  smooth_options.horizon = 14.0 * T;
+  smooth.run(start, smooth_options, [&](const PhaseInfo& info) {
+    std::cout << "t=" << fmt(info.end_time, 2) << "  " << bar(info.flow_after[0])
+              << "  f1=" << fmt(info.flow_after[0], 4) << '\n';
+  });
+  std::cout << "=> the same stale board, but the population settles at the "
+               "equilibrium split.\n";
+  return 0;
+}

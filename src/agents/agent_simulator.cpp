@@ -1,0 +1,256 @@
+#include "agents/agent_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "core/bulletin_board.h"
+
+namespace staleflow {
+namespace {
+
+/// Per-commodity agent bookkeeping: which path each agent sits on, and the
+/// flow each agent carries.
+struct CommodityAgents {
+  std::vector<std::size_t> path_of_agent;  // local path index per agent
+  double flow_per_agent = 0.0;
+};
+
+/// Allocates `num_agents` across commodities proportionally to demand,
+/// guaranteeing at least one agent per commodity.
+std::vector<std::size_t> allocate_agents(const Instance& instance,
+                                         std::size_t num_agents) {
+  const std::size_t k = instance.commodity_count();
+  if (num_agents < k) {
+    throw std::invalid_argument(
+        "AgentSimulator: need at least one agent per commodity");
+  }
+  std::vector<std::size_t> counts(k, 1);
+  std::size_t assigned = k;
+  for (std::size_t c = 0; c < k && assigned < num_agents; ++c) {
+    const double demand = instance.commodity(CommodityId{c}).demand;
+    const auto extra = static_cast<std::size_t>(
+        std::floor(demand * static_cast<double>(num_agents)));
+    const std::size_t grant = std::min(extra > 0 ? extra - 1 : 0,
+                                       num_agents - assigned);
+    counts[c] += grant;
+    assigned += grant;
+  }
+  // Distribute any remainder round-robin.
+  for (std::size_t c = 0; assigned < num_agents; c = (c + 1) % k) {
+    ++counts[c];
+    ++assigned;
+  }
+  return counts;
+}
+
+/// Initial path counts per commodity approximating the target flow.
+std::vector<std::size_t> initial_counts(const Commodity& commodity,
+                                        std::span<const double> flow,
+                                        std::size_t agents) {
+  const std::size_t m = commodity.paths.size();
+  std::vector<std::size_t> counts(m, 0);
+  std::size_t assigned = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    const double share =
+        std::max(flow[commodity.paths[j].index()], 0.0) / commodity.demand;
+    counts[j] = static_cast<std::size_t>(
+        std::floor(share * static_cast<double>(agents)));
+    assigned += counts[j];
+  }
+  // Greedily hand out the rounding remainder to the largest fractional
+  // parts (deterministic: first-come order is fine for validation).
+  std::size_t j = 0;
+  while (assigned < agents) {
+    const double share =
+        std::max(flow[commodity.paths[j].index()], 0.0) / commodity.demand;
+    const double frac = share * static_cast<double>(agents) -
+                        std::floor(share * static_cast<double>(agents));
+    if (frac > 0.0 || assigned + (m - j) >= agents) {
+      ++counts[j];
+      ++assigned;
+    }
+    j = (j + 1) % m;
+  }
+  return counts;
+}
+
+}  // namespace
+
+AgentSimulator::AgentSimulator(const Instance& instance, const Policy& policy)
+    : instance_(&instance), policy_(&policy) {}
+
+AgentSimResult AgentSimulator::run(const FlowVector& initial,
+                                   const AgentSimOptions& options,
+                                   const PhaseObserver& observer) const {
+  if (!is_feasible(*instance_, initial.values(), 1e-7)) {
+    throw std::invalid_argument("AgentSimulator::run: infeasible start");
+  }
+  if (!(options.update_period > 0.0) || !(options.horizon > 0.0)) {
+    throw std::invalid_argument("AgentSimulator::run: bad options");
+  }
+
+  Rng rng(options.seed);
+  const std::size_t k = instance_->commodity_count();
+  const std::vector<std::size_t> agents_per_commodity =
+      allocate_agents(*instance_, options.num_agents);
+
+  // Set up agents and empirical flow.
+  std::vector<CommodityAgents> population(k);
+  std::vector<double> empirical(instance_->path_count(), 0.0);
+  std::vector<std::size_t> agent_commodity;  // global agent id -> commodity
+  agent_commodity.reserve(options.num_agents);
+  std::vector<std::size_t> agent_local;  // global agent id -> local index
+  agent_local.reserve(options.num_agents);
+
+  for (std::size_t c = 0; c < k; ++c) {
+    const Commodity& commodity = instance_->commodity(CommodityId{c});
+    CommodityAgents& pop = population[c];
+    const std::size_t n_c = agents_per_commodity[c];
+    pop.flow_per_agent = commodity.demand / static_cast<double>(n_c);
+    const std::vector<std::size_t> counts =
+        initial_counts(commodity, initial.values(), n_c);
+    for (std::size_t j = 0; j < counts.size(); ++j) {
+      for (std::size_t a = 0; a < counts[j]; ++a) {
+        agent_commodity.push_back(c);
+        agent_local.push_back(pop.path_of_agent.size());
+        pop.path_of_agent.push_back(j);
+      }
+      empirical[commodity.paths[j].index()] +=
+          static_cast<double>(counts[j]) * pop.flow_per_agent;
+    }
+  }
+
+  BulletinBoard board(*instance_);
+  // Per-commodity sampling distribution, fixed within a phase.
+  std::vector<std::vector<double>> sampling_cdf(k);
+  auto refresh_board = [&](double now) {
+    board.post(now, empirical);
+    for (std::size_t c = 0; c < k; ++c) {
+      const Commodity& commodity = instance_->commodity(CommodityId{c});
+      std::vector<double>& cdf = sampling_cdf[c];
+      cdf.resize(commodity.paths.size());
+      policy_->sampling().distribution(*instance_, commodity,
+                                       board.path_flow(),
+                                       board.path_latency(), cdf);
+      double acc = 0.0;
+      for (double& v : cdf) {
+        acc += v;
+        v = acc;
+      }
+      // Defend against round-off in the final bucket.
+      if (!cdf.empty()) cdf.back() = std::max(cdf.back(), 1.0);
+    }
+  };
+
+  AgentSimResult result{FlowVector(*instance_, empirical)};
+  const double total_rate = static_cast<double>(options.num_agents);
+  std::vector<double> flow_before = empirical;
+
+  // Regret accounting: per-path latency integrals and the flow-weighted
+  // experienced latency, accumulated per completed phase at its left
+  // endpoint (the board's own snapshot).
+  std::vector<double> cumulative_latency(instance_->path_count(), 0.0);
+  double experienced_integral = 0.0;
+  double accounted_time = 0.0;
+  auto account_phase_latency = [&]() {
+    const double T = options.update_period;
+    for (std::size_t p = 0; p < instance_->path_count(); ++p) {
+      const double l_hat = board.path_latency()[p];
+      cumulative_latency[p] += l_hat * T;
+      experienced_integral += board.path_flow()[p] * l_hat * T;
+    }
+    accounted_time += T;
+  };
+
+  double t = 0.0;
+  std::size_t phase = 0;
+  refresh_board(0.0);
+  double next_update = options.update_period;
+
+  while (t < options.horizon) {
+    const double wait = rng.exponential(total_rate);
+    double next_t = t + wait;
+
+    // Process any board updates that occur before the next activation.
+    while (next_update <= std::min(next_t, options.horizon)) {
+      account_phase_latency();
+      ++phase;
+      if (observer) {
+        PhaseInfo info;
+        info.index = phase - 1;
+        info.start_time = next_update - options.update_period;
+        info.end_time = next_update;
+        info.flow_before = flow_before;
+        info.flow_after = empirical;
+        observer(info);
+      }
+      refresh_board(next_update);
+      flow_before = empirical;
+      next_update += options.update_period;
+    }
+    if (next_t >= options.horizon) {
+      t = options.horizon;
+      break;
+    }
+    t = next_t;
+
+    // Activate one uniformly random agent.
+    const auto agent = static_cast<std::size_t>(
+        rng.below(static_cast<std::uint64_t>(options.num_agents)));
+    ++result.activations;
+    const std::size_t c = agent_commodity[agent];
+    const Commodity& commodity = instance_->commodity(CommodityId{c});
+    CommodityAgents& pop = population[c];
+    const std::size_t current_local = pop.path_of_agent[agent_local[agent]];
+
+    // Sample a candidate path from the phase-constant distribution.
+    const std::vector<double>& cdf = sampling_cdf[c];
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const auto sampled_local = static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(it - cdf.begin(),
+                                 static_cast<std::ptrdiff_t>(cdf.size()) - 1));
+    if (sampled_local == current_local) continue;
+
+    const double l_current =
+        board.path_latency()[commodity.paths[current_local].index()];
+    const double l_sampled =
+        board.path_latency()[commodity.paths[sampled_local].index()];
+    const double mu = policy_->migration().probability(l_current, l_sampled);
+    if (!rng.bernoulli(mu)) continue;
+
+    // Migrate.
+    pop.path_of_agent[agent_local[agent]] = sampled_local;
+    empirical[commodity.paths[current_local].index()] -= pop.flow_per_agent;
+    empirical[commodity.paths[sampled_local].index()] += pop.flow_per_agent;
+    ++result.migrations;
+  }
+
+  result.final_flow = FlowVector(*instance_, empirical);
+  result.final_time = t;
+  result.phases = phase;
+
+  if (accounted_time > 0.0) {
+    // Total demand is normalised to 1, so the population average is the
+    // raw integral divided by time.
+    result.average_experienced_latency =
+        experienced_integral / accounted_time;
+    for (std::size_t c = 0; c < k; ++c) {
+      const Commodity& commodity = instance_->commodity(CommodityId{c});
+      double best = std::numeric_limits<double>::infinity();
+      for (const PathId p : commodity.paths) {
+        best = std::min(best, cumulative_latency[p.index()]);
+      }
+      result.hindsight_best_latency +=
+          commodity.demand * best / accounted_time;
+    }
+    result.average_regret = result.average_experienced_latency -
+                            result.hindsight_best_latency;
+  }
+  return result;
+}
+
+}  // namespace staleflow

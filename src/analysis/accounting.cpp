@@ -1,0 +1,41 @@
+#include "analysis/accounting.h"
+
+#include <algorithm>
+
+namespace staleflow {
+
+AccountingRecorder::AccountingRecorder(const Instance& instance)
+    : instance_(&instance) {}
+
+PhaseObserver AccountingRecorder::observer() {
+  return [this](const PhaseInfo& info) {
+    records_.push_back(
+        account_phase(*instance_, info.flow_before, info.flow_after));
+  };
+}
+
+double AccountingRecorder::max_identity_residual() const {
+  double worst = 0.0;
+  for (const PhaseAccounting& r : records_) {
+    worst = std::max(worst, r.identity_residual);
+  }
+  return worst;
+}
+
+std::size_t AccountingRecorder::lemma4_violations() const {
+  std::size_t count = 0;
+  for (const PhaseAccounting& r : records_) {
+    if (!r.lemma4_holds) ++count;
+  }
+  return count;
+}
+
+double AccountingRecorder::max_delta_phi() const {
+  double worst = 0.0;
+  for (const PhaseAccounting& r : records_) {
+    worst = std::max(worst, r.delta_phi);
+  }
+  return worst;
+}
+
+}  // namespace staleflow

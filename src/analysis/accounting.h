@@ -1,0 +1,40 @@
+// Per-phase potential accounting recorder (Lemmas 3 and 4).
+#pragma once
+
+#include <vector>
+
+#include "core/fluid_simulator.h"
+#include "equilibrium/potential.h"
+#include "net/instance.h"
+
+namespace staleflow {
+
+/// Records a PhaseAccounting entry for every simulated phase, so tests and
+/// benches can verify the Lemma 3 identity and the Lemma 4 inequality
+/// round by round.
+class AccountingRecorder {
+ public:
+  explicit AccountingRecorder(const Instance& instance);
+
+  PhaseObserver observer();
+
+  const std::vector<PhaseAccounting>& records() const noexcept {
+    return records_;
+  }
+
+  /// Largest Lemma 3 identity residual across all phases (should be ~0).
+  double max_identity_residual() const;
+
+  /// Number of phases where Lemma 4's Delta-Phi <= V/2 failed.
+  std::size_t lemma4_violations() const;
+
+  /// Largest observed potential increase across a phase (0 when the
+  /// potential only ever decreased).
+  double max_delta_phi() const;
+
+ private:
+  const Instance* instance_;
+  std::vector<PhaseAccounting> records_;
+};
+
+}  // namespace staleflow

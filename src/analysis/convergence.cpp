@@ -1,0 +1,68 @@
+#include "analysis/convergence.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/statistics.h"
+
+namespace staleflow {
+
+DecayEstimate estimate_decay(std::span<const double> times,
+                             std::span<const double> values) {
+  if (times.size() != values.size()) {
+    throw std::invalid_argument("estimate_decay: size mismatch");
+  }
+  std::vector<double> ts, logs;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] > 0.0 && std::isfinite(values[i])) {
+      ts.push_back(times[i]);
+      logs.push_back(std::log(values[i]));
+    }
+  }
+  DecayEstimate estimate;
+  if (ts.size() < 3) return estimate;
+  // Guard against constant times (all samples at one instant).
+  bool varies = false;
+  for (std::size_t i = 1; i < ts.size(); ++i) {
+    if (ts[i] != ts[0]) {
+      varies = true;
+      break;
+    }
+  }
+  if (!varies) return estimate;
+  const LinearFit fit = fit_line(ts, logs);
+  estimate.rate = -fit.slope;
+  estimate.coefficient = std::exp(fit.intercept);
+  estimate.r_squared = fit.r_squared;
+  estimate.valid = true;
+  return estimate;
+}
+
+DecayEstimate estimate_gap_decay(std::span<const PhaseSample> samples) {
+  std::vector<double> times, gaps;
+  times.reserve(samples.size());
+  gaps.reserve(samples.size());
+  for (const PhaseSample& s : samples) {
+    times.push_back(s.time);
+    gaps.push_back(s.gap);
+  }
+  return estimate_decay(times, gaps);
+}
+
+std::optional<std::size_t> settling_index(std::span<const double> series,
+                                          double tolerance,
+                                          std::size_t consecutive) {
+  if (consecutive == 0) consecutive = 1;
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (series[i] <= tolerance) {
+      if (++run >= consecutive) return i + 1 - consecutive;
+    } else {
+      run = 0;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace staleflow

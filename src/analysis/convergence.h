@@ -1,0 +1,42 @@
+// Convergence-rate estimation for recorded trajectories.
+//
+// The theorems bound *counts of bad rounds*; empirically the gap and the
+// potential surplus usually decay exponentially. These helpers quantify
+// that: fit gap(t) ~ C * exp(-rate * t) over the decaying part of a
+// trajectory and locate the settling time.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+#include "analysis/trajectory.h"
+
+namespace staleflow {
+
+struct DecayEstimate {
+  /// gap(t) ~ coefficient * exp(-rate * t).
+  double rate = 0.0;
+  double coefficient = 0.0;
+  /// Goodness of the log-linear fit in [0, 1].
+  double r_squared = 0.0;
+  /// False if there were not enough strictly positive samples to fit.
+  bool valid = false;
+};
+
+/// Fits an exponential to (times, values). Non-positive values (already
+/// converged to numerical zero) are excluded; requires >= 3 usable
+/// points, else returns an invalid estimate.
+DecayEstimate estimate_decay(std::span<const double> times,
+                             std::span<const double> values);
+
+/// Convenience overload on a recorded trajectory's gap series.
+DecayEstimate estimate_gap_decay(std::span<const PhaseSample> samples);
+
+/// First index i such that series[j] <= tolerance for all j in
+/// [i, i + consecutive); nullopt if the series never settles that long.
+std::optional<std::size_t> settling_index(std::span<const double> series,
+                                          double tolerance,
+                                          std::size_t consecutive = 1);
+
+}  // namespace staleflow

@@ -1,0 +1,57 @@
+#include "analysis/oscillation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace staleflow {
+namespace {
+
+double inf_distance(std::span<const double> a, std::span<const double> b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+}  // namespace
+
+OscillationReport analyse_oscillation(
+    std::span<const std::vector<double>> flow_snapshots, std::size_t window,
+    double tolerance) {
+  if (flow_snapshots.size() < 4) {
+    throw std::invalid_argument(
+        "analyse_oscillation: need at least 4 snapshots");
+  }
+  if (window == 0) window = flow_snapshots.size() / 2;
+  window = std::min(window, flow_snapshots.size() - 2);
+  const std::size_t begin = flow_snapshots.size() - 2 - window;
+
+  OscillationReport report;
+  for (std::size_t i = begin; i + 2 < flow_snapshots.size(); ++i) {
+    report.step_amplitude =
+        std::max(report.step_amplitude,
+                 inf_distance(flow_snapshots[i], flow_snapshots[i + 1]));
+    report.period2_residual =
+        std::max(report.period2_residual,
+                 inf_distance(flow_snapshots[i], flow_snapshots[i + 2]));
+  }
+  report.settled = report.step_amplitude <= tolerance;
+  report.period_two =
+      !report.settled && report.period2_residual <= tolerance;
+  return report;
+}
+
+double tail_amplitude(std::span<const double> series, std::size_t window) {
+  if (series.empty()) {
+    throw std::invalid_argument("tail_amplitude: empty series");
+  }
+  window = std::min(window, series.size());
+  if (window == 0) window = series.size();
+  const auto tail = series.subspan(series.size() - window);
+  const auto [lo, hi] = std::minmax_element(tail.begin(), tail.end());
+  return *hi - *lo;
+}
+
+}  // namespace staleflow

@@ -1,0 +1,40 @@
+// Oscillation detection for flow trajectories.
+//
+// Section 3.2 shows best response under staleness enters an exact period-2
+// orbit on the two-link pulse instance. These helpers classify recorded
+// trajectories: does the tail settle (converge) or cycle, and with what
+// amplitude?
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace staleflow {
+
+struct OscillationReport {
+  /// max over the tail window of || f(i) - f(i+1) ||_inf: movement between
+  /// consecutive phases. ~0 for settled trajectories.
+  double step_amplitude = 0.0;
+  /// max over the tail window of || f(i) - f(i+2) ||_inf: deviation from a
+  /// period-2 orbit. ~0 for exact period-2 cycles.
+  double period2_residual = 0.0;
+  /// True if the tail moves (step_amplitude > tolerance) but returns every
+  /// other phase (period2_residual <= tolerance).
+  bool period_two = false;
+  /// True if the tail does not move at all (step_amplitude <= tolerance).
+  bool settled = false;
+};
+
+/// Analyses the last `window` snapshots of a flow trajectory (phase-start
+/// or phase-end flows taken at equal spacing). Requires at least
+/// window + 2 snapshots; pass window = 0 to use half the trajectory.
+OscillationReport analyse_oscillation(
+    std::span<const std::vector<double>> flow_snapshots,
+    std::size_t window = 0, double tolerance = 1e-6);
+
+/// Peak-to-peak amplitude of a scalar series' tail window (e.g. potential
+/// or max-deviation series): max - min over the last `window` entries.
+double tail_amplitude(std::span<const double> series, std::size_t window);
+
+}  // namespace staleflow

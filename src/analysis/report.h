@@ -1,0 +1,46 @@
+// Human-readable state reports: the "show me the network right now" layer
+// used by the CLI and the examples.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "net/instance.h"
+
+namespace staleflow {
+
+/// Per-commodity snapshot derived from a flow vector.
+struct CommodityReport {
+  CommodityId id;
+  double demand = 0.0;
+  double min_latency = 0.0;
+  double avg_latency = 0.0;
+  /// Flow-weighted excess over the commodity minimum (the commodity's
+  /// share of the Wardrop gap).
+  double gap_share = 0.0;
+  /// Number of paths carrying more than 1e-9 flow.
+  std::size_t active_paths = 0;
+};
+
+/// Whole-network snapshot.
+struct FlowReport {
+  double potential = 0.0;
+  double gap = 0.0;
+  double average_latency = 0.0;
+  double social_cost = 0.0;
+  std::vector<CommodityReport> commodities;
+};
+
+/// Computes a FlowReport for a feasible flow vector.
+FlowReport make_report(const Instance& instance,
+                       std::span<const double> path_flow);
+
+/// Renders the report as an aligned text block (one line per commodity
+/// plus a header with the global quantities).
+std::string format_report(const Instance& instance, const FlowReport& report);
+
+/// Convenience: make + format in one call.
+std::string describe_flow(const Instance& instance,
+                          std::span<const double> path_flow);
+
+}  // namespace staleflow

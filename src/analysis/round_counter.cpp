@@ -1,0 +1,33 @@
+#include "analysis/round_counter.h"
+
+#include <stdexcept>
+
+#include "equilibrium/metrics.h"
+
+namespace staleflow {
+
+RoundCounter::RoundCounter(const Instance& instance, Mode mode, double delta,
+                           double eps)
+    : instance_(&instance), mode_(mode), delta_(delta), eps_(eps) {
+  if (!(delta > 0.0) || !(eps > 0.0)) {
+    throw std::invalid_argument("RoundCounter: delta and eps must be > 0");
+  }
+}
+
+PhaseObserver RoundCounter::observer() {
+  return [this](const PhaseInfo& info) { record(info); };
+}
+
+void RoundCounter::record(const PhaseInfo& info) {
+  ++total_;
+  const double volume =
+      mode_ == Mode::kStrict
+          ? unsatisfied_volume(*instance_, info.flow_before, delta_)
+          : weakly_unsatisfied_volume(*instance_, info.flow_before, delta_);
+  if (volume > eps_) {
+    ++bad_;
+    last_bad_ = info.index;
+  }
+}
+
+}  // namespace staleflow

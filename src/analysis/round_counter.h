@@ -1,0 +1,47 @@
+// Round classification for Theorems 6 and 7.
+//
+// Both theorems bound "the number of update periods not *starting* at a
+// (weak) (delta, eps)-equilibrium". This counter classifies every phase by
+// its starting flow and tallies the bad rounds.
+#pragma once
+
+#include <cstddef>
+
+#include "core/fluid_simulator.h"
+#include "net/instance.h"
+
+namespace staleflow {
+
+/// Counts phases whose starting flow fails the chosen approximate
+/// equilibrium test.
+class RoundCounter {
+ public:
+  enum class Mode {
+    kStrict,  // Definition 3: l_P > l^i_min + delta
+    kWeak     // Definition 4: l_P > L_i + delta
+  };
+
+  RoundCounter(const Instance& instance, Mode mode, double delta, double eps);
+
+  /// Adapter usable as a simulator observer; the counter must outlive it.
+  PhaseObserver observer();
+
+  std::size_t total_rounds() const noexcept { return total_; }
+  std::size_t bad_rounds() const noexcept { return bad_; }
+  /// Index of the last bad round (total_rounds() if none were bad, so it
+  /// can be used as "rounds until permanently good" only with care).
+  std::size_t last_bad_round() const noexcept { return last_bad_; }
+
+ private:
+  void record(const PhaseInfo& info);
+
+  const Instance* instance_;
+  Mode mode_;
+  double delta_;
+  double eps_;
+  std::size_t total_ = 0;
+  std::size_t bad_ = 0;
+  std::size_t last_bad_ = 0;
+};
+
+}  // namespace staleflow

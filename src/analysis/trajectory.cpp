@@ -1,0 +1,59 @@
+#include "analysis/trajectory.h"
+
+#include <algorithm>
+
+#include "equilibrium/metrics.h"
+#include "equilibrium/potential.h"
+
+namespace staleflow {
+
+TrajectoryRecorder::TrajectoryRecorder(const Instance& instance,
+                                       Options options)
+    : instance_(&instance), options_(options) {
+  if (options_.stride == 0) options_.stride = 1;
+}
+
+PhaseObserver TrajectoryRecorder::observer() {
+  return [this](const PhaseInfo& info) { record(info); };
+}
+
+void TrajectoryRecorder::record(const PhaseInfo& info) {
+  if (info.index % options_.stride != 0) return;
+  const std::span<const double> f = info.flow_after;
+
+  PhaseSample sample;
+  sample.phase = info.index;
+  sample.time = info.end_time;
+  sample.potential = potential(*instance_, f);
+  const FlowEvaluation eval = evaluate(*instance_, f);
+  sample.gap = wardrop_gap(*instance_, f, eval);
+  sample.average_latency = eval.average_latency;
+  sample.max_deviation = max_latency_deviation(*instance_, f, 1e-9);
+  sample.unsatisfied = unsatisfied_volume(*instance_, f, options_.delta);
+  sample.weakly_unsatisfied =
+      weakly_unsatisfied_volume(*instance_, f, options_.delta);
+  samples_.push_back(sample);
+
+  if (options_.store_flows) {
+    flows_.emplace_back(f.begin(), f.end());
+  }
+}
+
+std::optional<double> TrajectoryRecorder::time_to_gap(
+    double threshold) const {
+  for (const PhaseSample& s : samples_) {
+    if (s.gap <= threshold) return s.time;
+  }
+  return std::nullopt;
+}
+
+double TrajectoryRecorder::max_potential_increase() const {
+  double worst = 0.0;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    worst = std::max(worst,
+                     samples_[i].potential - samples_[i - 1].potential);
+  }
+  return worst;
+}
+
+}  // namespace staleflow

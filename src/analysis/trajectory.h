@@ -1,0 +1,72 @@
+// Trajectory recording: turns the simulators' per-phase callbacks into
+// time series of the quantities the paper reasons about.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/fluid_simulator.h"
+#include "net/instance.h"
+
+namespace staleflow {
+
+/// One recorded phase boundary.
+struct PhaseSample {
+  std::size_t phase = 0;
+  double time = 0.0;             // end of the phase
+  double potential = 0.0;        // Phi(f)
+  double gap = 0.0;              // Wardrop gap
+  double average_latency = 0.0;  // L
+  double max_deviation = 0.0;    // max_{used P} l_P - l^i_min
+  double unsatisfied = 0.0;      // volume of delta-unsatisfied agents
+  double weakly_unsatisfied = 0.0;
+};
+
+/// Configuration for TrajectoryRecorder.
+struct TrajectoryOptions {
+  /// delta used for the (weak) unsatisfied volumes.
+  double delta = 0.01;
+  /// Keep a copy of f at every phase boundary (memory: |P| per phase).
+  bool store_flows = false;
+  /// Record only every n-th phase (1 = all).
+  std::size_t stride = 1;
+};
+
+/// Records a PhaseSample per phase (evaluated at the end-of-phase flow).
+/// Optionally keeps full flow snapshots for oscillation analysis.
+class TrajectoryRecorder {
+ public:
+  using Options = TrajectoryOptions;
+
+  explicit TrajectoryRecorder(const Instance& instance, Options options = {});
+
+  /// Adapter usable as FluidSimulator / BestResponseSimulator /
+  /// AgentSimulator observer. The recorder must outlive the returned
+  /// callable.
+  PhaseObserver observer();
+
+  const std::vector<PhaseSample>& samples() const noexcept {
+    return samples_;
+  }
+  const std::vector<std::vector<double>>& flows() const noexcept {
+    return flows_;
+  }
+
+  /// First recorded time at which the gap was <= `threshold`, if any.
+  std::optional<double> time_to_gap(double threshold) const;
+
+  /// Potential values must be non-increasing for convergent runs; returns
+  /// the largest observed increase between consecutive samples (0 for a
+  /// monotone trajectory).
+  double max_potential_increase() const;
+
+ private:
+  void record(const PhaseInfo& info);
+
+  const Instance* instance_;
+  Options options_;
+  std::vector<PhaseSample> samples_;
+  std::vector<std::vector<double>> flows_;
+};
+
+}  // namespace staleflow

@@ -1,0 +1,108 @@
+#include "core/best_response.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "equilibrium/metrics.h"
+#include "equilibrium/potential.h"
+
+namespace staleflow {
+
+FlowVector best_reply_flow(const Instance& instance,
+                           std::span<const double> path_latency,
+                           double tie_tolerance) {
+  if (path_latency.size() != instance.path_count()) {
+    throw std::invalid_argument("best_reply_flow: wrong latency count");
+  }
+  FlowVector reply(instance);
+  for (std::size_t c = 0; c < instance.commodity_count(); ++c) {
+    const Commodity& commodity = instance.commodity(CommodityId{c});
+    double lo = std::numeric_limits<double>::infinity();
+    for (const PathId p : commodity.paths) {
+      lo = std::min(lo, path_latency[p.index()]);
+    }
+    std::vector<PathId> winners;
+    for (const PathId p : commodity.paths) {
+      if (path_latency[p.index()] <= lo + tie_tolerance) {
+        winners.push_back(p);
+      }
+    }
+    const double share =
+        commodity.demand / static_cast<double>(winners.size());
+    for (const PathId p : winners) reply[p] = share;
+  }
+  return reply;
+}
+
+BestResponseSimulator::BestResponseSimulator(const Instance& instance)
+    : instance_(&instance) {}
+
+SimulationResult BestResponseSimulator::run(
+    const FlowVector& initial, const BestResponseOptions& options,
+    const PhaseObserver& observer) const {
+  if (!is_feasible(*instance_, initial.values(), 1e-7)) {
+    throw std::invalid_argument("BestResponseSimulator::run: infeasible start");
+  }
+  if (!(options.update_period > 0.0) || !(options.horizon > 0.0)) {
+    throw std::invalid_argument(
+        "BestResponseSimulator::run: update_period and horizon must be > 0");
+  }
+
+  SimulationResult result{initial};
+  std::vector<double>& f = result.final_flow.mutable_values();
+  std::vector<double> flow_before(f.size());
+
+  double t = 0.0;
+  std::size_t phase = 0;
+  // Multiplicative phase boundaries avoid a round-off sliver phase.
+  while (phase < options.max_phases) {
+    const double t_start =
+        options.update_period * static_cast<double>(phase);
+    if (t_start >= options.horizon * (1.0 - 1e-12)) break;
+    const double t_end =
+        std::min(options.update_period * static_cast<double>(phase + 1),
+                 options.horizon);
+    const double tau = t_end - t_start;
+    t = t_start;
+    flow_before = f;
+
+    // Board snapshot and the closed-form phase solution.
+    const std::vector<double> latency = path_latencies(*instance_, f);
+    const FlowVector reply =
+        best_reply_flow(*instance_, latency, options.tie_tolerance);
+    const double decay = std::exp(-tau);
+    for (std::size_t p = 0; p < f.size(); ++p) {
+      f[p] = reply[PathId{p}] + (flow_before[p] - reply[PathId{p}]) * decay;
+    }
+
+    t = t_end;
+    ++phase;
+
+    if (observer) {
+      PhaseInfo info;
+      info.index = phase - 1;
+      info.start_time = t_start;
+      info.end_time = t_end;
+      info.flow_before = flow_before;
+      info.flow_after = f;
+      observer(info);
+    }
+
+    if (options.stop_gap > 0.0 &&
+        wardrop_gap(*instance_, f) <= options.stop_gap) {
+      result.stopped_by_gap = true;
+      break;
+    }
+  }
+
+  result.final_time = t;
+  result.phases = phase;
+  result.final_potential = potential(*instance_, f);
+  result.final_gap = wardrop_gap(*instance_, f);
+  return result;
+}
+
+}  // namespace staleflow

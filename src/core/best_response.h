@@ -1,0 +1,53 @@
+// Best response dynamics under stale information (Eqs. (2) and (4)).
+//
+// Every activated agent switches to a minimum-latency path of its
+// commodity as shown on the bulletin board. In the fluid limit the flow
+// decays exponentially towards the best-reply flow b(f̂):
+//   f(t̂ + tau) = b + (f(t̂) - b) * e^{-tau},
+// which this simulator evaluates in closed form — no integrator error.
+// Section 3.2 of the paper proves this dynamics oscillates forever on the
+// two-link pulse instance for every T > 0.
+#pragma once
+
+#include <span>
+
+#include "core/fluid_simulator.h"
+#include "net/flow.h"
+#include "net/instance.h"
+
+namespace staleflow {
+
+struct BestResponseOptions {
+  /// Bulletin-board period T > 0.
+  double update_period = 0.1;
+  double horizon = 100.0;
+  /// Latencies within this of the minimum count as best replies and share
+  /// the commodity's demand equally (0 = exact ties only).
+  double tie_tolerance = 0.0;
+  /// Early stop once the Wardrop gap falls to or below this (0 disables).
+  double stop_gap = 0.0;
+  std::size_t max_phases = std::numeric_limits<std::size_t>::max();
+};
+
+/// Best-reply flow against the given path latencies: each commodity's
+/// demand split equally over its (near-)minimum-latency paths.
+FlowVector best_reply_flow(const Instance& instance,
+                           std::span<const double> path_latency,
+                           double tie_tolerance = 0.0);
+
+/// Simulates Eq. (4): best response against the bulletin board, solved
+/// exactly per phase. Reuses PhaseInfo / SimulationResult from the fluid
+/// simulator so analysis tooling works on both.
+class BestResponseSimulator {
+ public:
+  explicit BestResponseSimulator(const Instance& instance);
+
+  SimulationResult run(const FlowVector& initial,
+                       const BestResponseOptions& options,
+                       const PhaseObserver& observer = nullptr) const;
+
+ private:
+  const Instance* instance_;
+};
+
+}  // namespace staleflow

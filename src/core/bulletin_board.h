@@ -1,0 +1,46 @@
+// Mitzenmacher's bulletin board: the model of stale information.
+//
+// All latency information the agents see is posted here at the start of
+// every phase of length T (Section 2.3). Between updates the board is
+// frozen, so agents act on values up to T time units old.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/flow.h"
+#include "net/instance.h"
+
+namespace staleflow {
+
+/// Snapshot of the network state as visible to the agents.
+class BulletinBoard {
+ public:
+  explicit BulletinBoard(const Instance& instance);
+
+  /// Posts the state induced by `path_flow` at time `now` (the start of a
+  /// phase). Computes and stores edge/path latencies.
+  void post(double now, std::span<const double> path_flow);
+
+  bool has_data() const noexcept { return has_data_; }
+  double posted_at() const noexcept { return posted_at_; }
+
+  /// Board copies of the flow and induced latencies (valid after post()).
+  std::span<const double> path_flow() const noexcept { return path_flow_; }
+  std::span<const double> edge_latency() const noexcept {
+    return edge_latency_;
+  }
+  std::span<const double> path_latency() const noexcept {
+    return path_latency_;
+  }
+
+ private:
+  const Instance* instance_;
+  bool has_data_ = false;
+  double posted_at_ = 0.0;
+  std::vector<double> path_flow_;
+  std::vector<double> edge_latency_;
+  std::vector<double> path_latency_;
+};
+
+}  // namespace staleflow

@@ -1,0 +1,166 @@
+#include "core/fluid_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/bulletin_board.h"
+#include "core/dynamics.h"
+#include "equilibrium/metrics.h"
+#include "equilibrium/potential.h"
+#include "ode/integrator.h"
+#include "util/rng.h"
+
+namespace staleflow {
+namespace {
+
+std::unique_ptr<Integrator> make_integrator(IntegrationMethod method,
+                                            double step) {
+  switch (method) {
+    case IntegrationMethod::kEuler:
+      return std::make_unique<ExplicitEuler>(step);
+    case IntegrationMethod::kRk4:
+      return std::make_unique<RungeKutta4>(step);
+    case IntegrationMethod::kAdaptive: {
+      DormandPrince45::Options opts;
+      opts.initial_step = step;
+      return std::make_unique<DormandPrince45>(opts);
+    }
+    case IntegrationMethod::kExact:
+      return nullptr;  // handled separately
+  }
+  throw std::logic_error("make_integrator: unknown method");
+}
+
+}  // namespace
+
+FluidSimulator::FluidSimulator(const Instance& instance, const Policy& policy)
+    : instance_(&instance), policy_(&policy) {}
+
+SimulationResult FluidSimulator::run(const FlowVector& initial,
+                                     const SimulationOptions& options,
+                                     const PhaseObserver& observer) const {
+  if (!is_feasible(*instance_, initial.values(), 1e-7)) {
+    throw std::invalid_argument("FluidSimulator::run: infeasible start");
+  }
+  if (options.update_period < 0.0 || !(options.horizon > 0.0)) {
+    throw std::invalid_argument("FluidSimulator::run: bad options");
+  }
+  const bool stale = options.update_period > 0.0;
+  if (!stale && options.method == IntegrationMethod::kExact) {
+    throw std::invalid_argument(
+        "FluidSimulator::run: exact method requires stale mode "
+        "(fresh dynamics is nonlinear)");
+  }
+  if (options.period_jitter < 0.0 || options.period_jitter >= 1.0) {
+    throw std::invalid_argument(
+        "FluidSimulator::run: period_jitter must be in [0, 1)");
+  }
+  if (!stale && options.period_jitter > 0.0) {
+    throw std::invalid_argument(
+        "FluidSimulator::run: period_jitter requires stale mode");
+  }
+
+  const double phase_length =
+      stale ? options.update_period
+            : (options.record_interval > 0.0 ? options.record_interval
+                                             : options.horizon / 512.0);
+  double step = options.step_size;
+  if (step <= 0.0) {
+    step = stale ? options.update_period / 32.0
+                 : std::min(phase_length, 1.0 / 256.0);
+  }
+  step = std::min(step, phase_length);
+
+  const std::unique_ptr<Integrator> integrator =
+      options.method == IntegrationMethod::kExact
+          ? nullptr
+          : make_integrator(options.method, step);
+
+  SimulationResult result{initial};
+  std::vector<double>& f = result.final_flow.mutable_values();
+  std::vector<double> flow_before(f.size());
+
+  BulletinBoard board(*instance_);
+  FreshDynamics fresh(*instance_, *policy_);
+
+  Rng jitter_rng(options.jitter_seed);
+  const bool jittered = options.period_jitter > 0.0;
+
+  double t = 0.0;
+  std::size_t phase = 0;
+  // Without jitter, phase boundaries are computed multiplicatively
+  // (phase * length) so accumulated round-off cannot create a spurious
+  // sliver phase; with jitter the lengths are random and accumulate.
+  while (phase < options.max_phases) {
+    const double t_start =
+        jittered ? t : phase_length * static_cast<double>(phase);
+    if (t_start >= options.horizon * (1.0 - 1e-12)) break;
+    double next_length = phase_length;
+    if (jittered) {
+      next_length = phase_length *
+                    (1.0 + options.period_jitter *
+                               jitter_rng.uniform(-1.0, 1.0));
+    }
+    const double t_end = jittered
+                             ? std::min(t_start + next_length,
+                                        options.horizon)
+                             : std::min(phase_length *
+                                            static_cast<double>(phase + 1),
+                                        options.horizon);
+    const double tau = t_end - t_start;
+    t = t_start;
+    flow_before = f;
+
+    if (stale) {
+      board.post(t, f);
+      const PhaseRates rates(*instance_, *policy_, board);
+      if (options.method == IntegrationMethod::kExact) {
+        const Matrix transition = rates.transition(tau);
+        f = transition.apply(flow_before);
+      } else {
+        const OdeRhs rhs = [&rates](double, std::span<const double> y,
+                                    std::span<double> dydt) {
+          rates.rhs(y, dydt);
+        };
+        integrator->integrate(rhs, t, t + tau, f);
+      }
+    } else {
+      const OdeRhs rhs = [&fresh](double, std::span<const double> y,
+                                  std::span<double> dydt) {
+        fresh.rhs(y, dydt);
+      };
+      integrator->integrate(rhs, t, t + tau, f);
+    }
+
+    if (options.renormalise) renormalise(*instance_, f);
+    t = t_end;
+    ++phase;
+
+    if (observer) {
+      PhaseInfo info;
+      info.index = phase - 1;
+      info.start_time = t_start;
+      info.end_time = t_end;
+      info.flow_before = flow_before;
+      info.flow_after = f;
+      observer(info);
+    }
+
+    if (options.stop_gap > 0.0 &&
+        wardrop_gap(*instance_, f) <= options.stop_gap) {
+      result.stopped_by_gap = true;
+      break;
+    }
+  }
+
+  result.final_time = t;
+  result.phases = phase;
+  result.final_potential = potential(*instance_, f);
+  result.final_gap = wardrop_gap(*instance_, f);
+  return result;
+}
+
+}  // namespace staleflow

@@ -1,0 +1,102 @@
+// The main simulation driver for the fluid-limit dynamics in the bulletin
+// board model (Eq. (3)) and under fresh information (Eq. (1)).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <span>
+
+#include "core/policy.h"
+#include "net/flow.h"
+#include "net/instance.h"
+
+namespace staleflow {
+
+enum class IntegrationMethod {
+  kRk4,      // fixed-step RK4 within each phase (default)
+  kEuler,    // fixed-step forward Euler (reference / speed)
+  kExact,    // matrix exponential per phase (stale mode only)
+  kAdaptive  // Dormand-Prince 45
+};
+
+struct SimulationOptions {
+  /// Bulletin-board period T. Must be > 0 for stale mode; 0 selects fresh
+  /// information (Eq. (1)), where the "phases" below are recording slices.
+  double update_period = 0.1;
+
+  /// Total simulated time.
+  double horizon = 100.0;
+
+  /// Integrator step within a phase; 0 picks update_period/32 (stale) or
+  /// 1/256 (fresh). Ignored by kExact.
+  double step_size = 0.0;
+
+  IntegrationMethod method = IntegrationMethod::kRk4;
+
+  /// Slice length used as a pseudo-phase in fresh mode; 0 => horizon/512.
+  double record_interval = 0.0;
+
+  /// Re-project the flow onto the feasible set after every phase to stop
+  /// numerical drift (the dynamics itself preserves feasibility exactly).
+  bool renormalise = true;
+
+  /// Early stop once the Wardrop gap falls to or below this value
+  /// (0 disables the check).
+  double stop_gap = 0.0;
+
+  /// Hard cap on the number of phases (guards sweeps).
+  std::size_t max_phases = std::numeric_limits<std::size_t>::max();
+
+  /// Randomised staleness (model extension): each phase length is drawn
+  /// uniformly from [T*(1-jitter), T*(1+jitter)], jitter in [0, 1).
+  /// jitter = 0 (default) reproduces the paper's fixed-period board.
+  /// Lemma 4 bounds the potential gain of any phase of length <= T, so
+  /// convergence is preserved as long as T*(1+jitter) stays safe.
+  double period_jitter = 0.0;
+
+  /// Seed for the jitter draws (unused when period_jitter == 0).
+  std::uint64_t jitter_seed = 1;
+};
+
+/// Data handed to the per-phase observer. Spans are valid only during the
+/// callback.
+struct PhaseInfo {
+  std::size_t index = 0;
+  double start_time = 0.0;
+  double end_time = 0.0;
+  std::span<const double> flow_before;  // f at the board update
+  std::span<const double> flow_after;   // f at the end of the phase
+};
+
+using PhaseObserver = std::function<void(const PhaseInfo&)>;
+
+struct SimulationResult {
+  FlowVector final_flow;
+  double final_time = 0.0;
+  std::size_t phases = 0;
+  double final_potential = 0.0;
+  double final_gap = 0.0;
+  /// True if the stop_gap criterion triggered before the horizon.
+  bool stopped_by_gap = false;
+};
+
+/// Simulates a rerouting policy on an instance. Stateless; run() may be
+/// called repeatedly with different initial conditions.
+class FluidSimulator {
+ public:
+  FluidSimulator(const Instance& instance, const Policy& policy);
+
+  /// Runs from `initial` (must be feasible). Throws std::invalid_argument
+  /// on an infeasible start or inconsistent options.
+  SimulationResult run(const FlowVector& initial,
+                       const SimulationOptions& options,
+                       const PhaseObserver& observer = nullptr) const;
+
+ private:
+  const Instance* instance_;
+  const Policy* policy_;
+};
+
+}  // namespace staleflow

@@ -1,0 +1,141 @@
+#include "core/migration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace staleflow {
+
+double BetterResponseMigration::probability(double current,
+                                            double sampled) const {
+  return current > sampled ? 1.0 : 0.0;
+}
+
+LinearMigration::LinearMigration(double scale) : scale_(scale) {
+  if (!(scale > 0.0)) {
+    throw std::invalid_argument("LinearMigration: scale must be > 0");
+  }
+}
+
+double LinearMigration::probability(double current, double sampled) const {
+  if (current <= sampled) return 0.0;
+  return std::min(1.0, (current - sampled) / scale_);
+}
+
+std::string LinearMigration::name() const {
+  std::ostringstream os;
+  os << "linear(l_max=" << scale_ << ")";
+  return os.str();
+}
+
+AlphaCappedMigration::AlphaCappedMigration(double alpha) : alpha_(alpha) {
+  if (!(alpha > 0.0)) {
+    throw std::invalid_argument("AlphaCappedMigration: alpha must be > 0");
+  }
+}
+
+double AlphaCappedMigration::probability(double current,
+                                         double sampled) const {
+  if (current <= sampled) return 0.0;
+  return std::min(1.0, alpha_ * (current - sampled));
+}
+
+std::string AlphaCappedMigration::name() const {
+  std::ostringstream os;
+  os << "alpha-capped(alpha=" << alpha_ << ")";
+  return os.str();
+}
+
+RelativeSlackMigration::RelativeSlackMigration(double shift)
+    : shift_(shift) {
+  if (shift < 0.0 || !std::isfinite(shift)) {
+    throw std::invalid_argument(
+        "RelativeSlackMigration: shift must be >= 0");
+  }
+}
+
+double RelativeSlackMigration::probability(double current,
+                                           double sampled) const {
+  if (current <= sampled) return 0.0;
+  const double denom = current + shift_;
+  if (denom <= 0.0) return 0.0;  // both latencies 0: no gain to realise
+  return std::min(1.0, (current - sampled) / denom);
+}
+
+std::optional<double> RelativeSlackMigration::smoothness() const {
+  if (shift_ > 0.0) return 1.0 / shift_;
+  return std::nullopt;
+}
+
+std::string RelativeSlackMigration::name() const {
+  std::ostringstream os;
+  os << "relative-slack(shift=" << shift_ << ")";
+  return os.str();
+}
+
+ConstantMigration::ConstantMigration(double p) : p_(p) {
+  if (!(p > 0.0) || p > 1.0) {
+    throw std::invalid_argument("ConstantMigration: p must be in (0, 1]");
+  }
+}
+
+double ConstantMigration::probability(double current, double sampled) const {
+  return current > sampled ? p_ : 0.0;
+}
+
+std::string ConstantMigration::name() const {
+  std::ostringstream os;
+  os << "constant(p=" << p_ << ")";
+  return os.str();
+}
+
+MigrationPtr better_response_migration() {
+  return std::make_unique<BetterResponseMigration>();
+}
+
+MigrationPtr linear_migration(double scale) {
+  return std::make_unique<LinearMigration>(scale);
+}
+
+MigrationPtr alpha_capped_migration(double alpha) {
+  return std::make_unique<AlphaCappedMigration>(alpha);
+}
+
+MigrationPtr constant_migration(double p) {
+  return std::make_unique<ConstantMigration>(p);
+}
+
+MigrationPtr relative_slack_migration(double shift) {
+  return std::make_unique<RelativeSlackMigration>(shift);
+}
+
+bool satisfies_alpha_smoothness(const MigrationRule& rule, double alpha,
+                                double latency_range, int grid) {
+  if (grid < 2) grid = 2;
+  const auto n = static_cast<std::size_t>(grid);
+  auto check_pair = [&](double lp, double lq) {
+    const double mu = rule.probability(lp, lq);
+    if (mu < 0.0 || mu > 1.0) return false;
+    if (lp <= lq) return mu == 0.0;
+    return mu <= alpha * (lp - lq) + 1e-12;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lq = latency_range * static_cast<double>(i) /
+                      static_cast<double>(n - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double lp = latency_range * static_cast<double>(j) /
+                        static_cast<double>(n - 1);
+      if (!check_pair(lp, lq)) return false;
+    }
+    // Definition 2 bites hardest for vanishing gains: rules with a jump at
+    // gain 0+ (better response, constant) only fail for tiny lp - lq, which
+    // an equispaced grid never probes. Sweep gaps down to 1e-12.
+    for (double gap = 1e-12; gap < latency_range; gap *= 100.0) {
+      if (!check_pair(lq + gap, lq)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace staleflow

@@ -1,0 +1,70 @@
+// A rerouting policy = sampling rule + migration rule (Section 2.2), with
+// factories for the combinations the paper analyses.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/migration.h"
+#include "core/sampling.h"
+#include "net/instance.h"
+
+namespace staleflow {
+
+/// Two-step rerouting policy. Immutable after construction; shared between
+/// simulators via const reference.
+class Policy {
+ public:
+  Policy(SamplingPtr sampling, MigrationPtr migration);
+
+  const SamplingRule& sampling() const noexcept { return *sampling_; }
+  const MigrationRule& migration() const noexcept { return *migration_; }
+
+  /// e.g. "proportional + linear(l_max=2)".
+  std::string name() const;
+
+  /// alpha of the migration rule, or nullopt for non-smooth rules.
+  std::optional<double> smoothness() const {
+    return migration_->smoothness();
+  }
+
+ private:
+  SamplingPtr sampling_;
+  MigrationPtr migration_;
+};
+
+/// Replicator dynamics: proportional sampling + linear migration with
+/// scale l_max taken from the instance (Theorem 7's policy).
+Policy make_replicator_policy(const Instance& instance,
+                              double uniform_floor = 0.0);
+
+/// Uniform sampling + linear migration (Theorem 6's policy).
+Policy make_uniform_linear_policy(const Instance& instance);
+
+/// Uniform sampling + min(1, alpha * gain) migration: directly exposes the
+/// smoothness parameter for Corollary 5 sweeps.
+Policy make_alpha_policy(double alpha);
+
+/// Smoothed best response: logit sampling with parameter c + linear
+/// migration.
+Policy make_logit_policy(const Instance& instance, double c);
+
+/// Naive baseline: uniform sampling + better-response migration. Not
+/// alpha-smooth; oscillates under staleness.
+Policy make_naive_better_response_policy();
+
+/// Extension ([10], the paper's conclusion): proportional sampling +
+/// relative-slack migration. Its aggressiveness does not degrade with the
+/// maximum slope beta; with shift > 0 it is (1/shift)-smooth and covered
+/// by Corollary 5.
+Policy make_relative_slack_policy(double shift = 0.0);
+
+/// The Corollary 5 recipe inverted: given the bulletin-board period T the
+/// deployment must live with, returns the most aggressive uniform-sampling
+/// policy that is still provably convergent, i.e. alpha-capped migration
+/// with alpha = 1/(4 * D * beta * T). Throws std::invalid_argument if
+/// T <= 0 or the instance has zero slope/path length (any policy is safe
+/// then — no finite alpha is implied).
+Policy make_safe_policy(const Instance& instance, double update_period);
+
+}  // namespace staleflow

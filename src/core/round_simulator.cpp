@@ -1,0 +1,77 @@
+#include "core/round_simulator.h"
+
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "core/bulletin_board.h"
+#include "core/dynamics.h"
+#include "equilibrium/metrics.h"
+#include "equilibrium/potential.h"
+
+namespace staleflow {
+
+RoundSimulator::RoundSimulator(const Instance& instance, const Policy& policy)
+    : instance_(&instance), policy_(&policy) {}
+
+RoundSimResult RoundSimulator::run(const FlowVector& initial,
+                                   const RoundSimOptions& options,
+                                   const RoundObserver& observer) const {
+  if (!is_feasible(*instance_, initial.values(), 1e-7)) {
+    throw std::invalid_argument("RoundSimulator::run: infeasible start");
+  }
+  if (!(options.activation_probability > 0.0) ||
+      options.activation_probability > 1.0) {
+    throw std::invalid_argument(
+        "RoundSimulator::run: activation probability must be in (0, 1]");
+  }
+  if (options.rounds_per_update == 0) {
+    throw std::invalid_argument(
+        "RoundSimulator::run: rounds_per_update must be >= 1");
+  }
+
+  RoundSimResult result{initial};
+  std::vector<double>& f = result.final_flow.mutable_values();
+  std::vector<double> before(f.size());
+  std::vector<double> delta(f.size());
+
+  BulletinBoard board(*instance_);
+  std::optional<PhaseRates> rates;
+
+  for (std::size_t round = 0; round < options.total_rounds; ++round) {
+    const bool refresh = round % options.rounds_per_update == 0;
+    if (refresh) {
+      board.post(static_cast<double>(round), f);
+      rates.emplace(*instance_, *policy_, board);
+    }
+    before = f;
+    rates->rhs(f, delta);
+    for (std::size_t p = 0; p < f.size(); ++p) {
+      f[p] += options.activation_probability * delta[p];
+    }
+    // Totals are preserved by the generator; clamp only round-off (and
+    // overshoot for aggressive lambda) back into the feasible set.
+    renormalise(*instance_, f);
+    ++result.rounds;
+
+    if (observer) {
+      RoundInfo info;
+      info.round = round;
+      info.board_updated = refresh;
+      info.flow_before = before;
+      info.flow_after = f;
+      observer(info);
+    }
+    if (options.stop_gap > 0.0 &&
+        wardrop_gap(*instance_, f) <= options.stop_gap) {
+      result.stopped_by_gap = true;
+      break;
+    }
+  }
+
+  result.final_potential = potential(*instance_, f);
+  result.final_gap = wardrop_gap(*instance_, f);
+  return result;
+}
+
+}  // namespace staleflow

@@ -1,0 +1,73 @@
+// Synchronous-rounds dynamics: the discrete-time cousin of the fluid model.
+//
+// Mitzenmacher's bulletin-board model was originally phrased in rounds.
+// Here time advances in discrete rounds; in each round every agent is
+// activated independently with probability lambda and applies the usual
+// sample-and-migrate step against the board, which is refreshed every
+// `rounds_per_update` rounds. In the synchronous fluid limit the expected
+// flow evolves by the map
+//   f_{k+1} = f_k + lambda * G(board) f_k,
+// with G the same per-phase generator as the continuous dynamics.
+//
+// The continuous model recovers as lambda -> 0 with time = lambda * k.
+// For large lambda the map overshoots: synchrony is a second source of
+// oscillation on top of staleness, which bench_rounds explores.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <span>
+
+#include "core/policy.h"
+#include "net/flow.h"
+#include "net/instance.h"
+
+namespace staleflow {
+
+struct RoundSimOptions {
+  /// Per-round activation probability lambda in (0, 1].
+  double activation_probability = 0.1;
+  /// Board refresh cadence: 1 = fresh every round, R = stale for R rounds.
+  std::size_t rounds_per_update = 1;
+  std::size_t total_rounds = 1'000;
+  /// Early stop once the Wardrop gap is <= this (0 disables).
+  double stop_gap = 0.0;
+};
+
+/// Data handed to the per-round observer. Spans valid only in the call.
+struct RoundInfo {
+  std::size_t round = 0;
+  bool board_updated = false;
+  std::span<const double> flow_before;
+  std::span<const double> flow_after;
+};
+
+using RoundObserver = std::function<void(const RoundInfo&)>;
+
+struct RoundSimResult {
+  FlowVector final_flow;
+  std::size_t rounds = 0;
+  double final_potential = 0.0;
+  double final_gap = 0.0;
+  bool stopped_by_gap = false;
+};
+
+/// Iterates the synchronous expected-flow map.
+class RoundSimulator {
+ public:
+  RoundSimulator(const Instance& instance, const Policy& policy);
+
+  /// Runs from `initial` (must be feasible). Flow values are clamped to
+  /// the feasible set after each round (the map itself preserves totals;
+  /// clamping only guards round-off, and overshoot past 0 for large
+  /// lambda, which is re-projected like the continuous simulator does).
+  RoundSimResult run(const FlowVector& initial, const RoundSimOptions& options,
+                     const RoundObserver& observer = nullptr) const;
+
+ private:
+  const Instance* instance_;
+  const Policy* policy_;
+};
+
+}  // namespace staleflow

@@ -1,0 +1,128 @@
+#include "equilibrium/frank_wolfe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "equilibrium/metrics.h"
+#include "equilibrium/potential.h"
+
+namespace staleflow {
+namespace {
+
+/// d/dgamma Phi(f + gamma * d) = sum_e l_e(f_e + gamma d_e) * d_e.
+double directional_derivative(const Instance& instance,
+                              const std::vector<double>& edge_flow,
+                              const std::vector<double>& edge_dir,
+                              double gamma) {
+  double acc = 0.0;
+  for (std::size_t e = 0; e < edge_flow.size(); ++e) {
+    if (edge_dir[e] == 0.0) continue;
+    acc += instance.latency(EdgeId{e}).value(edge_flow[e] +
+                                             gamma * edge_dir[e]) *
+           edge_dir[e];
+  }
+  return acc;
+}
+
+/// Exact line search along f + gamma * d, gamma in [0, 1]. Phi is convex,
+/// so the directional derivative is non-decreasing; bisect for its zero.
+double line_search(const Instance& instance,
+                   const std::vector<double>& edge_flow,
+                   const std::vector<double>& edge_dir, double tolerance) {
+  if (directional_derivative(instance, edge_flow, edge_dir, 1.0) <= 0.0) {
+    return 1.0;
+  }
+  double lo = 0.0, hi = 1.0;
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    if (directional_derivative(instance, edge_flow, edge_dir, mid) < 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+FrankWolfeResult solve_equilibrium(const Instance& instance,
+                                   FrankWolfeOptions options) {
+  FrankWolfeResult result{FlowVector::uniform(instance)};
+  std::vector<double>& f = result.flow.mutable_values();
+  std::vector<double> direction(f.size());
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    const FlowEvaluation eval = evaluate(instance, f);
+    result.gap = wardrop_gap(instance, f, eval);
+    result.iterations = iter;
+    if (result.gap <= options.gap_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Pairwise ("swap") direction: for every commodity, move the entire
+    // mass of its worst flow-carrying path towards its best path. Unlike
+    // the classic towards-vertex step this does not re-spread flow over
+    // the whole simplex, which gives fast tail convergence.
+    std::fill(direction.begin(), direction.end(), 0.0);
+    bool any_move = false;
+    for (std::size_t c = 0; c < instance.commodity_count(); ++c) {
+      const Commodity& commodity = instance.commodity(CommodityId{c});
+      PathId best = commodity.paths.front();
+      PathId worst{};
+      double best_latency = std::numeric_limits<double>::infinity();
+      double worst_latency = -1.0;
+      for (const PathId p : commodity.paths) {
+        const double l = eval.path_latency[p.index()];
+        if (l < best_latency) {
+          best_latency = l;
+          best = p;
+        }
+        if (f[p.index()] > 1e-15 && l > worst_latency) {
+          worst_latency = l;
+          worst = p;
+        }
+      }
+      if (!worst.valid() || worst == best ||
+          worst_latency - best_latency <= 0.0) {
+        continue;
+      }
+      const double mass = f[worst.index()];
+      direction[best.index()] += mass;
+      direction[worst.index()] -= mass;
+      any_move = true;
+    }
+    if (!any_move) {
+      result.converged = result.gap <= options.gap_tolerance;
+      break;
+    }
+
+    const std::vector<double> edge_dir = edge_flows(instance, direction);
+    const double gamma = line_search(instance, eval.edge_flow, edge_dir,
+                                     options.line_search_tolerance);
+    if (gamma <= 0.0) {
+      break;
+    }
+    for (std::size_t p = 0; p < f.size(); ++p) {
+      f[p] += gamma * direction[p];
+      if (f[p] < 0.0) f[p] = 0.0;  // round-off guard
+    }
+  }
+
+  if (!result.converged) {
+    result.gap = wardrop_gap(instance, f);
+    result.converged = result.gap <= options.gap_tolerance;
+  }
+  result.potential = potential(instance, f);
+  return result;
+}
+
+double optimal_potential(const Instance& instance,
+                         FrankWolfeOptions options) {
+  return solve_equilibrium(instance, options).potential;
+}
+
+}  // namespace staleflow

@@ -1,0 +1,73 @@
+#include "equilibrium/potential.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "net/flow.h"
+
+namespace staleflow {
+
+double potential(const Instance& instance,
+                 std::span<const double> path_flow) {
+  return potential_from_edge_flows(instance, edge_flows(instance, path_flow));
+}
+
+double potential_from_edge_flows(const Instance& instance,
+                                 std::span<const double> edge_flow) {
+  if (edge_flow.size() != instance.edge_count()) {
+    throw std::invalid_argument(
+        "potential_from_edge_flows: wrong edge count");
+  }
+  double phi = 0.0;
+  for (std::size_t e = 0; e < edge_flow.size(); ++e) {
+    phi += instance.latency(EdgeId{e}).integral(edge_flow[e]);
+  }
+  return phi;
+}
+
+double virtual_gain(const Instance& instance,
+                    std::span<const double> stale_flow,
+                    std::span<const double> current_flow) {
+  const std::vector<double> fe_hat = edge_flows(instance, stale_flow);
+  const std::vector<double> fe = edge_flows(instance, current_flow);
+  double v = 0.0;
+  for (std::size_t e = 0; e < fe.size(); ++e) {
+    v += instance.latency(EdgeId{e}).value(fe_hat[e]) * (fe[e] - fe_hat[e]);
+  }
+  return v;
+}
+
+std::vector<double> error_terms(const Instance& instance,
+                                std::span<const double> stale_flow,
+                                std::span<const double> current_flow) {
+  const std::vector<double> fe_hat = edge_flows(instance, stale_flow);
+  const std::vector<double> fe = edge_flows(instance, current_flow);
+  std::vector<double> u(instance.edge_count());
+  for (std::size_t e = 0; e < u.size(); ++e) {
+    const LatencyFunction& fn = instance.latency(EdgeId{e});
+    // U_e = [I(f_e) - I(f̂_e)] - l(f̂_e) * (f_e - f̂_e), with I the
+    // antiderivative; exact thanks to the closed-form integrals.
+    u[e] = fn.integral(fe[e]) - fn.integral(fe_hat[e]) -
+           fn.value(fe_hat[e]) * (fe[e] - fe_hat[e]);
+  }
+  return u;
+}
+
+PhaseAccounting account_phase(const Instance& instance,
+                              std::span<const double> stale_flow,
+                              std::span<const double> current_flow) {
+  PhaseAccounting acc;
+  acc.potential_before = potential(instance, stale_flow);
+  acc.potential_after = potential(instance, current_flow);
+  acc.delta_phi = acc.potential_after - acc.potential_before;
+  acc.virtual_gain = virtual_gain(instance, stale_flow, current_flow);
+  for (const double u : error_terms(instance, stale_flow, current_flow)) {
+    acc.error_sum += u;
+  }
+  acc.identity_residual =
+      std::abs(acc.delta_phi - (acc.error_sum + acc.virtual_gain));
+  acc.lemma4_holds = acc.delta_phi <= 0.5 * acc.virtual_gain + 1e-12;
+  return acc;
+}
+
+}  // namespace staleflow

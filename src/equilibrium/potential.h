@@ -1,0 +1,57 @@
+// The Beckmann-McGuire-Winsten potential and the paper's per-phase
+// potential accounting (Eqs. (6)-(8), Lemma 3).
+//
+//   Phi(f)    = sum_e INT_0^{f_e} l_e(u) du
+//   V(f̂, f)  = sum_e l_e(f̂_e) * (f_e - f̂_e)          (virtual gain, Eq. 8)
+//   U_e       = INT_{f̂_e}^{f_e} (l_e(u) - l_e(f̂_e)) du (error term, Eq. 7)
+//
+// Lemma 3: Phi(f) - Phi(f̂) = sum_e U_e + V(f̂, f).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/instance.h"
+
+namespace staleflow {
+
+/// Phi(f) for a path-flow vector (exact, via closed-form integrals).
+double potential(const Instance& instance, std::span<const double> path_flow);
+
+/// Phi computed directly from edge flows.
+double potential_from_edge_flows(const Instance& instance,
+                                 std::span<const double> edge_flow);
+
+/// The minimum possible potential is >= 0; this evaluates Phi at the given
+/// reference and is used by benches to report Phi - Phi*.
+
+/// Virtual potential gain V(f̂, f) of a phase that moved the population
+/// from `stale_flow` to `current_flow` (both path-flow vectors).
+double virtual_gain(const Instance& instance,
+                    std::span<const double> stale_flow,
+                    std::span<const double> current_flow);
+
+/// Per-edge error terms U_e of Eq. (7).
+std::vector<double> error_terms(const Instance& instance,
+                                std::span<const double> stale_flow,
+                                std::span<const double> current_flow);
+
+/// Full phase accounting: both sides of Lemma 3 plus the decomposition,
+/// so tests and benches can verify the identity and Lemma 4's inequality.
+struct PhaseAccounting {
+  double potential_before = 0.0;  // Phi(f̂)
+  double potential_after = 0.0;   // Phi(f)
+  double delta_phi = 0.0;         // Phi(f) - Phi(f̂)
+  double virtual_gain = 0.0;      // V(f̂, f)
+  double error_sum = 0.0;         // sum_e U_e
+  /// |delta_phi - (error_sum + virtual_gain)|; ~0 by Lemma 3.
+  double identity_residual = 0.0;
+  /// Lemma 4 predicts delta_phi <= virtual_gain / 2 when T is safe.
+  bool lemma4_holds = false;
+};
+
+PhaseAccounting account_phase(const Instance& instance,
+                              std::span<const double> stale_flow,
+                              std::span<const double> current_flow);
+
+}  // namespace staleflow

@@ -1,0 +1,121 @@
+#include "equilibrium/social.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace staleflow {
+
+MarginalCostLatency::MarginalCostLatency(const LatencyFunction& base)
+    : base_(base.clone()) {}
+
+double MarginalCostLatency::value(double x) const {
+  return base_->value(x) + x * base_->derivative(x);
+}
+
+double MarginalCostLatency::derivative(double x) const {
+  // c' = 2 l' + x l''; l'' is unavailable, so use central differences of
+  // c itself, one-sided at the domain ends. The stencil stays inside
+  // [0, 1] because several base families (e.g. M/M/1) extend flatly
+  // beyond 1, which would bias a stencil straddling the boundary.
+  const double h = 1e-6;
+  double lo = std::max(x - h, 0.0);
+  double hi = x + h;
+  if (x <= 1.0 && hi > 1.0) hi = 1.0;
+  if (hi <= lo) {
+    hi = lo + h;
+  }
+  return (value(hi) - value(lo)) / (hi - lo);
+}
+
+double MarginalCostLatency::integral(double x) const {
+  // INT_0^x (l + u l') du = INT l + [u l]_0^x - INT l = x * l(x).
+  return x * base_->value(x);
+}
+
+double MarginalCostLatency::max_slope(double x_max) const {
+  // Grid bound; c' is not available in closed form through the interface.
+  double worst = 0.0;
+  const int n = 257;
+  for (int i = 0; i < n; ++i) {
+    const double x = x_max * static_cast<double>(i) /
+                     static_cast<double>(n - 1);
+    worst = std::max(worst, derivative(x));
+  }
+  return worst * (1.0 + 1e-6);
+}
+
+std::string MarginalCostLatency::describe() const {
+  return "marginal[" + base_->describe() + "]";
+}
+
+LatencyPtr MarginalCostLatency::clone() const {
+  return std::make_unique<MarginalCostLatency>(*base_);
+}
+
+double social_cost(const Instance& instance,
+                   std::span<const double> path_flow) {
+  const std::vector<double> fe = edge_flows(instance, path_flow);
+  double cost = 0.0;
+  for (std::size_t e = 0; e < fe.size(); ++e) {
+    cost += fe[e] * instance.latency(EdgeId{e}).value(fe[e]);
+  }
+  return cost;
+}
+
+Instance marginal_cost_instance(const Instance& instance) {
+  // Rebuild with the same graph, explicit (identical) path sets, and
+  // wrapped latencies. Explicit paths keep the PathId order aligned with
+  // the original instance.
+  InstanceBuilder builder(instance.graph());
+  for (std::size_t e = 0; e < instance.edge_count(); ++e) {
+    builder.set_latency(
+        EdgeId{e},
+        std::make_unique<MarginalCostLatency>(instance.latency(EdgeId{e})));
+  }
+  for (std::size_t c = 0; c < instance.commodity_count(); ++c) {
+    const Commodity& commodity = instance.commodity(CommodityId{c});
+    std::vector<std::vector<EdgeId>> paths;
+    paths.reserve(commodity.paths.size());
+    for (const PathId p : commodity.paths) {
+      const auto edges = instance.path(p).edges();
+      paths.emplace_back(edges.begin(), edges.end());
+    }
+    builder.add_commodity(commodity.source, commodity.sink, commodity.demand,
+                          std::move(paths));
+  }
+  return std::move(builder).build();
+}
+
+SocialOptimumResult solve_social_optimum(const Instance& instance,
+                                         FrankWolfeOptions options) {
+  const Instance twin = marginal_cost_instance(instance);
+  const FrankWolfeResult eq = solve_equilibrium(twin, options);
+  SocialOptimumResult result{eq.flow};
+  result.social_cost = social_cost(instance, eq.flow.values());
+  result.residual_gap = eq.gap;
+  result.converged = eq.converged;
+  return result;
+}
+
+PriceOfAnarchyResult price_of_anarchy(const Instance& instance,
+                                      FrankWolfeOptions options) {
+  const FrankWolfeResult eq = solve_equilibrium(instance, options);
+  const SocialOptimumResult opt = solve_social_optimum(instance, options);
+  PriceOfAnarchyResult result;
+  result.equilibrium_cost = social_cost(instance, eq.flow.values());
+  result.optimum_cost = opt.social_cost;
+  if (!(result.optimum_cost > 0.0)) {
+    // A zero-cost optimum (e.g. the pulse instance) has PoA 1 when the
+    // equilibrium cost is also 0; otherwise the ratio is unbounded.
+    result.ratio = result.equilibrium_cost > 0.0
+                       ? std::numeric_limits<double>::infinity()
+                       : 1.0;
+    return result;
+  }
+  result.ratio = result.equilibrium_cost / result.optimum_cost;
+  return result;
+}
+
+}  // namespace staleflow

@@ -1,0 +1,79 @@
+// Social cost, social optimum and the price of anarchy.
+//
+// The paper's related work (Roughgarden & Tardos [22], Beckmann et al.,
+// Wardrop) uses the classical correspondence: a flow minimises the social
+// cost C(f) = sum_e f_e * l_e(f_e) iff it is a Wardrop equilibrium with
+// respect to the *marginal cost* latencies c_e(x) = l_e(x) + x * l_e'(x).
+// This module implements that transformation, a social-optimum solver on
+// top of the Frank-Wolfe machinery, and the price of anarchy
+// PoA = C(equilibrium) / C(optimum).
+#pragma once
+
+#include <span>
+
+#include "equilibrium/frank_wolfe.h"
+#include "net/flow.h"
+#include "net/instance.h"
+
+namespace staleflow {
+
+/// Marginal cost wrapper c(x) = l(x) + x * l'(x).
+///
+/// Requires the wrapped latency to be convex (all families in this
+/// library except decreasing-slope piecewise-linear functions), otherwise
+/// c may decrease and the latency contract breaks. The integral has the
+/// closed form INT_0^x c(u) du = x * l(x); the derivative is evaluated by
+/// central differences because l'' is not part of the LatencyFunction
+/// interface.
+class MarginalCostLatency final : public LatencyFunction {
+ public:
+  /// Clones `base`; the wrapper owns its copy.
+  explicit MarginalCostLatency(const LatencyFunction& base);
+
+  double value(double x) const override;
+  double derivative(double x) const override;
+  double integral(double x) const override;
+  double max_slope(double x_max) const override;
+  std::string describe() const override;
+  LatencyPtr clone() const override;
+
+ private:
+  LatencyPtr base_;
+};
+
+/// Total travel time C(f) = sum_e f_e * l_e(f_e) = sum_P f_P * l_P(f).
+double social_cost(const Instance& instance,
+                   std::span<const double> path_flow);
+
+/// Builds the marginal-cost twin of an instance: same graph, same
+/// commodities and path sets, latencies replaced by MarginalCostLatency.
+Instance marginal_cost_instance(const Instance& instance);
+
+struct SocialOptimumResult {
+  FlowVector flow;
+  /// C(f) at the optimum (measured with the *original* latencies).
+  double social_cost = 0.0;
+  /// Wardrop gap of the marginal-cost instance at the solution (solver
+  /// residual; ~0 on success).
+  double residual_gap = 0.0;
+  bool converged = false;
+};
+
+/// Minimises the social cost via equilibrium computation on the
+/// marginal-cost instance.
+SocialOptimumResult solve_social_optimum(const Instance& instance,
+                                         FrankWolfeOptions options = {});
+
+struct PriceOfAnarchyResult {
+  double equilibrium_cost = 0.0;
+  double optimum_cost = 0.0;
+  /// equilibrium_cost / optimum_cost (>= 1). For affine latencies the
+  /// Roughgarden-Tardos bound guarantees <= 4/3.
+  double ratio = 1.0;
+};
+
+/// Computes the price of anarchy of an instance.
+PriceOfAnarchyResult price_of_anarchy(const Instance& instance,
+                                      FrankWolfeOptions options = {});
+
+}  // namespace staleflow

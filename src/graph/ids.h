@@ -1,0 +1,58 @@
+// Strong index types for the distinct id spaces used across the library.
+//
+// Vertices, edges, paths and commodities are all "just integers", but mixing
+// them up is a classic source of silent bugs. Each id is a distinct type
+// with explicit construction, so e.g. passing a PathId where an EdgeId is
+// expected fails to compile (Core Guidelines I.4).
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace staleflow {
+
+namespace detail {
+
+/// CRTP-free strong integer id. `Tag` makes each instantiation unique.
+template <typename Tag>
+struct StrongId {
+  using underlying_type = std::int32_t;
+
+  underlying_type value = -1;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying_type v) noexcept : value(v) {}
+  constexpr explicit StrongId(std::size_t v) noexcept
+      : value(static_cast<underlying_type>(v)) {}
+
+  constexpr bool valid() const noexcept { return value >= 0; }
+  constexpr std::size_t index() const noexcept {
+    return static_cast<std::size_t>(value);
+  }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+};
+
+}  // namespace detail
+
+struct VertexTag {};
+struct EdgeTag {};
+struct PathTag {};
+struct CommodityTag {};
+
+using VertexId = detail::StrongId<VertexTag>;
+using EdgeId = detail::StrongId<EdgeTag>;
+using PathId = detail::StrongId<PathTag>;
+using CommodityId = detail::StrongId<CommodityTag>;
+
+}  // namespace staleflow
+
+template <typename Tag>
+struct std::hash<staleflow::detail::StrongId<Tag>> {
+  std::size_t operator()(
+      staleflow::detail::StrongId<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,49 @@
+#include "graph/path.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace staleflow {
+
+Path::Path(const Graph& graph, std::vector<EdgeId> edges)
+    : edges_(std::move(edges)) {
+  if (edges_.empty()) {
+    throw std::invalid_argument("Path: edge sequence must be non-empty");
+  }
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (!graph.contains(edges_[i])) {
+      throw std::invalid_argument("Path: unknown edge id");
+    }
+    if (i > 0 && graph.target(edges_[i - 1]) != graph.source(edges_[i])) {
+      throw std::invalid_argument("Path: edges are not contiguous");
+    }
+  }
+  source_ = graph.source(edges_.front());
+  sink_ = graph.target(edges_.back());
+}
+
+bool Path::is_simple(const Graph& graph) const {
+  std::unordered_set<VertexId> visited;
+  visited.insert(source_);
+  for (const EdgeId e : edges_) {
+    if (!visited.insert(graph.target(e)).second) return false;
+  }
+  return true;
+}
+
+bool Path::uses(EdgeId e) const noexcept {
+  return std::find(edges_.begin(), edges_.end(), e) != edges_.end();
+}
+
+std::string Path::describe(const Graph& graph) const {
+  std::ostringstream os;
+  os << 'v' << source_.value;
+  for (const EdgeId e : edges_) {
+    os << " -e" << e.value << "-> v" << graph.target(e).value;
+  }
+  return os.str();
+}
+
+}  // namespace staleflow

@@ -1,0 +1,48 @@
+// Paths: edge sequences connecting a commodity's source to its sink.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/ids.h"
+
+namespace staleflow {
+
+/// A directed path: a non-empty, contiguous sequence of edges.
+///
+/// Invariant (checked at construction against the owning graph): for
+/// consecutive edges e_i, e_{i+1} it holds target(e_i) == source(e_{i+1}).
+class Path {
+ public:
+  /// Validates `edges` against `graph`. Throws std::invalid_argument if the
+  /// sequence is empty or not contiguous.
+  Path(const Graph& graph, std::vector<EdgeId> edges);
+
+  std::span<const EdgeId> edges() const noexcept { return edges_; }
+  std::size_t length() const noexcept { return edges_.size(); }
+
+  VertexId source() const noexcept { return source_; }
+  VertexId sink() const noexcept { return sink_; }
+
+  /// True if the path visits no vertex twice.
+  bool is_simple(const Graph& graph) const;
+
+  /// True if the path uses edge `e`.
+  bool uses(EdgeId e) const noexcept;
+
+  /// e.g. "v0 -e2-> v1 -e5-> v3".
+  std::string describe(const Graph& graph) const;
+
+  friend bool operator==(const Path& a, const Path& b) noexcept {
+    return a.edges_ == b.edges_;
+  }
+
+ private:
+  std::vector<EdgeId> edges_;
+  VertexId source_;
+  VertexId sink_;
+};
+
+}  // namespace staleflow

@@ -1,0 +1,89 @@
+#include "graph/path_enumeration.h"
+
+#include <stdexcept>
+
+namespace staleflow {
+namespace {
+
+/// Shared DFS skeleton. `emit` is called once per complete path with the
+/// current edge stack; it returns false to abort the whole enumeration.
+class Enumerator {
+ public:
+  Enumerator(const Graph& graph, VertexId source, VertexId sink,
+             EnumerationLimits limits)
+      : graph_(graph), sink_(sink), limits_(limits),
+        on_stack_(graph.vertex_count(), false) {
+    if (!graph.contains(source) || !graph.contains(sink)) {
+      throw std::out_of_range("enumerate_simple_paths: unknown vertex");
+    }
+    if (source == sink) {
+      throw std::invalid_argument(
+          "enumerate_simple_paths: source == sink (paths must be non-empty "
+          "and simple)");
+    }
+    on_stack_[source.index()] = true;
+    dfs(source);
+  }
+
+  std::vector<Path> take_paths(const Graph& graph) {
+    std::vector<Path> result;
+    result.reserve(found_.size());
+    for (auto& edges : found_) result.emplace_back(graph, std::move(edges));
+    return result;
+  }
+
+  std::size_t count() const noexcept { return count_; }
+
+ private:
+  void dfs(VertexId v) {
+    for (const EdgeId e : graph_.out_edges(v)) {
+      const VertexId w = graph_.target(e);
+      if (on_stack_[w.index()]) continue;  // keep the path simple
+      stack_.push_back(e);
+      if (w == sink_) {
+        record();
+      } else if (limits_.max_length == 0 ||
+                 stack_.size() < limits_.max_length) {
+        on_stack_[w.index()] = true;
+        dfs(w);
+        on_stack_[w.index()] = false;
+      }
+      stack_.pop_back();
+    }
+  }
+
+  void record() {
+    if (limits_.max_length != 0 && stack_.size() > limits_.max_length) return;
+    ++count_;
+    if (count_ > limits_.max_paths) {
+      throw std::length_error(
+          "enumerate_simple_paths: exceeded limits.max_paths");
+    }
+    found_.push_back(stack_);
+  }
+
+  const Graph& graph_;
+  VertexId sink_;
+  EnumerationLimits limits_;
+  std::vector<bool> on_stack_;
+  std::vector<EdgeId> stack_;
+  std::vector<std::vector<EdgeId>> found_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace
+
+std::vector<Path> enumerate_simple_paths(const Graph& graph, VertexId source,
+                                         VertexId sink,
+                                         EnumerationLimits limits) {
+  Enumerator enumerator(graph, source, sink, limits);
+  return enumerator.take_paths(graph);
+}
+
+std::size_t count_simple_paths(const Graph& graph, VertexId source,
+                               VertexId sink, EnumerationLimits limits) {
+  Enumerator enumerator(graph, source, sink, limits);
+  return enumerator.count();
+}
+
+}  // namespace staleflow

@@ -1,0 +1,38 @@
+// Enumeration of simple source->sink paths.
+//
+// The Wardrop instances in this library carry explicit path sets P_i per
+// commodity; this module produces them from the topology.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/ids.h"
+#include "graph/path.h"
+
+namespace staleflow {
+
+/// Limits for path enumeration; defaults are generous for the small- to
+/// medium-size networks used in the paper's setting.
+struct EnumerationLimits {
+  /// Maximum number of edges per path (0 = no limit).
+  std::size_t max_length = 0;
+  /// Abort by throwing std::length_error once this many paths were found.
+  std::size_t max_paths = 1'000'000;
+};
+
+/// Returns all simple `source`->`sink` paths in deterministic
+/// (lexicographic-by-edge-id) order. Returns an empty vector when the sink
+/// is unreachable. Throws std::length_error if `limits.max_paths` is hit,
+/// as silently truncating the strategy space would corrupt the game.
+std::vector<Path> enumerate_simple_paths(const Graph& graph, VertexId source,
+                                         VertexId sink,
+                                         EnumerationLimits limits = {});
+
+/// Counts simple source->sink paths without materialising them (same
+/// limits semantics, but max_paths acts as a hard cap on the count).
+std::size_t count_simple_paths(const Graph& graph, VertexId source,
+                               VertexId sink, EnumerationLimits limits = {});
+
+}  // namespace staleflow

@@ -1,0 +1,116 @@
+#include "graph/shortest_path.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace staleflow {
+namespace {
+
+void check_weights(const Graph& graph, std::span<const double> weights,
+                   bool require_non_negative) {
+  if (weights.size() != graph.edge_count()) {
+    throw std::invalid_argument("shortest path: weight count != edge count");
+  }
+  if (require_non_negative) {
+    for (const double w : weights) {
+      if (w < 0.0) {
+        throw std::invalid_argument("dijkstra: negative edge weight");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ShortestPathTree dijkstra(const Graph& graph, VertexId source,
+                          std::span<const double> weights) {
+  check_weights(graph, weights, /*require_non_negative=*/true);
+  if (!graph.contains(source)) {
+    throw std::out_of_range("dijkstra: unknown source vertex");
+  }
+  ShortestPathTree tree;
+  tree.dist.assign(graph.vertex_count(), ShortestPathTree::kInfinity);
+  tree.parent_edge.assign(graph.vertex_count(), EdgeId{});
+  tree.dist[source.index()] = 0.0;
+
+  using Entry = std::pair<double, VertexId>;
+  auto cmp = [](const Entry& a, const Entry& b) { return a.first > b.first; };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  heap.emplace(0.0, source);
+
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > tree.dist[v.index()]) continue;  // stale heap entry
+    for (const EdgeId e : graph.out_edges(v)) {
+      const VertexId w = graph.target(e);
+      const double candidate = d + weights[e.index()];
+      if (candidate < tree.dist[w.index()]) {
+        tree.dist[w.index()] = candidate;
+        tree.parent_edge[w.index()] = e;
+        heap.emplace(candidate, w);
+      }
+    }
+  }
+  return tree;
+}
+
+ShortestPathTree bellman_ford(const Graph& graph, VertexId source,
+                              std::span<const double> weights) {
+  check_weights(graph, weights, /*require_non_negative=*/false);
+  if (!graph.contains(source)) {
+    throw std::out_of_range("bellman_ford: unknown source vertex");
+  }
+  ShortestPathTree tree;
+  tree.dist.assign(graph.vertex_count(), ShortestPathTree::kInfinity);
+  tree.parent_edge.assign(graph.vertex_count(), EdgeId{});
+  tree.dist[source.index()] = 0.0;
+
+  const std::size_t n = graph.vertex_count();
+  for (std::size_t round = 0; round + 1 < n; ++round) {
+    bool changed = false;
+    for (std::size_t ei = 0; ei < graph.edge_count(); ++ei) {
+      const EdgeId e{ei};
+      const auto& edge = graph.edge(e);
+      const double base = tree.dist[edge.from.index()];
+      if (base == ShortestPathTree::kInfinity) continue;
+      const double candidate = base + weights[ei];
+      if (candidate < tree.dist[edge.to.index()]) {
+        tree.dist[edge.to.index()] = candidate;
+        tree.parent_edge[edge.to.index()] = e;
+        changed = true;
+      }
+    }
+    if (!changed) return tree;
+  }
+  // One more pass: any improvement implies a reachable negative cycle.
+  for (std::size_t ei = 0; ei < graph.edge_count(); ++ei) {
+    const auto& edge = graph.edge(EdgeId{ei});
+    const double base = tree.dist[edge.from.index()];
+    if (base == ShortestPathTree::kInfinity) continue;
+    if (base + weights[ei] < tree.dist[edge.to.index()]) {
+      throw std::logic_error("bellman_ford: negative cycle reachable");
+    }
+  }
+  return tree;
+}
+
+std::optional<std::vector<EdgeId>> extract_path(const ShortestPathTree& tree,
+                                                const Graph& graph,
+                                                VertexId source,
+                                                VertexId sink) {
+  if (!tree.reachable(sink)) return std::nullopt;
+  std::vector<EdgeId> rev;
+  VertexId v = sink;
+  while (v != source) {
+    const EdgeId e = tree.parent_edge[v.index()];
+    if (!e.valid()) return std::nullopt;  // sink==source handled above loop
+    rev.push_back(e);
+    v = graph.source(e);
+  }
+  std::reverse(rev.begin(), rev.end());
+  return rev;
+}
+
+}  // namespace staleflow

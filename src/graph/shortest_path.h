@@ -1,0 +1,49 @@
+// Shortest-path algorithms over per-edge weights.
+//
+// Used by the Frank-Wolfe equilibrium solver (best-reply direction), by the
+// best-response dynamics, and by instance generators for sanity checks.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/ids.h"
+
+namespace staleflow {
+
+/// Result of a single-source shortest path computation.
+struct ShortestPathTree {
+  /// dist[v] = shortest distance from the source; +inf if unreachable.
+  std::vector<double> dist;
+  /// parent_edge[v] = last edge on a shortest path to v (invalid at source
+  /// and unreachable vertices).
+  std::vector<EdgeId> parent_edge;
+
+  static constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+  bool reachable(VertexId v) const {
+    return dist.at(v.index()) < kInfinity;
+  }
+};
+
+/// Dijkstra from `source`. Requires weights.size() == graph.edge_count()
+/// and all weights >= 0 (throws std::invalid_argument otherwise).
+ShortestPathTree dijkstra(const Graph& graph, VertexId source,
+                          std::span<const double> weights);
+
+/// Bellman-Ford from `source`; handles negative weights. Throws
+/// std::logic_error if a negative cycle is reachable from the source.
+ShortestPathTree bellman_ford(const Graph& graph, VertexId source,
+                              std::span<const double> weights);
+
+/// Extracts the edge sequence of a shortest source->sink path from a tree.
+/// Returns std::nullopt if `sink` is unreachable.
+std::optional<std::vector<EdgeId>> extract_path(const ShortestPathTree& tree,
+                                                const Graph& graph,
+                                                VertexId source,
+                                                VertexId sink);
+
+}  // namespace staleflow

@@ -1,0 +1,102 @@
+#include "latency/combinators.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "latency/functions.h"
+
+namespace staleflow {
+
+ScaledLatency::ScaledLatency(double factor, const LatencyFunction& base)
+    : factor_(factor), base_(base.clone()) {
+  if (!(factor >= 0.0) || !std::isfinite(factor)) {
+    throw std::invalid_argument("ScaledLatency: factor must be >= 0");
+  }
+}
+
+double ScaledLatency::value(double x) const {
+  return factor_ * base_->value(x);
+}
+
+double ScaledLatency::derivative(double x) const {
+  return factor_ * base_->derivative(x);
+}
+
+double ScaledLatency::integral(double x) const {
+  return factor_ * base_->integral(x);
+}
+
+double ScaledLatency::max_slope(double x_max) const {
+  return factor_ * base_->max_slope(x_max);
+}
+
+std::string ScaledLatency::describe() const {
+  std::ostringstream os;
+  os << factor_ << "*(" << base_->describe() << ")";
+  return os.str();
+}
+
+LatencyPtr ScaledLatency::clone() const {
+  return std::make_unique<ScaledLatency>(factor_, *base_);
+}
+
+SumLatency::SumLatency(const LatencyFunction& lhs, const LatencyFunction& rhs)
+    : lhs_(lhs.clone()), rhs_(rhs.clone()) {}
+
+double SumLatency::value(double x) const {
+  return lhs_->value(x) + rhs_->value(x);
+}
+
+double SumLatency::derivative(double x) const {
+  return lhs_->derivative(x) + rhs_->derivative(x);
+}
+
+double SumLatency::integral(double x) const {
+  return lhs_->integral(x) + rhs_->integral(x);
+}
+
+double SumLatency::max_slope(double x_max) const {
+  // Sum of the bounds; a valid (if not tight) upper bound on (f+g)'.
+  return lhs_->max_slope(x_max) + rhs_->max_slope(x_max);
+}
+
+std::string SumLatency::describe() const {
+  return "(" + lhs_->describe() + ") + (" + rhs_->describe() + ")";
+}
+
+LatencyPtr SumLatency::clone() const {
+  return std::make_unique<SumLatency>(*lhs_, *rhs_);
+}
+
+LatencyPtr scale(double factor, const LatencyFunction& base) {
+  return std::make_unique<ScaledLatency>(factor, base);
+}
+
+LatencyPtr scale(double factor, const LatencyPtr& base) {
+  if (base == nullptr) throw std::invalid_argument("scale: null latency");
+  return scale(factor, *base);
+}
+
+LatencyPtr add(const LatencyFunction& lhs, const LatencyFunction& rhs) {
+  return std::make_unique<SumLatency>(lhs, rhs);
+}
+
+LatencyPtr add(const LatencyPtr& lhs, const LatencyPtr& rhs) {
+  if (lhs == nullptr || rhs == nullptr) {
+    throw std::invalid_argument("add: null latency");
+  }
+  return add(*lhs, *rhs);
+}
+
+LatencyPtr offset(const LatencyFunction& base, double constant_term) {
+  const ConstantLatency shift(constant_term);
+  return add(base, shift);
+}
+
+LatencyPtr offset(const LatencyPtr& base, double constant_term) {
+  if (base == nullptr) throw std::invalid_argument("offset: null latency");
+  return offset(*base, constant_term);
+}
+
+}  // namespace staleflow

@@ -1,0 +1,399 @@
+#include "latency/functions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace staleflow {
+namespace {
+
+void require(bool condition, const char* message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Constant
+
+ConstantLatency::ConstantLatency(double c) : c_(c) {
+  require(c >= 0.0 && std::isfinite(c), "ConstantLatency: c must be >= 0");
+}
+
+std::string ConstantLatency::describe() const {
+  std::ostringstream os;
+  os << c_;
+  return os.str();
+}
+
+LatencyPtr ConstantLatency::clone() const {
+  return std::make_unique<ConstantLatency>(*this);
+}
+
+// ------------------------------------------------------------------ Affine
+
+AffineLatency::AffineLatency(double a, double b) : a_(a), b_(b) {
+  require(a >= 0.0 && std::isfinite(a), "AffineLatency: a must be >= 0");
+  require(b >= 0.0 && std::isfinite(b), "AffineLatency: b must be >= 0");
+}
+
+std::string AffineLatency::describe() const {
+  std::ostringstream os;
+  os << a_ << " + " << b_ << "x";
+  return os.str();
+}
+
+LatencyPtr AffineLatency::clone() const {
+  return std::make_unique<AffineLatency>(*this);
+}
+
+// ---------------------------------------------------------------- Monomial
+
+MonomialLatency::MonomialLatency(double coefficient, double degree)
+    : c_(coefficient), d_(degree) {
+  require(coefficient >= 0.0 && std::isfinite(coefficient),
+          "MonomialLatency: coefficient must be >= 0");
+  require(degree >= 1.0 && std::isfinite(degree),
+          "MonomialLatency: degree must be >= 1");
+}
+
+double MonomialLatency::value(double x) const {
+  return c_ * std::pow(std::max(x, 0.0), d_);
+}
+
+double MonomialLatency::derivative(double x) const {
+  return c_ * d_ * std::pow(std::max(x, 0.0), d_ - 1.0);
+}
+
+double MonomialLatency::integral(double x) const {
+  return c_ / (d_ + 1.0) * std::pow(std::max(x, 0.0), d_ + 1.0);
+}
+
+double MonomialLatency::max_slope(double x_max) const {
+  // Derivative is increasing in x, so the bound is attained at x_max.
+  return derivative(std::max(x_max, 0.0));
+}
+
+std::string MonomialLatency::describe() const {
+  std::ostringstream os;
+  os << c_ << "x^" << d_;
+  return os.str();
+}
+
+LatencyPtr MonomialLatency::clone() const {
+  return std::make_unique<MonomialLatency>(*this);
+}
+
+// -------------------------------------------------------------- Polynomial
+
+PolynomialLatency::PolynomialLatency(std::vector<double> coefficients)
+    : coeffs_(std::move(coefficients)) {
+  require(!coeffs_.empty(), "PolynomialLatency: need at least one coefficient");
+  for (const double c : coeffs_) {
+    require(c >= 0.0 && std::isfinite(c),
+            "PolynomialLatency: coefficients must be >= 0");
+  }
+}
+
+double PolynomialLatency::value(double x) const {
+  // Horner evaluation, highest degree first.
+  double acc = 0.0;
+  for (std::size_t j = coeffs_.size(); j > 0; --j) {
+    acc = acc * x + coeffs_[j - 1];
+  }
+  return acc;
+}
+
+double PolynomialLatency::derivative(double x) const {
+  double acc = 0.0;
+  for (std::size_t j = coeffs_.size(); j > 1; --j) {
+    acc = acc * x + coeffs_[j - 1] * static_cast<double>(j - 1);
+  }
+  return acc;
+}
+
+double PolynomialLatency::integral(double x) const {
+  double acc = 0.0;
+  for (std::size_t j = coeffs_.size(); j > 0; --j) {
+    acc = acc * x + coeffs_[j - 1] / static_cast<double>(j);
+  }
+  return acc * x;
+}
+
+double PolynomialLatency::max_slope(double x_max) const {
+  // All coefficients are non-negative, so the derivative is non-decreasing.
+  return derivative(std::max(x_max, 0.0));
+}
+
+std::string PolynomialLatency::describe() const {
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t j = 0; j < coeffs_.size(); ++j) {
+    if (coeffs_[j] == 0.0 && coeffs_.size() > 1) continue;
+    if (!first) os << " + ";
+    os << coeffs_[j];
+    if (j == 1) os << "x";
+    if (j > 1) os << "x^" << j;
+    first = false;
+  }
+  if (first) os << "0";
+  return os.str();
+}
+
+LatencyPtr PolynomialLatency::clone() const {
+  return std::make_unique<PolynomialLatency>(*this);
+}
+
+// ----------------------------------------------------------- ShiftedLinear
+
+ShiftedLinearLatency::ShiftedLinearLatency(double slope, double threshold)
+    : slope_(slope), threshold_(threshold) {
+  require(slope >= 0.0 && std::isfinite(slope),
+          "ShiftedLinearLatency: slope must be >= 0");
+  require(threshold >= 0.0 && std::isfinite(threshold),
+          "ShiftedLinearLatency: threshold must be >= 0");
+}
+
+double ShiftedLinearLatency::value(double x) const {
+  return std::max(0.0, slope_ * (x - threshold_));
+}
+
+double ShiftedLinearLatency::derivative(double x) const {
+  return x >= threshold_ ? slope_ : 0.0;
+}
+
+double ShiftedLinearLatency::integral(double x) const {
+  if (x <= threshold_) return 0.0;
+  const double t = x - threshold_;
+  return 0.5 * slope_ * t * t;
+}
+
+double ShiftedLinearLatency::max_slope(double x_max) const {
+  return x_max > threshold_ ? slope_ : 0.0;
+}
+
+std::string ShiftedLinearLatency::describe() const {
+  std::ostringstream os;
+  os << "max{0, " << slope_ << "(x - " << threshold_ << ")}";
+  return os.str();
+}
+
+LatencyPtr ShiftedLinearLatency::clone() const {
+  return std::make_unique<ShiftedLinearLatency>(*this);
+}
+
+// ---------------------------------------------------------- PiecewiseLinear
+
+PiecewiseLinearLatency::PiecewiseLinearLatency(std::vector<Breakpoint> points)
+    : points_(std::move(points)) {
+  require(points_.size() >= 2,
+          "PiecewiseLinearLatency: need at least two breakpoints");
+  require(points_.front().x == 0.0,
+          "PiecewiseLinearLatency: first breakpoint must be at x = 0");
+  require(points_.back().x >= 1.0,
+          "PiecewiseLinearLatency: breakpoints must cover [0, 1]");
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    require(std::isfinite(points_[i].x) && std::isfinite(points_[i].y),
+            "PiecewiseLinearLatency: breakpoints must be finite");
+    require(points_[i].y >= 0.0,
+            "PiecewiseLinearLatency: latency must be non-negative");
+    if (i > 0) {
+      require(points_[i].x > points_[i - 1].x,
+              "PiecewiseLinearLatency: x must be strictly increasing");
+      require(points_[i].y >= points_[i - 1].y,
+              "PiecewiseLinearLatency: latency must be non-decreasing");
+    }
+  }
+  prefix_integral_.assign(points_.size(), 0.0);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const auto& lo = points_[i - 1];
+    const auto& hi = points_[i];
+    prefix_integral_[i] =
+        prefix_integral_[i - 1] + 0.5 * (lo.y + hi.y) * (hi.x - lo.x);
+  }
+}
+
+std::size_t PiecewiseLinearLatency::segment(double x) const {
+  // First segment whose right endpoint is >= x.
+  const auto it = std::lower_bound(
+      points_.begin() + 1, points_.end(), x,
+      [](const Breakpoint& p, double value) { return p.x < value; });
+  const auto idx = static_cast<std::size_t>(it - points_.begin());
+  return std::min(idx, points_.size() - 1);
+}
+
+double PiecewiseLinearLatency::value(double x) const {
+  if (x <= 0.0) return points_.front().y;
+  if (x >= points_.back().x) return points_.back().y;
+  const std::size_t i = segment(x);
+  const auto& lo = points_[i - 1];
+  const auto& hi = points_[i];
+  const double t = (x - lo.x) / (hi.x - lo.x);
+  return lo.y + t * (hi.y - lo.y);
+}
+
+double PiecewiseLinearLatency::derivative(double x) const {
+  if (x < 0.0 || x >= points_.back().x) return 0.0;
+  // Right derivative at breakpoints.
+  std::size_t i = segment(x);
+  if (points_[i].x == x && i + 1 < points_.size()) ++i;
+  const auto& lo = points_[i - 1];
+  const auto& hi = points_[i];
+  return (hi.y - lo.y) / (hi.x - lo.x);
+}
+
+double PiecewiseLinearLatency::integral(double x) const {
+  if (x <= 0.0) return 0.0;
+  if (x >= points_.back().x) {
+    return prefix_integral_.back() +
+           points_.back().y * (x - points_.back().x);
+  }
+  const std::size_t i = segment(x);
+  const auto& lo = points_[i - 1];
+  const double y_at_x = value(x);
+  return prefix_integral_[i - 1] + 0.5 * (lo.y + y_at_x) * (x - lo.x);
+}
+
+double PiecewiseLinearLatency::max_slope(double x_max) const {
+  double best = 0.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i - 1].x >= x_max) break;
+    const double slope = (points_[i].y - points_[i - 1].y) /
+                         (points_[i].x - points_[i - 1].x);
+    best = std::max(best, slope);
+  }
+  return best;
+}
+
+std::string PiecewiseLinearLatency::describe() const {
+  std::ostringstream os;
+  os << "pwl{";
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << '(' << points_[i].x << ',' << points_[i].y << ')';
+  }
+  os << '}';
+  return os.str();
+}
+
+LatencyPtr PiecewiseLinearLatency::clone() const {
+  return std::make_unique<PiecewiseLinearLatency>(*this);
+}
+
+// --------------------------------------------------------------------- BPR
+
+BprLatency::BprLatency(double free_flow_time, double alpha, double capacity,
+                       double power)
+    : t0_(free_flow_time), alpha_(alpha), capacity_(capacity), power_(power) {
+  require(free_flow_time > 0.0 && std::isfinite(free_flow_time),
+          "BprLatency: free flow time must be > 0");
+  require(alpha >= 0.0 && std::isfinite(alpha),
+          "BprLatency: alpha must be >= 0");
+  require(capacity > 0.0 && std::isfinite(capacity),
+          "BprLatency: capacity must be > 0");
+  require(power >= 1.0 && std::isfinite(power),
+          "BprLatency: power must be >= 1");
+}
+
+double BprLatency::value(double x) const {
+  return t0_ * (1.0 + alpha_ * std::pow(std::max(x, 0.0) / capacity_, power_));
+}
+
+double BprLatency::derivative(double x) const {
+  return t0_ * alpha_ * power_ / capacity_ *
+         std::pow(std::max(x, 0.0) / capacity_, power_ - 1.0);
+}
+
+double BprLatency::integral(double x) const {
+  const double xp = std::max(x, 0.0);
+  return t0_ * xp + t0_ * alpha_ * xp / (power_ + 1.0) *
+                        std::pow(xp / capacity_, power_);
+}
+
+double BprLatency::max_slope(double x_max) const {
+  return derivative(std::max(x_max, 0.0));
+}
+
+std::string BprLatency::describe() const {
+  std::ostringstream os;
+  os << t0_ << "(1 + " << alpha_ << "(x/" << capacity_ << ")^" << power_
+     << ")";
+  return os.str();
+}
+
+LatencyPtr BprLatency::clone() const {
+  return std::make_unique<BprLatency>(*this);
+}
+
+// -------------------------------------------------------------------- MM1
+
+MM1Latency::MM1Latency(double capacity) : capacity_(capacity) {
+  require(capacity > 1.0 && std::isfinite(capacity),
+          "MM1Latency: capacity must be > 1 so the slope is finite on [0,1]");
+}
+
+double MM1Latency::value(double x) const {
+  return 1.0 / (capacity_ - std::clamp(x, 0.0, 1.0));
+}
+
+double MM1Latency::derivative(double x) const {
+  const double d = capacity_ - std::clamp(x, 0.0, 1.0);
+  return 1.0 / (d * d);
+}
+
+double MM1Latency::integral(double x) const {
+  const double xc = std::clamp(x, 0.0, 1.0);
+  return std::log(capacity_ / (capacity_ - xc));
+}
+
+double MM1Latency::max_slope(double x_max) const {
+  return derivative(std::min(std::max(x_max, 0.0), 1.0));
+}
+
+std::string MM1Latency::describe() const {
+  std::ostringstream os;
+  os << "1/(" << capacity_ << " - x)";
+  return os.str();
+}
+
+LatencyPtr MM1Latency::clone() const {
+  return std::make_unique<MM1Latency>(*this);
+}
+
+// --------------------------------------------------------------- factories
+
+LatencyPtr constant(double c) { return std::make_unique<ConstantLatency>(c); }
+
+LatencyPtr affine(double a, double b) {
+  return std::make_unique<AffineLatency>(a, b);
+}
+
+LatencyPtr linear(double b) { return affine(0.0, b); }
+
+LatencyPtr monomial(double coefficient, double degree) {
+  return std::make_unique<MonomialLatency>(coefficient, degree);
+}
+
+LatencyPtr polynomial(std::vector<double> coefficients) {
+  return std::make_unique<PolynomialLatency>(std::move(coefficients));
+}
+
+LatencyPtr shifted_linear(double slope, double threshold) {
+  return std::make_unique<ShiftedLinearLatency>(slope, threshold);
+}
+
+LatencyPtr piecewise_linear(
+    std::vector<PiecewiseLinearLatency::Breakpoint> points) {
+  return std::make_unique<PiecewiseLinearLatency>(std::move(points));
+}
+
+LatencyPtr bpr(double free_flow_time, double alpha, double capacity,
+               double power) {
+  return std::make_unique<BprLatency>(free_flow_time, alpha, capacity, power);
+}
+
+LatencyPtr mm1(double capacity) {
+  return std::make_unique<MM1Latency>(capacity);
+}
+
+}  // namespace staleflow

@@ -1,0 +1,205 @@
+// Concrete latency function families.
+//
+// Each family provides exact value, derivative, integral and slope bound.
+// The set covers everything the paper and its experiments need:
+//   * Constant / Affine / Monomial / Polynomial — standard congestion costs.
+//   * ShiftedLinear max{0, beta*(x - x0)}      — the Section 3.2 oscillation
+//                                                example (with x0 = 1/2).
+//   * PiecewiseLinear                          — arbitrary non-decreasing
+//                                                piecewise-linear costs.
+//   * Bpr                                      — t0*(1 + a*(x/c)^p), the
+//                                                road-traffic standard.
+//   * MM1                                      — 1/(c - x) queueing delay
+//                                                (finite slope needs c > 1).
+#pragma once
+
+#include <vector>
+
+#include "latency/latency_function.h"
+
+namespace staleflow {
+
+/// l(x) = c, c >= 0.
+class ConstantLatency final : public LatencyFunction {
+ public:
+  explicit ConstantLatency(double c);
+  double value(double) const override { return c_; }
+  double derivative(double) const override { return 0.0; }
+  double integral(double x) const override { return c_ * x; }
+  double max_slope(double) const override { return 0.0; }
+  std::string describe() const override;
+  LatencyPtr clone() const override;
+
+  double constant_value() const noexcept { return c_; }
+
+ private:
+  double c_;
+};
+
+/// l(x) = a + b*x, a >= 0, b >= 0.
+class AffineLatency final : public LatencyFunction {
+ public:
+  AffineLatency(double a, double b);
+  double value(double x) const override { return a_ + b_ * x; }
+  double derivative(double) const override { return b_; }
+  double integral(double x) const override {
+    return a_ * x + 0.5 * b_ * x * x;
+  }
+  double max_slope(double) const override { return b_; }
+  std::string describe() const override;
+  LatencyPtr clone() const override;
+
+  double offset() const noexcept { return a_; }
+  double slope() const noexcept { return b_; }
+
+ private:
+  double a_;
+  double b_;
+};
+
+/// l(x) = c * x^d, c >= 0, d >= 1 (d >= 1 keeps the derivative finite and
+/// monotone on [0,1]).
+class MonomialLatency final : public LatencyFunction {
+ public:
+  MonomialLatency(double coefficient, double degree);
+  double value(double x) const override;
+  double derivative(double x) const override;
+  double integral(double x) const override;
+  double max_slope(double x_max) const override;
+  std::string describe() const override;
+  LatencyPtr clone() const override;
+
+  double coefficient() const noexcept { return c_; }
+  double degree() const noexcept { return d_; }
+
+ private:
+  double c_;
+  double d_;
+};
+
+/// l(x) = sum_j coeffs[j] * x^j with all coeffs[j] >= 0 (which guarantees
+/// monotonicity and non-negativity on [0, 1]).
+class PolynomialLatency final : public LatencyFunction {
+ public:
+  explicit PolynomialLatency(std::vector<double> coefficients);
+  double value(double x) const override;
+  double derivative(double x) const override;
+  double integral(double x) const override;
+  double max_slope(double x_max) const override;
+  std::string describe() const override;
+  LatencyPtr clone() const override;
+
+  const std::vector<double>& coefficients() const noexcept { return coeffs_; }
+
+ private:
+  std::vector<double> coeffs_;
+};
+
+/// l(x) = max{0, slope * (x - threshold)} — the paper's oscillation
+/// example uses slope = beta, threshold = 1/2.
+class ShiftedLinearLatency final : public LatencyFunction {
+ public:
+  ShiftedLinearLatency(double slope, double threshold);
+  double value(double x) const override;
+  double derivative(double x) const override;
+  double integral(double x) const override;
+  double max_slope(double x_max) const override;
+  std::string describe() const override;
+  LatencyPtr clone() const override;
+
+  double slope() const noexcept { return slope_; }
+  double threshold() const noexcept { return threshold_; }
+
+ private:
+  double slope_;
+  double threshold_;
+};
+
+/// Continuous piecewise-linear latency through the given (x, y) breakpoints.
+/// Requirements: x strictly increasing starting at 0.0 and ending at >= 1.0,
+/// y non-negative and non-decreasing.
+class PiecewiseLinearLatency final : public LatencyFunction {
+ public:
+  struct Breakpoint {
+    double x;
+    double y;
+  };
+
+  explicit PiecewiseLinearLatency(std::vector<Breakpoint> points);
+  double value(double x) const override;
+  double derivative(double x) const override;
+  double integral(double x) const override;
+  double max_slope(double x_max) const override;
+  std::string describe() const override;
+  LatencyPtr clone() const override;
+
+  const std::vector<Breakpoint>& breakpoints() const noexcept {
+    return points_;
+  }
+
+ private:
+  /// Index of the segment containing x (last segment for x past the end).
+  std::size_t segment(double x) const;
+
+  std::vector<Breakpoint> points_;
+  std::vector<double> prefix_integral_;  // integral up to points_[i].x
+};
+
+/// Bureau of Public Roads function l(x) = t0 * (1 + a * (x / c)^p),
+/// t0 > 0, a >= 0, c > 0, p >= 1.
+class BprLatency final : public LatencyFunction {
+ public:
+  BprLatency(double free_flow_time, double alpha, double capacity,
+             double power);
+  double value(double x) const override;
+  double derivative(double x) const override;
+  double integral(double x) const override;
+  double max_slope(double x_max) const override;
+  std::string describe() const override;
+  LatencyPtr clone() const override;
+
+  double free_flow_time() const noexcept { return t0_; }
+  double alpha() const noexcept { return alpha_; }
+  double capacity() const noexcept { return capacity_; }
+  double power() const noexcept { return power_; }
+
+ private:
+  double t0_;
+  double alpha_;
+  double capacity_;
+  double power_;
+};
+
+/// M/M/1-style delay l(x) = 1 / (c - x), requires capacity c > 1 so the
+/// slope stays finite on [0, 1] (beta = 1/(c-1)^2).
+class MM1Latency final : public LatencyFunction {
+ public:
+  explicit MM1Latency(double capacity);
+  double value(double x) const override;
+  double derivative(double x) const override;
+  double integral(double x) const override;
+  double max_slope(double x_max) const override;
+  std::string describe() const override;
+  LatencyPtr clone() const override;
+
+  double capacity() const noexcept { return capacity_; }
+
+ private:
+  double capacity_;
+};
+
+// Convenience factories (Core Guidelines R.22: prefer factory functions
+// returning unique_ptr).
+LatencyPtr constant(double c);
+LatencyPtr affine(double a, double b);
+LatencyPtr linear(double b);  // affine(0, b)
+LatencyPtr monomial(double coefficient, double degree);
+LatencyPtr polynomial(std::vector<double> coefficients);
+LatencyPtr shifted_linear(double slope, double threshold = 0.5);
+LatencyPtr piecewise_linear(
+    std::vector<PiecewiseLinearLatency::Breakpoint> points);
+LatencyPtr bpr(double free_flow_time, double alpha, double capacity,
+               double power);
+LatencyPtr mm1(double capacity);
+
+}  // namespace staleflow

@@ -1,0 +1,81 @@
+#include "latency/latency_function.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "latency/quadrature.h"
+
+namespace staleflow {
+
+double max_elasticity(const LatencyFunction& fn, double x_max,
+                      int grid_points) {
+  if (grid_points < 2) grid_points = 2;
+  const auto n = static_cast<std::size_t>(grid_points);
+  double worst = 0.0;
+  for (std::size_t i = 1; i < n; ++i) {
+    const double x = x_max * static_cast<double>(i) /
+                     static_cast<double>(n - 1);
+    const double value = fn.value(x);
+    if (value <= 0.0) continue;
+    worst = std::max(worst, x * fn.derivative(x) / value);
+  }
+  return worst;
+}
+
+std::string check_latency_contract(const LatencyFunction& fn,
+                                   int grid_points) {
+  if (grid_points < 3) grid_points = 3;
+  const auto n = static_cast<std::size_t>(grid_points);
+  const double beta = fn.max_slope(1.0);
+  if (!(beta >= 0.0) || !std::isfinite(beta)) {
+    return "max_slope(1.0) is not a finite non-negative number";
+  }
+
+  auto report = [](const char* what, double x) {
+    std::ostringstream os;
+    os << what << " at x=" << x;
+    return os.str();
+  };
+
+  double prev_value = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / static_cast<double>(n - 1);
+    const double v = fn.value(x);
+    if (!std::isfinite(v) || v < 0.0) return report("negative/NaN value", x);
+    if (i > 0 && v < prev_value - 1e-12) return report("decreasing value", x);
+    prev_value = v;
+
+    const double d = fn.derivative(x);
+    if (!std::isfinite(d) || d < -1e-12) {
+      return report("negative/NaN derivative", x);
+    }
+    if (d > beta * (1.0 + 1e-9) + 1e-12) {
+      return report("derivative exceeds max_slope", x);
+    }
+
+    // Closed-form integral vs adaptive Simpson quadrature.
+    const double exact = fn.integral(x);
+    if (!std::isfinite(exact) || exact < -1e-12) {
+      return report("negative/NaN integral", x);
+    }
+    const double numeric =
+        integrate([&fn](double u) { return fn.value(u); }, 0.0, x, 1e-10);
+    const double scale = 1.0 + std::abs(exact);
+    if (std::abs(exact - numeric) > 1e-6 * scale) {
+      return report("integral() disagrees with quadrature", x);
+    }
+
+    // Difference quotients must respect the slope bound.
+    if (i > 0) {
+      const double h = 1.0 / static_cast<double>(n - 1);
+      const double quotient = (v - fn.value(x - h)) / h;
+      if (quotient > beta * (1.0 + 1e-6) + 1e-9) {
+        return report("difference quotient exceeds max_slope", x);
+      }
+    }
+  }
+  if (fn.integral(0.0) != 0.0) return "integral(0) != 0";
+  return {};
+}
+
+}  // namespace staleflow

@@ -1,0 +1,69 @@
+// Edge latency functions l_e : [0, 1] -> R>=0.
+//
+// The paper requires latency functions that are continuous, non-decreasing
+// and have finite first derivative on the whole range (Section 2.1). The
+// maximum slope beta and the exact integral INT_0^x l(u) du are first-class
+// operations here because the convergence bound T <= 1/(4*D*alpha*beta) and
+// the Beckmann-McGuire-Winsten potential Phi = sum_e INT_0^{f_e} l_e both
+// depend on them.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace staleflow {
+
+/// Abstract edge latency function on the normalised flow domain [0, 1]
+/// (total demand is normalised to 1, so an edge never carries more).
+///
+/// Implementations must be continuous, non-decreasing, non-negative and
+/// have a finite first derivative on [0, 1].
+class LatencyFunction {
+ public:
+  virtual ~LatencyFunction() = default;
+
+  /// l(x). Callers keep x within [0, 1]; implementations extend
+  /// continuously outside for robustness against round-off.
+  virtual double value(double x) const = 0;
+
+  /// l'(x). At kinks, the right derivative.
+  virtual double derivative(double x) const = 0;
+
+  /// Exact INT_0^x l(u) du (closed form, no quadrature).
+  virtual double integral(double x) const = 0;
+
+  /// An upper bound on l'(x) over [0, x_max]; this is the paper's beta.
+  virtual double max_slope(double x_max = 1.0) const = 0;
+
+  /// Human-readable formula, e.g. "3 + 2x".
+  virtual std::string describe() const = 0;
+
+  /// Deep copy (latency functions are immutable; copies are cheap).
+  virtual std::unique_ptr<LatencyFunction> clone() const = 0;
+
+ protected:
+  LatencyFunction() = default;
+  LatencyFunction(const LatencyFunction&) = default;
+  LatencyFunction& operator=(const LatencyFunction&) = default;
+};
+
+using LatencyPtr = std::unique_ptr<LatencyFunction>;
+
+/// Maximum elasticity d = sup_x x * l'(x) / l(x) over (0, x_max],
+/// estimated on a grid. The elasticity is the parameter the follow-up
+/// work [Fischer-Raecke-Voecking, STOC'06] replaces the slope bound with:
+/// for a monomial c*x^d it equals the degree d, independent of c. Points
+/// with l(x) == 0 are skipped (elasticity is undefined there); returns 0
+/// for functions that are zero on the whole range.
+double max_elasticity(const LatencyFunction& fn, double x_max = 1.0,
+                      int grid_points = 257);
+
+/// Validates the model contract numerically on a grid: non-negativity,
+/// monotonicity, value/derivative/integral consistency, and that
+/// max_slope really bounds the observed difference quotients.
+/// Returns an empty string when consistent, else a description of the
+/// first violation (used by tests and by Instance validation).
+std::string check_latency_contract(const LatencyFunction& fn,
+                                   int grid_points = 257);
+
+}  // namespace staleflow

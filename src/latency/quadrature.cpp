@@ -1,0 +1,50 @@
+#include "latency/quadrature.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace staleflow {
+namespace {
+
+double simpson(double a, double fa, double b, double fb, double fm) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive(const std::function<double(double)>& fn, double a, double fa,
+                double b, double fb, double m, double fm, double whole,
+                double tol, int depth) {
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = fn(lm);
+  const double frm = fn(rm);
+  const double left = simpson(a, fa, m, fm, flm);
+  const double right = simpson(m, fm, b, fb, frm);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::abs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return adaptive(fn, a, fa, m, fm, lm, flm, left, 0.5 * tol, depth - 1) +
+         adaptive(fn, m, fm, b, fb, rm, frm, right, 0.5 * tol, depth - 1);
+}
+
+}  // namespace
+
+double integrate(const std::function<double(double)>& fn, double a, double b,
+                 double tolerance) {
+  if (!(tolerance > 0.0)) {
+    throw std::invalid_argument("integrate: tolerance must be positive");
+  }
+  if (a == b) return 0.0;
+  const double sign = a < b ? 1.0 : -1.0;
+  const double lo = std::min(a, b);
+  const double hi = std::max(a, b);
+  const double mid = 0.5 * (lo + hi);
+  const double flo = fn(lo);
+  const double fhi = fn(hi);
+  const double fmid = fn(mid);
+  const double whole = simpson(lo, flo, hi, fhi, fmid);
+  return sign *
+         adaptive(fn, lo, flo, hi, fhi, mid, fmid, whole, tolerance, 48);
+}
+
+}  // namespace staleflow

@@ -1,0 +1,15 @@
+// Adaptive numerical integration, used as an independent cross-check of the
+// closed-form latency integrals and for user-supplied callable latencies.
+#pragma once
+
+#include <functional>
+
+namespace staleflow {
+
+/// Adaptive Simpson quadrature of `fn` over [a, b] (a <= b or a > b; the
+/// sign convention is the usual oriented integral). `tolerance` is an
+/// absolute error target.
+double integrate(const std::function<double(double)>& fn, double a, double b,
+                 double tolerance = 1e-10);
+
+}  // namespace staleflow

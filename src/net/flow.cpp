@@ -1,0 +1,153 @@
+#include "net/flow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace staleflow {
+
+FlowVector::FlowVector(const Instance& instance)
+    : values_(instance.path_count(), 0.0) {}
+
+FlowVector FlowVector::uniform(const Instance& instance) {
+  FlowVector flow(instance);
+  for (std::size_t c = 0; c < instance.commodity_count(); ++c) {
+    const Commodity& commodity = instance.commodity(CommodityId{c});
+    const double share =
+        commodity.demand / static_cast<double>(commodity.paths.size());
+    for (const PathId p : commodity.paths) flow[p] = share;
+  }
+  return flow;
+}
+
+FlowVector FlowVector::concentrated(const Instance& instance,
+                                    std::span<const std::size_t> choice) {
+  if (choice.size() != instance.commodity_count()) {
+    throw std::invalid_argument(
+        "FlowVector::concentrated: one choice per commodity required");
+  }
+  FlowVector flow(instance);
+  for (std::size_t c = 0; c < instance.commodity_count(); ++c) {
+    const Commodity& commodity = instance.commodity(CommodityId{c});
+    if (choice[c] >= commodity.paths.size()) {
+      throw std::out_of_range(
+          "FlowVector::concentrated: path choice out of range");
+    }
+    flow[commodity.paths[choice[c]]] = commodity.demand;
+  }
+  return flow;
+}
+
+FlowVector::FlowVector(const Instance& instance, std::vector<double> values)
+    : values_(std::move(values)) {
+  if (values_.size() != instance.path_count()) {
+    throw std::invalid_argument("FlowVector: wrong number of path values");
+  }
+}
+
+bool is_feasible(const Instance& instance, std::span<const double> path_flow,
+                 double tolerance) {
+  if (path_flow.size() != instance.path_count()) return false;
+  for (const double f : path_flow) {
+    if (!(f >= -tolerance) || !std::isfinite(f)) return false;
+  }
+  for (std::size_t c = 0; c < instance.commodity_count(); ++c) {
+    const Commodity& commodity = instance.commodity(CommodityId{c});
+    double total = 0.0;
+    for (const PathId p : commodity.paths) total += path_flow[p.index()];
+    if (std::abs(total - commodity.demand) > tolerance) return false;
+  }
+  return true;
+}
+
+void renormalise(const Instance& instance, std::vector<double>& path_flow) {
+  if (path_flow.size() != instance.path_count()) {
+    throw std::invalid_argument("renormalise: wrong number of path values");
+  }
+  for (double& f : path_flow) f = std::max(f, 0.0);
+  for (std::size_t c = 0; c < instance.commodity_count(); ++c) {
+    const Commodity& commodity = instance.commodity(CommodityId{c});
+    double total = 0.0;
+    for (const PathId p : commodity.paths) total += path_flow[p.index()];
+    if (!(total > 0.0)) {
+      throw std::invalid_argument(
+          "renormalise: commodity block has zero mass");
+    }
+    const double scale = commodity.demand / total;
+    for (const PathId p : commodity.paths) path_flow[p.index()] *= scale;
+  }
+}
+
+std::vector<double> edge_flows(const Instance& instance,
+                               std::span<const double> path_flow) {
+  if (path_flow.size() != instance.path_count()) {
+    throw std::invalid_argument("edge_flows: wrong number of path values");
+  }
+  std::vector<double> result(instance.edge_count(), 0.0);
+  for (std::size_t p = 0; p < path_flow.size(); ++p) {
+    const double f = path_flow[p];
+    if (f == 0.0) continue;
+    for (const EdgeId e : instance.path(PathId{p}).edges()) {
+      result[e.index()] += f;
+    }
+  }
+  return result;
+}
+
+FlowEvaluation evaluate(const Instance& instance,
+                        std::span<const double> path_flow) {
+  FlowEvaluation eval;
+  eval.edge_flow = edge_flows(instance, path_flow);
+
+  eval.edge_latency.resize(instance.edge_count());
+  for (std::size_t e = 0; e < instance.edge_count(); ++e) {
+    eval.edge_latency[e] = instance.latency(EdgeId{e}).value(eval.edge_flow[e]);
+  }
+
+  eval.path_latency.resize(instance.path_count());
+  for (std::size_t p = 0; p < instance.path_count(); ++p) {
+    double total = 0.0;
+    for (const EdgeId e : instance.path(PathId{p}).edges()) {
+      total += eval.edge_latency[e.index()];
+    }
+    eval.path_latency[p] = total;
+  }
+
+  eval.commodity_min_latency.assign(instance.commodity_count(),
+                                    std::numeric_limits<double>::infinity());
+  eval.commodity_avg_latency.assign(instance.commodity_count(), 0.0);
+  for (std::size_t c = 0; c < instance.commodity_count(); ++c) {
+    const Commodity& commodity = instance.commodity(CommodityId{c});
+    double avg = 0.0;
+    double& lo = eval.commodity_min_latency[c];
+    for (const PathId p : commodity.paths) {
+      lo = std::min(lo, eval.path_latency[p.index()]);
+      avg += path_flow[p.index()] / commodity.demand *
+             eval.path_latency[p.index()];
+    }
+    eval.commodity_avg_latency[c] = avg;
+    eval.average_latency += commodity.demand * avg;
+  }
+  return eval;
+}
+
+std::vector<double> path_latencies(const Instance& instance,
+                                   std::span<const double> path_flow) {
+  const std::vector<double> fe = edge_flows(instance, path_flow);
+  std::vector<double> le(instance.edge_count());
+  for (std::size_t e = 0; e < instance.edge_count(); ++e) {
+    le[e] = instance.latency(EdgeId{e}).value(fe[e]);
+  }
+  std::vector<double> result(instance.path_count());
+  for (std::size_t p = 0; p < instance.path_count(); ++p) {
+    double total = 0.0;
+    for (const EdgeId e : instance.path(PathId{p}).edges()) {
+      total += le[e.index()];
+    }
+    result[p] = total;
+  }
+  return result;
+}
+
+}  // namespace staleflow

@@ -1,0 +1,265 @@
+#include "net/generators.h"
+
+#include <stdexcept>
+
+#include "latency/functions.h"
+
+namespace staleflow {
+
+Instance two_link_pulse(double beta) {
+  Graph g(2);
+  const VertexId s{0}, t{1};
+  const EdgeId e1 = g.add_edge(s, t);
+  const EdgeId e2 = g.add_edge(s, t);
+  InstanceBuilder builder(std::move(g));
+  builder.set_latency(e1, shifted_linear(beta, 0.5));
+  builder.set_latency(e2, shifted_linear(beta, 0.5));
+  builder.add_commodity(s, t, 1.0);
+  return std::move(builder).build();
+}
+
+Instance parallel_links(
+    std::size_t m,
+    const std::function<LatencyPtr(std::size_t)>& make_latency) {
+  if (m == 0) throw std::invalid_argument("parallel_links: m must be >= 1");
+  Graph g(2);
+  const VertexId s{0}, t{1};
+  std::vector<EdgeId> edges;
+  edges.reserve(m);
+  for (std::size_t j = 0; j < m; ++j) edges.push_back(g.add_edge(s, t));
+  InstanceBuilder builder(std::move(g));
+  for (std::size_t j = 0; j < m; ++j) {
+    builder.set_latency(edges[j], make_latency(j));
+  }
+  builder.add_commodity(s, t, 1.0);
+  return std::move(builder).build();
+}
+
+Instance uniform_parallel_links(std::size_t m, double a, double b) {
+  return parallel_links(m, [a, b](std::size_t) { return affine(a, b); });
+}
+
+Instance random_parallel_links(std::size_t m, Rng& rng, double offset_max,
+                               double slope_min, double slope_max) {
+  if (!(slope_min > 0.0) || slope_max < slope_min) {
+    throw std::invalid_argument("random_parallel_links: bad slope range");
+  }
+  return parallel_links(m, [&](std::size_t) {
+    return affine(rng.uniform(0.0, offset_max),
+                  rng.uniform(slope_min, slope_max));
+  });
+}
+
+Instance braess(bool include_shortcut) {
+  Graph g(4);
+  const VertexId s{0}, a{1}, b{2}, t{3};
+  const EdgeId sa = g.add_edge(s, a);
+  const EdgeId sb = g.add_edge(s, b);
+  const EdgeId at = g.add_edge(a, t);
+  const EdgeId bt = g.add_edge(b, t);
+  EdgeId ab{};
+  if (include_shortcut) ab = g.add_edge(a, b);
+  InstanceBuilder builder(std::move(g));
+  builder.set_latency(sa, linear(1.0));     // l(x) = x
+  builder.set_latency(sb, constant(1.0));   // l(x) = 1
+  builder.set_latency(at, constant(1.0));   // l(x) = 1
+  builder.set_latency(bt, linear(1.0));     // l(x) = x
+  if (include_shortcut) builder.set_latency(ab, constant(0.0));
+  builder.add_commodity(s, t, 1.0);
+  return std::move(builder).build();
+}
+
+Instance grid(std::size_t rows, std::size_t cols, Rng& rng) {
+  if (rows < 2 || cols < 2) {
+    throw std::invalid_argument("grid: need at least 2x2");
+  }
+  Graph g(rows * cols);
+  auto vertex = [cols](std::size_t r, std::size_t c) {
+    return VertexId{r * cols + c};
+  };
+  std::vector<EdgeId> edges;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back(g.add_edge(vertex(r, c), vertex(r, c + 1)));
+      if (r + 1 < rows) edges.push_back(g.add_edge(vertex(r, c), vertex(r + 1, c)));
+    }
+  }
+  InstanceBuilder builder(std::move(g));
+  for (const EdgeId e : edges) {
+    builder.set_latency(e,
+                        affine(rng.uniform(0.0, 1.0), rng.uniform(0.1, 1.0)));
+  }
+  builder.add_commodity(vertex(0, 0), vertex(rows - 1, cols - 1), 1.0);
+  return std::move(builder).build();
+}
+
+Instance layered_dag(std::size_t layers, std::size_t width,
+                     std::size_t fanout, Rng& rng) {
+  if (layers < 1 || width < 1 || fanout < 1) {
+    throw std::invalid_argument("layered_dag: layers, width, fanout >= 1");
+  }
+  if (fanout > width) fanout = width;
+  Graph g(layers * width + 2);
+  const VertexId source{0};
+  const VertexId sink{layers * width + 1};
+  auto vertex = [width](std::size_t layer, std::size_t slot) {
+    return VertexId{1 + layer * width + slot};
+  };
+  std::vector<EdgeId> edges;
+  for (std::size_t w = 0; w < width; ++w) {
+    edges.push_back(g.add_edge(source, vertex(0, w)));
+    edges.push_back(g.add_edge(vertex(layers - 1, w), sink));
+  }
+  for (std::size_t layer = 0; layer + 1 < layers; ++layer) {
+    for (std::size_t w = 0; w < width; ++w) {
+      // `fanout` distinct random targets in the next layer.
+      std::vector<std::size_t> slots(width);
+      for (std::size_t i = 0; i < width; ++i) slots[i] = i;
+      rng.shuffle(slots);
+      for (std::size_t i = 0; i < fanout; ++i) {
+        edges.push_back(g.add_edge(vertex(layer, w), vertex(layer + 1, slots[i])));
+      }
+    }
+  }
+  InstanceBuilder builder(std::move(g));
+  for (const EdgeId e : edges) {
+    builder.set_latency(e,
+                        affine(rng.uniform(0.0, 1.0), rng.uniform(0.1, 1.0)));
+  }
+  builder.add_commodity(source, sink, 1.0);
+  return std::move(builder).build();
+}
+
+Instance shared_bottleneck(double demand_split) {
+  if (!(demand_split > 0.0) || !(demand_split < 1.0)) {
+    throw std::invalid_argument("shared_bottleneck: split must be in (0,1)");
+  }
+  // s1 -> m, s2 -> m, m -> t (shared, congestible), plus private bypasses
+  // s1 -> t and s2 -> t with constant latency.
+  Graph g(4);
+  const VertexId s1{0}, s2{1}, m{2}, t{3};
+  const EdgeId s1m = g.add_edge(s1, m);
+  const EdgeId s2m = g.add_edge(s2, m);
+  const EdgeId mt = g.add_edge(m, t);
+  const EdgeId s1t = g.add_edge(s1, t);
+  const EdgeId s2t = g.add_edge(s2, t);
+  InstanceBuilder builder(std::move(g));
+  builder.set_latency(s1m, linear(0.5));
+  builder.set_latency(s2m, linear(0.5));
+  builder.set_latency(mt, linear(2.0));  // the bottleneck
+  builder.set_latency(s1t, constant(1.0));
+  builder.set_latency(s2t, constant(1.0));
+  builder.add_commodity(s1, t, demand_split);
+  builder.add_commodity(s2, t, 1.0 - demand_split);
+  return std::move(builder).build();
+}
+
+Instance multicommodity_grid(std::size_t rows, std::size_t cols,
+                             std::size_t commodities, Rng& rng) {
+  if (rows < 2 || cols < 2) {
+    throw std::invalid_argument("multicommodity_grid: need at least 2x2");
+  }
+  if (commodities < 1 || commodities > rows) {
+    throw std::invalid_argument(
+        "multicommodity_grid: need 1 <= commodities <= rows");
+  }
+  Graph g(rows * cols);
+  auto vertex = [cols](std::size_t r, std::size_t c) {
+    return VertexId{r * cols + c};
+  };
+  std::vector<EdgeId> edges;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back(g.add_edge(vertex(r, c), vertex(r, c + 1)));
+      if (r + 1 < rows) edges.push_back(g.add_edge(vertex(r, c), vertex(r + 1, c)));
+    }
+  }
+  InstanceBuilder builder(std::move(g));
+  for (const EdgeId e : edges) {
+    builder.set_latency(e,
+                        affine(rng.uniform(0.0, 1.0), rng.uniform(0.1, 1.0)));
+  }
+  // Commodity i starts at left-border row i; all commodities share the
+  // bottom-right sink (edges only go right/down, so this keeps every
+  // source-sink pair connected).
+  for (std::size_t i = 0; i < commodities; ++i) {
+    builder.add_commodity(vertex(i, 0), vertex(rows - 1, cols - 1), 1.0);
+  }
+  return std::move(builder).build();
+}
+
+namespace {
+
+/// Recursively wires a series-parallel block between `from` and `to`,
+/// collecting created edges.
+void build_series_parallel(Graph& g, VertexId from, VertexId to,
+                           std::size_t depth, std::vector<EdgeId>& edges) {
+  if (depth == 0) {
+    edges.push_back(g.add_edge(from, to));
+    return;
+  }
+  // Series composition of two blocks through a fresh midpoint...
+  const VertexId mid = g.add_vertex();
+  build_series_parallel(g, from, mid, depth - 1, edges);
+  build_series_parallel(g, mid, to, depth - 1, edges);
+  // ...in parallel with a third block.
+  build_series_parallel(g, from, to, depth - 1, edges);
+}
+
+}  // namespace
+
+Instance series_parallel(std::size_t depth, Rng& rng) {
+  if (depth > 6) {
+    throw std::invalid_argument(
+        "series_parallel: depth must be <= 6 (path count is exponential)");
+  }
+  Graph g(2);
+  const VertexId s{0}, t{1};
+  std::vector<EdgeId> edges;
+  build_series_parallel(g, s, t, depth, edges);
+  InstanceBuilder builder(std::move(g));
+  for (const EdgeId e : edges) {
+    builder.set_latency(e,
+                        affine(rng.uniform(0.0, 1.0), rng.uniform(0.1, 1.0)));
+  }
+  builder.add_commodity(s, t, 1.0);
+  return std::move(builder).build();
+}
+
+Instance chained_braess(std::size_t k) {
+  if (k == 0 || k > 8) {
+    throw std::invalid_argument("chained_braess: need 1 <= k <= 8");
+  }
+  // Gadget i spans anchor_i -> anchor_{i+1} with internal vertices a, b.
+  Graph g(k + 1);
+  struct GadgetEdges {
+    EdgeId sa, sb, at, bt, ab;
+  };
+  std::vector<GadgetEdges> gadgets;
+  gadgets.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const VertexId entry{i};
+    const VertexId exit{i + 1};
+    const VertexId a = g.add_vertex();
+    const VertexId b = g.add_vertex();
+    GadgetEdges ge;
+    ge.sa = g.add_edge(entry, a);
+    ge.sb = g.add_edge(entry, b);
+    ge.at = g.add_edge(a, exit);
+    ge.bt = g.add_edge(b, exit);
+    ge.ab = g.add_edge(a, b);
+    gadgets.push_back(ge);
+  }
+  InstanceBuilder builder(std::move(g));
+  for (const GadgetEdges& ge : gadgets) {
+    builder.set_latency(ge.sa, linear(1.0));
+    builder.set_latency(ge.sb, constant(1.0));
+    builder.set_latency(ge.at, constant(1.0));
+    builder.set_latency(ge.bt, linear(1.0));
+    builder.set_latency(ge.ab, constant(0.0));
+  }
+  builder.add_commodity(VertexId{0}, VertexId{k}, 1.0);
+  return std::move(builder).build();
+}
+
+}  // namespace staleflow

@@ -1,0 +1,73 @@
+// Standard instance families used by the paper, the tests and the benches.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "net/instance.h"
+#include "util/rng.h"
+
+namespace staleflow {
+
+/// The Section 3.2 oscillation instance: two parallel links with
+/// l_1(x) = l_2(x) = max{0, beta * (x - 1/2)} and demand 1.
+/// Wardrop equilibrium: f = (1/2, 1/2) at latency 0.
+Instance two_link_pulse(double beta);
+
+/// `m` parallel links between one source and one sink, latency of link j
+/// produced by `make_latency(j)`. Single commodity with demand 1.
+Instance parallel_links(std::size_t m,
+                        const std::function<LatencyPtr(std::size_t)>&
+                            make_latency);
+
+/// `m` identical affine parallel links l(x) = a + b*x.
+Instance uniform_parallel_links(std::size_t m, double a, double b);
+
+/// `m` affine links with offsets/slopes drawn uniformly from the given
+/// ranges (deterministic given the rng state).
+Instance random_parallel_links(std::size_t m, Rng& rng,
+                               double offset_max = 1.0,
+                               double slope_min = 0.1,
+                               double slope_max = 1.0);
+
+/// The Braess network. Vertices s, a, b, t and edges
+///   s->a: l(x) = x,   s->b: l(x) = 1,
+///   a->t: l(x) = 1,   b->t: l(x) = x,
+///   a->b: l(x) = 0  (the "paradox" shortcut; include_shortcut = false
+///                    builds the two-path variant).
+/// Demand 1 from s to t.
+Instance braess(bool include_shortcut = true);
+
+/// Directed grid of (rows x cols) vertices with edges right and down;
+/// single commodity top-left -> bottom-right. Affine latencies randomised
+/// via `rng`.
+Instance grid(std::size_t rows, std::size_t cols, Rng& rng);
+
+/// Layered random DAG: `layers` layers of `width` vertices, each vertex
+/// wired to `fanout` random vertices of the next layer, plus source/sink.
+/// Affine latencies randomised via `rng`. Single commodity.
+Instance layered_dag(std::size_t layers, std::size_t width,
+                     std::size_t fanout, Rng& rng);
+
+/// Two-commodity instance sharing a bottleneck: commodities (s1->t) and
+/// (s2->t) each with own private link plus a shared congestible middle
+/// edge. Exercises multi-commodity coupling.
+Instance shared_bottleneck(double demand_split = 0.5);
+
+/// Multi-commodity grid: one commodity per border pair, demands equal.
+Instance multicommodity_grid(std::size_t rows, std::size_t cols,
+                             std::size_t commodities, Rng& rng);
+
+/// Recursive series-parallel network of the given depth: depth 0 is a
+/// single edge; at each level two sub-networks are composed in series and
+/// that pair in parallel with a third. Affine latencies randomised via
+/// `rng`. Single commodity. Path count grows exponentially in depth
+/// (depth <= 6 enforced).
+Instance series_parallel(std::size_t depth, Rng& rng);
+
+/// `k` Braess gadgets chained in series (the classic hard instance family
+/// for selfish routing, cf. Roughgarden's recursive construction).
+/// Single commodity; path count 3^k.
+Instance chained_braess(std::size_t k);
+
+}  // namespace staleflow

@@ -1,0 +1,57 @@
+#include "ode/expm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace staleflow {
+
+Matrix expm(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("expm: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  if (n == 0) return Matrix(0, 0);
+
+  // Scale so ||A/2^s|| is small enough for the Padé(13) approximant.
+  const double norm = a.inf_norm();
+  int s = 0;
+  if (norm > 5.371920351148152) {  // theta_13 from Higham (2005)
+    s = static_cast<int>(
+        std::ceil(std::log2(norm / 5.371920351148152)));
+  }
+  Matrix scaled = a;
+  scaled *= std::pow(2.0, -s);
+
+  // Padé(13) coefficients.
+  static constexpr double b[] = {64764752532480000.0, 32382376266240000.0,
+                                 7771770303897600.0,  1187353796428800.0,
+                                 129060195264000.0,   10559470521600.0,
+                                 670442572800.0,      33522128640.0,
+                                 1323241920.0,        40840800.0,
+                                 960960.0,            16380.0,
+                                 182.0,               1.0};
+
+  const Matrix ident = Matrix::identity(n);
+  const Matrix a2 = scaled.multiply(scaled);
+  const Matrix a4 = a2.multiply(a2);
+  const Matrix a6 = a2.multiply(a4);
+
+  // U = A * (A6*(b13*A6 + b11*A4 + b9*A2) + b7*A6 + b5*A4 + b3*A2 + b1*I)
+  Matrix u_inner = a6 * b[13] + a4 * b[11] + a2 * b[9];
+  u_inner = a6.multiply(u_inner);
+  u_inner += a6 * b[7] + a4 * b[5] + a2 * b[3] + ident * b[1];
+  const Matrix u = scaled.multiply(u_inner);
+
+  // V = A6*(b12*A6 + b10*A4 + b8*A2) + b6*A6 + b4*A4 + b2*A2 + b0*I
+  Matrix v = a6 * b[12] + a4 * b[10] + a2 * b[8];
+  v = a6.multiply(v);
+  v += a6 * b[6] + a4 * b[4] + a2 * b[2] + ident * b[0];
+
+  // exp(A/2^s) ~= (V - U)^{-1} (V + U)
+  Matrix result = (v - u).solve(v + u);
+
+  for (int i = 0; i < s; ++i) result = result.multiply(result);
+  return result;
+}
+
+}  // namespace staleflow

@@ -1,0 +1,16 @@
+// Matrix exponential via scaling-and-squaring with Padé approximation.
+//
+// Used by the exact per-phase solver: within a bulletin-board phase the
+// dynamics f' = M f has the solution f(t̂+τ) = expm(M τ) f(t̂).
+#pragma once
+
+#include "ode/matrix.h"
+
+namespace staleflow {
+
+/// exp(A) for a square matrix A (Padé(13) with scaling and squaring,
+/// following Higham 2005 without the degree ladder — the matrices here are
+/// small and well-behaved generator matrices).
+Matrix expm(const Matrix& a);
+
+}  // namespace staleflow

@@ -1,0 +1,197 @@
+#include "ode/integrator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace staleflow {
+namespace {
+
+void check_interval(double t0, double t1) {
+  if (!(t1 >= t0)) {
+    throw std::invalid_argument("Integrator: t1 must be >= t0");
+  }
+}
+
+/// Number of fixed steps covering [t0, t1] with nominal size h. Guards
+/// against an extra sliver step caused by accumulated round-off.
+std::size_t fixed_step_count(double t0, double t1, double h) {
+  const double span = t1 - t0;
+  if (span <= 0.0) return 0;
+  return static_cast<std::size_t>(std::ceil(span / h - 1e-9));
+}
+
+}  // namespace
+
+ExplicitEuler::ExplicitEuler(double step_size) : step_size_(step_size) {
+  if (!(step_size > 0.0)) {
+    throw std::invalid_argument("ExplicitEuler: step_size must be > 0");
+  }
+}
+
+OdeStats ExplicitEuler::integrate(const OdeRhs& rhs, double t0, double t1,
+                                  std::vector<double>& state,
+                                  const OdeObserver& observer) const {
+  check_interval(t0, t1);
+  OdeStats stats;
+  const std::size_t n = state.size();
+  std::vector<double> dydt(n);
+  const std::size_t steps = fixed_step_count(t0, t1, step_size_);
+  double t = t0;
+  for (std::size_t s = 0; s < steps; ++s) {
+    const double next = s + 1 == steps ? t1 : t0 + step_size_ * static_cast<double>(s + 1);
+    const double h = next - t;
+    rhs(t, state, dydt);
+    ++stats.rhs_evaluations;
+    for (std::size_t i = 0; i < n; ++i) state[i] += h * dydt[i];
+    t = next;
+    ++stats.steps_accepted;
+    if (observer) observer(t, state);
+  }
+  return stats;
+}
+
+RungeKutta4::RungeKutta4(double step_size) : step_size_(step_size) {
+  if (!(step_size > 0.0)) {
+    throw std::invalid_argument("RungeKutta4: step_size must be > 0");
+  }
+}
+
+OdeStats RungeKutta4::integrate(const OdeRhs& rhs, double t0, double t1,
+                                std::vector<double>& state,
+                                const OdeObserver& observer) const {
+  check_interval(t0, t1);
+  OdeStats stats;
+  const std::size_t n = state.size();
+  std::vector<double> k1(n), k2(n), k3(n), k4(n), tmp(n);
+  const std::size_t steps = fixed_step_count(t0, t1, step_size_);
+  double t = t0;
+  for (std::size_t s = 0; s < steps; ++s) {
+    const double next = s + 1 == steps ? t1 : t0 + step_size_ * static_cast<double>(s + 1);
+    const double h = next - t;
+    rhs(t, state, k1);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = state[i] + 0.5 * h * k1[i];
+    rhs(t + 0.5 * h, tmp, k2);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = state[i] + 0.5 * h * k2[i];
+    rhs(t + 0.5 * h, tmp, k3);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = state[i] + h * k3[i];
+    rhs(t + h, tmp, k4);
+    stats.rhs_evaluations += 4;
+    for (std::size_t i = 0; i < n; ++i) {
+      state[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+    t = next;
+    ++stats.steps_accepted;
+    if (observer) observer(t, state);
+  }
+  return stats;
+}
+
+DormandPrince45::DormandPrince45(Options options) : options_(options) {
+  if (!(options_.abs_tolerance > 0.0) || !(options_.rel_tolerance > 0.0)) {
+    throw std::invalid_argument("DormandPrince45: tolerances must be > 0");
+  }
+  if (!(options_.initial_step > 0.0) || !(options_.min_step > 0.0)) {
+    throw std::invalid_argument("DormandPrince45: steps must be > 0");
+  }
+}
+
+OdeStats DormandPrince45::integrate(const OdeRhs& rhs, double t0, double t1,
+                                    std::vector<double>& state,
+                                    const OdeObserver& observer) const {
+  check_interval(t0, t1);
+  OdeStats stats;
+  if (t0 == t1) return stats;
+  const std::size_t n = state.size();
+
+  // Dormand-Prince coefficients.
+  static constexpr double c2 = 1.0 / 5, c3 = 3.0 / 10, c4 = 4.0 / 5,
+                          c5 = 8.0 / 9;
+  static constexpr double a21 = 1.0 / 5;
+  static constexpr double a31 = 3.0 / 40, a32 = 9.0 / 40;
+  static constexpr double a41 = 44.0 / 45, a42 = -56.0 / 15, a43 = 32.0 / 9;
+  static constexpr double a51 = 19372.0 / 6561, a52 = -25360.0 / 2187,
+                          a53 = 64448.0 / 6561, a54 = -212.0 / 729;
+  static constexpr double a61 = 9017.0 / 3168, a62 = -355.0 / 33,
+                          a63 = 46732.0 / 5247, a64 = 49.0 / 176,
+                          a65 = -5103.0 / 18656;
+  static constexpr double b1 = 35.0 / 384, b3 = 500.0 / 1113, b4 = 125.0 / 192,
+                          b5 = -2187.0 / 6784, b6 = 11.0 / 84;
+  // 4th-order embedded weights.
+  static constexpr double e1 = 5179.0 / 57600, e3 = 7571.0 / 16695,
+                          e4 = 393.0 / 640, e5 = -92097.0 / 339200,
+                          e6 = 187.0 / 2100, e7 = 1.0 / 40;
+
+  std::vector<double> k1(n), k2(n), k3(n), k4(n), k5(n), k6(n), k7(n), tmp(n),
+      y5(n);
+  double t = t0;
+  double h = std::min(options_.initial_step, t1 - t0);
+  if (options_.max_step > 0.0) h = std::min(h, options_.max_step);
+
+  rhs(t, state, k1);  // FSAL seed
+  ++stats.rhs_evaluations;
+
+  while (t < t1) {
+    h = std::min(h, t1 - t);
+
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = state[i] + h * a21 * k1[i];
+    rhs(t + c2 * h, tmp, k2);
+    for (std::size_t i = 0; i < n; ++i) {
+      tmp[i] = state[i] + h * (a31 * k1[i] + a32 * k2[i]);
+    }
+    rhs(t + c3 * h, tmp, k3);
+    for (std::size_t i = 0; i < n; ++i) {
+      tmp[i] = state[i] + h * (a41 * k1[i] + a42 * k2[i] + a43 * k3[i]);
+    }
+    rhs(t + c4 * h, tmp, k4);
+    for (std::size_t i = 0; i < n; ++i) {
+      tmp[i] = state[i] +
+               h * (a51 * k1[i] + a52 * k2[i] + a53 * k3[i] + a54 * k4[i]);
+    }
+    rhs(t + c5 * h, tmp, k5);
+    for (std::size_t i = 0; i < n; ++i) {
+      tmp[i] = state[i] + h * (a61 * k1[i] + a62 * k2[i] + a63 * k3[i] +
+                               a64 * k4[i] + a65 * k5[i]);
+    }
+    rhs(t + h, tmp, k6);
+    for (std::size_t i = 0; i < n; ++i) {
+      y5[i] = state[i] + h * (b1 * k1[i] + b3 * k3[i] + b4 * k4[i] +
+                              b5 * k5[i] + b6 * k6[i]);
+    }
+    rhs(t + h, y5, k7);
+    stats.rhs_evaluations += 6;
+
+    // Error estimate = |y5 - y4|, component-wise against mixed tolerance.
+    double err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double y4i = state[i] + h * (e1 * k1[i] + e3 * k3[i] + e4 * k4[i] +
+                                         e5 * k5[i] + e6 * k6[i] + e7 * k7[i]);
+      const double scale =
+          options_.abs_tolerance +
+          options_.rel_tolerance * std::max(std::abs(state[i]), std::abs(y5[i]));
+      const double d = (y5[i] - y4i) / scale;
+      err += d * d;
+    }
+    err = std::sqrt(err / static_cast<double>(n));
+
+    if (err <= 1.0 || h <= options_.min_step) {
+      t += h;
+      state = y5;
+      k1 = k7;  // FSAL
+      ++stats.steps_accepted;
+      if (observer) observer(t, state);
+    } else {
+      ++stats.steps_rejected;
+    }
+
+    // Standard step-size controller (order 5 => exponent 1/5).
+    const double factor =
+        0.9 * std::pow(1.0 / std::max(err, 1e-10), 0.2);
+    h *= std::clamp(factor, 0.2, 5.0);
+    h = std::max(h, options_.min_step);
+    if (options_.max_step > 0.0) h = std::min(h, options_.max_step);
+  }
+  return stats;
+}
+
+}  // namespace staleflow

@@ -1,0 +1,95 @@
+// Initial value problem integrators for the fluid-limit dynamics.
+//
+// Three integrators are provided:
+//   * ExplicitEuler     — reference implementation, first order.
+//   * RungeKutta4       — the workhorse for fixed-step phase integration.
+//   * DormandPrince45   — adaptive, used where the RHS stiffness varies
+//                         (e.g. fresh-information nonlinear dynamics).
+// All operate on flat state vectors; the dynamics layer maps flows onto
+// those vectors.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace staleflow {
+
+/// Right-hand side of an autonomous-in-structure ODE y' = g(t, y).
+/// Writes the derivative into `dydt` (pre-sized to y.size()).
+using OdeRhs =
+    std::function<void(double t, std::span<const double> y,
+                       std::span<double> dydt)>;
+
+/// Observer invoked after every accepted step with (t, y).
+using OdeObserver =
+    std::function<void(double t, std::span<const double> y)>;
+
+/// Statistics of one integrate() call.
+struct OdeStats {
+  std::size_t steps_accepted = 0;
+  std::size_t steps_rejected = 0;  // adaptive only
+  std::size_t rhs_evaluations = 0;
+};
+
+/// Common interface. Implementations advance `state` from t0 to t1 in
+/// place. Requires t1 >= t0; the observer (if any) is called after each
+/// accepted step, including the final one, but not at t0.
+class Integrator {
+ public:
+  virtual ~Integrator() = default;
+  virtual OdeStats integrate(const OdeRhs& rhs, double t0, double t1,
+                             std::vector<double>& state,
+                             const OdeObserver& observer = nullptr) const = 0;
+};
+
+/// Fixed-step forward Euler.
+class ExplicitEuler final : public Integrator {
+ public:
+  /// `step_size` > 0; the last step is shortened to land exactly on t1.
+  explicit ExplicitEuler(double step_size);
+  OdeStats integrate(const OdeRhs& rhs, double t0, double t1,
+                     std::vector<double>& state,
+                     const OdeObserver& observer = nullptr) const override;
+
+ private:
+  double step_size_;
+};
+
+/// Fixed-step classical Runge-Kutta of order 4.
+class RungeKutta4 final : public Integrator {
+ public:
+  explicit RungeKutta4(double step_size);
+  OdeStats integrate(const OdeRhs& rhs, double t0, double t1,
+                     std::vector<double>& state,
+                     const OdeObserver& observer = nullptr) const override;
+
+ private:
+  double step_size_;
+};
+
+/// Options for DormandPrince45 (separate type so it can be a default
+/// argument — nested classes are incomplete inside their enclosing class).
+struct DormandPrinceOptions {
+  double abs_tolerance = 1e-9;
+  double rel_tolerance = 1e-9;
+  double initial_step = 1e-3;
+  double min_step = 1e-12;
+  double max_step = 0.0;  // 0 => no cap
+};
+
+/// Adaptive Dormand-Prince 5(4) with standard PI-free step control.
+class DormandPrince45 final : public Integrator {
+ public:
+  using Options = DormandPrinceOptions;
+
+  explicit DormandPrince45(Options options = {});
+  OdeStats integrate(const OdeRhs& rhs, double t0, double t1,
+                     std::vector<double>& state,
+                     const OdeObserver& observer = nullptr) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace staleflow

@@ -1,0 +1,137 @@
+#include "ode/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace staleflow {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("Matrix::operator+=: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("Matrix::operator-=: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  if (cols_ != other.rows_) {
+    throw std::invalid_argument("Matrix::multiply: shape mismatch");
+  }
+  Matrix result(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        result(i, j) += aik * other(k, j);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<double> Matrix::apply(std::span<const double> x) const {
+  if (x.size() != cols_) {
+    throw std::invalid_argument("Matrix::apply: size mismatch");
+  }
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) acc += (*this)(i, j) * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+double Matrix::inf_norm() const noexcept {
+  double best = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) row += std::abs((*this)(i, j));
+    best = std::max(best, row);
+  }
+  return best;
+}
+
+Matrix Matrix::solve(const Matrix& rhs) const {
+  if (rows_ != cols_) {
+    throw std::invalid_argument("Matrix::solve: matrix must be square");
+  }
+  if (rhs.rows_ != rows_) {
+    throw std::invalid_argument("Matrix::solve: rhs row count mismatch");
+  }
+  const std::size_t n = rows_;
+  Matrix lu = *this;
+  Matrix x = rhs;
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    double best = std::abs(lu(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double candidate = std::abs(lu(r, col));
+      if (candidate > best) {
+        best = candidate;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) {
+      throw std::domain_error("Matrix::solve: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu(col, j), lu(pivot, j));
+      for (std::size_t j = 0; j < x.cols_; ++j) {
+        std::swap(x(col, j), x(pivot, j));
+      }
+    }
+    // Eliminate below.
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = lu(r, col) / lu(col, col);
+      if (factor == 0.0) continue;
+      lu(r, col) = 0.0;
+      for (std::size_t j = col + 1; j < n; ++j) {
+        lu(r, j) -= factor * lu(col, j);
+      }
+      for (std::size_t j = 0; j < x.cols_; ++j) {
+        x(r, j) -= factor * x(col, j);
+      }
+    }
+  }
+  // Back substitution.
+  for (std::size_t col = n; col > 0; --col) {
+    const std::size_t r = col - 1;
+    for (std::size_t j = 0; j < x.cols_; ++j) {
+      double acc = x(r, j);
+      for (std::size_t k = col; k < n; ++k) acc -= lu(r, k) * x(k, j);
+      x(r, j) = acc / lu(r, r);
+    }
+  }
+  return x;
+}
+
+}  // namespace staleflow

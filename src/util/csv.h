@@ -1,0 +1,31 @@
+// Minimal CSV emission for exporting bench data (e.g. for plotting).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace staleflow {
+
+/// Writes rows to a CSV file with RFC-4180 quoting of cells that need it.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends a data row; must match the header's column count.
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Flushes and closes. Called automatically by the destructor.
+  void close();
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+  static std::string escape(const std::string& cell);
+
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace staleflow

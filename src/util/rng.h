@@ -1,0 +1,76 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// All randomness in staleflow flows through Rng so that every simulation,
+// test, and benchmark is reproducible from a single 64-bit seed. The
+// generator is xoshiro256** (Blackman & Vigna), which is fast, has a
+// 256-bit state, and passes BigCrush.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace staleflow {
+
+/// Deterministic random number generator (xoshiro256**).
+///
+/// Satisfies the C++ UniformRandomBitGenerator requirements, so it can be
+/// plugged into <random> distributions, but also offers the convenience
+/// draws the simulators need directly.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  /// Next raw 64-bit output.
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0. Unbiased (rejection).
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Exponential variate with the given rate (> 0).
+  double exponential(double rate);
+
+  /// Standard normal variate (Box-Muller, no caching for determinism).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Requires at least one strictly positive weight; negatives are an error.
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[below(i)]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-agent streams).
+  Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace staleflow

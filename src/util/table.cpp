@@ -1,0 +1,70 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace staleflow {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("Table: need at least one column");
+  }
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table::add_row: wrong number of cells");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      if (c + 1 < row.size()) out << "  ";
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::vector<std::string> rule(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    rule[c] = std::string(widths[c], '-');
+  }
+  emit_row(rule);
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+std::string fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string fmt_sci(double value, int precision) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string fmt_int(long long value) { return std::to_string(value); }
+
+std::string fmt_bool(bool value) { return value ? "yes" : "no"; }
+
+}  // namespace staleflow

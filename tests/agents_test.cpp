@@ -1,0 +1,230 @@
+// Tests for the finite-population agent simulator and its agreement with
+// the fluid limit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agents/agent_simulator.h"
+#include "core/fluid_simulator.h"
+#include "equilibrium/metrics.h"
+#include "latency/functions.h"
+#include "net/generators.h"
+
+namespace staleflow {
+namespace {
+
+Instance pigou() {
+  Graph g(2);
+  const EdgeId e1 = g.add_edge(VertexId{0}, VertexId{1});
+  const EdgeId e2 = g.add_edge(VertexId{0}, VertexId{1});
+  InstanceBuilder b(std::move(g));
+  b.set_latency(e1, linear(1.0));
+  b.set_latency(e2, constant(1.0));
+  b.add_commodity(VertexId{0}, VertexId{1}, 1.0);
+  return std::move(b).build();
+}
+
+TEST(AgentSimulator, PreservesFeasibility) {
+  const Instance inst = pigou();
+  const Policy policy = make_uniform_linear_policy(inst);
+  const AgentSimulator sim(inst, policy);
+  AgentSimOptions options;
+  options.num_agents = 500;
+  options.update_period = 0.2;
+  options.horizon = 5.0;
+  options.seed = 42;
+  const AgentSimResult result = sim.run(FlowVector::uniform(inst), options);
+  EXPECT_TRUE(is_feasible(inst, result.final_flow.values(), 1e-9));
+  EXPECT_GT(result.activations, 0u);
+  EXPECT_GE(result.activations, result.migrations);
+}
+
+TEST(AgentSimulator, DeterministicGivenSeed) {
+  const Instance inst = pigou();
+  const Policy policy = make_uniform_linear_policy(inst);
+  const AgentSimulator sim(inst, policy);
+  AgentSimOptions options;
+  options.num_agents = 300;
+  options.update_period = 0.25;
+  options.horizon = 4.0;
+  options.seed = 7;
+  const AgentSimResult a = sim.run(FlowVector::uniform(inst), options);
+  const AgentSimResult b = sim.run(FlowVector::uniform(inst), options);
+  EXPECT_EQ(a.activations, b.activations);
+  EXPECT_EQ(a.migrations, b.migrations);
+  for (std::size_t p = 0; p < inst.path_count(); ++p) {
+    EXPECT_DOUBLE_EQ(a.final_flow[PathId{p}], b.final_flow[PathId{p}]);
+  }
+}
+
+TEST(AgentSimulator, MovesTowardsEquilibrium) {
+  const Instance inst = pigou();
+  const Policy policy = make_uniform_linear_policy(inst);
+  const AgentSimulator sim(inst, policy);
+  AgentSimOptions options;
+  options.num_agents = 5'000;
+  options.update_period = 0.1;
+  options.horizon = 30.0;
+  options.seed = 3;
+  const AgentSimResult result = sim.run(FlowVector::uniform(inst), options);
+  // Equilibrium is all flow on the linear link.
+  EXPECT_GT(result.final_flow[PathId{0}], 0.9);
+}
+
+TEST(AgentSimulator, ApproachesFluidTrajectoryAsNGrows) {
+  const Instance inst = pigou();
+  const Policy policy = make_uniform_linear_policy(inst);
+  const double T = 0.25;
+  const double horizon = 4.0;
+
+  // Fluid reference.
+  const FluidSimulator fluid(inst, policy);
+  SimulationOptions fluid_options;
+  fluid_options.update_period = T;
+  fluid_options.horizon = horizon;
+  fluid_options.method = IntegrationMethod::kExact;
+  const SimulationResult reference =
+      fluid.run(FlowVector::uniform(inst), fluid_options);
+
+  const AgentSimulator agents(inst, policy);
+  double prev_error = 0.0;
+  std::size_t idx = 0;
+  for (const std::size_t n : {200u, 20'000u}) {
+    AgentSimOptions options;
+    options.num_agents = n;
+    options.update_period = T;
+    options.horizon = horizon;
+    options.seed = 11;
+    const AgentSimResult result = agents.run(FlowVector::uniform(inst), options);
+    const double error =
+        std::abs(result.final_flow[PathId{0}] - reference.final_flow[PathId{0}]);
+    if (idx++ > 0) {
+      EXPECT_LT(error, prev_error)
+          << "more agents should track the fluid limit better";
+    }
+    prev_error = error;
+  }
+  // With 20k agents the discrepancy should be small.
+  EXPECT_LT(prev_error, 0.02);
+}
+
+TEST(AgentSimulator, ObserverFiresOncePerPhase) {
+  const Instance inst = pigou();
+  const Policy policy = make_uniform_linear_policy(inst);
+  const AgentSimulator sim(inst, policy);
+  AgentSimOptions options;
+  options.num_agents = 100;
+  options.update_period = 0.5;
+  options.horizon = 5.0;
+  options.seed = 1;
+  std::size_t phases = 0;
+  double last_end = 0.0;
+  sim.run(FlowVector::uniform(inst), options,
+          [&](const PhaseInfo& info) {
+            ++phases;
+            EXPECT_GT(info.end_time, last_end);
+            last_end = info.end_time;
+            EXPECT_TRUE(is_feasible(inst, info.flow_after, 1e-9));
+          });
+  EXPECT_GE(phases, 9u);
+  EXPECT_LE(phases, 10u);
+}
+
+TEST(AgentSimulator, MultiCommodityAllocation) {
+  const Instance inst = shared_bottleneck(0.3);
+  const Policy policy = make_uniform_linear_policy(inst);
+  const AgentSimulator sim(inst, policy);
+  AgentSimOptions options;
+  options.num_agents = 1'000;
+  options.update_period = 0.2;
+  options.horizon = 3.0;
+  options.seed = 9;
+  const AgentSimResult result = sim.run(FlowVector::uniform(inst), options);
+  // Per-commodity demand is conserved exactly.
+  for (std::size_t c = 0; c < inst.commodity_count(); ++c) {
+    const Commodity& commodity = inst.commodity(CommodityId{c});
+    double total = 0.0;
+    for (const PathId p : commodity.paths) total += result.final_flow[p];
+    EXPECT_NEAR(total, commodity.demand, 1e-12);
+  }
+}
+
+TEST(AgentSimulator, RejectsBadOptions) {
+  const Instance inst = shared_bottleneck(0.5);
+  const Policy policy = make_uniform_linear_policy(inst);
+  const AgentSimulator sim(inst, policy);
+  AgentSimOptions options;
+  options.num_agents = 1;  // fewer agents than commodities
+  EXPECT_THROW(sim.run(FlowVector::uniform(inst), options),
+               std::invalid_argument);
+  AgentSimOptions bad_period;
+  bad_period.update_period = 0.0;
+  EXPECT_THROW(sim.run(FlowVector::uniform(inst), bad_period),
+               std::invalid_argument);
+}
+
+TEST(AgentSimulator, RegretShrinksWithConvergence) {
+  // No-regret connection ([1,5] in the paper's related work): as the
+  // population converges, the average sustained latency approaches the
+  // best fixed path in hindsight.
+  const Instance inst = pigou();
+  const Policy policy = make_uniform_linear_policy(inst);
+  const AgentSimulator sim(inst, policy);
+
+  AgentSimOptions short_run;
+  short_run.num_agents = 5'000;
+  short_run.update_period = 0.25;
+  short_run.horizon = 3.0;
+  short_run.seed = 5;
+  const AgentSimResult early = sim.run(FlowVector::uniform(inst), short_run);
+
+  AgentSimOptions long_run = short_run;
+  long_run.horizon = 60.0;
+  const AgentSimResult late = sim.run(FlowVector::uniform(inst), long_run);
+
+  EXPECT_GE(early.average_regret, -1e-9);
+  EXPECT_GE(late.average_regret, -1e-9);
+  EXPECT_LT(late.average_regret, early.average_regret);
+  EXPECT_LT(late.average_regret, 0.05);
+  // Experienced latency approaches the equilibrium latency 1 from below
+  // (the transient rides the cheap link while it is still uncongested).
+  EXPECT_GT(late.average_experienced_latency, 0.5);
+  EXPECT_LE(late.average_experienced_latency, 1.0 + 1e-9);
+}
+
+TEST(AgentSimulator, HindsightNeverBeatsExperiencedByDefinition) {
+  const Instance inst = shared_bottleneck(0.5);
+  const Policy policy = make_replicator_policy(inst, 0.1);
+  const AgentSimulator sim(inst, policy);
+  AgentSimOptions options;
+  options.num_agents = 2'000;
+  options.update_period = 0.2;
+  options.horizon = 10.0;
+  options.seed = 31;
+  const AgentSimResult result = sim.run(FlowVector::uniform(inst), options);
+  EXPECT_LE(result.hindsight_best_latency,
+            result.average_experienced_latency + 1e-9);
+  EXPECT_NEAR(result.average_regret,
+              result.average_experienced_latency -
+                  result.hindsight_best_latency,
+              1e-12);
+}
+
+TEST(AgentSimulator, BetterResponsePolicyAlsoRuns) {
+  // The discrete simulator accepts non-smooth policies too (they are the
+  // interesting misbehaving case).
+  const Instance inst = two_link_pulse(4.0);
+  const Policy policy = make_naive_better_response_policy();
+  const AgentSimulator sim(inst, policy);
+  AgentSimOptions options;
+  options.num_agents = 2'000;
+  options.update_period = 0.5;
+  options.horizon = 10.0;
+  options.seed = 23;
+  const AgentSimResult result = sim.run(FlowVector(inst, {0.7, 0.3}), options);
+  EXPECT_TRUE(is_feasible(inst, result.final_flow.values(), 1e-9));
+  EXPECT_GT(result.migrations, 0u);
+}
+
+}  // namespace
+}  // namespace staleflow

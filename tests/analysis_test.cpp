@@ -1,0 +1,224 @@
+// Tests for the analysis module: trajectory recording, oscillation
+// detection, round classification and per-phase accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/accounting.h"
+#include "analysis/oscillation.h"
+#include "analysis/round_counter.h"
+#include "analysis/trajectory.h"
+#include "core/best_response.h"
+#include "core/fluid_simulator.h"
+#include "latency/functions.h"
+#include "net/generators.h"
+
+namespace staleflow {
+namespace {
+
+Instance pigou() {
+  Graph g(2);
+  const EdgeId e1 = g.add_edge(VertexId{0}, VertexId{1});
+  const EdgeId e2 = g.add_edge(VertexId{0}, VertexId{1});
+  InstanceBuilder b(std::move(g));
+  b.set_latency(e1, linear(1.0));
+  b.set_latency(e2, constant(1.0));
+  b.add_commodity(VertexId{0}, VertexId{1}, 1.0);
+  return std::move(b).build();
+}
+
+TEST(TrajectoryRecorder, RecordsEveryPhase) {
+  const Instance inst = pigou();
+  const Policy policy = make_uniform_linear_policy(inst);
+  const FluidSimulator sim(inst, policy);
+  TrajectoryRecorder recorder(inst);
+  SimulationOptions options;
+  options.update_period = 0.5;
+  options.horizon = 5.0;
+  sim.run(FlowVector::uniform(inst), options, recorder.observer());
+  ASSERT_EQ(recorder.samples().size(), 10u);
+  for (std::size_t i = 1; i < recorder.samples().size(); ++i) {
+    EXPECT_GT(recorder.samples()[i].time, recorder.samples()[i - 1].time);
+  }
+  // The gap shrinks along the run.
+  EXPECT_LT(recorder.samples().back().gap, recorder.samples().front().gap);
+}
+
+TEST(TrajectoryRecorder, StrideSkipsPhases) {
+  const Instance inst = pigou();
+  const Policy policy = make_uniform_linear_policy(inst);
+  const FluidSimulator sim(inst, policy);
+  TrajectoryRecorder::Options rec_options;
+  rec_options.stride = 3;
+  TrajectoryRecorder recorder(inst, rec_options);
+  SimulationOptions options;
+  options.update_period = 0.5;
+  options.horizon = 5.0;
+  sim.run(FlowVector::uniform(inst), options, recorder.observer());
+  EXPECT_EQ(recorder.samples().size(), 4u);  // phases 0, 3, 6, 9
+}
+
+TEST(TrajectoryRecorder, StoresFlowsWhenAsked) {
+  const Instance inst = pigou();
+  const Policy policy = make_uniform_linear_policy(inst);
+  const FluidSimulator sim(inst, policy);
+  TrajectoryRecorder::Options rec_options;
+  rec_options.store_flows = true;
+  TrajectoryRecorder recorder(inst, rec_options);
+  SimulationOptions options;
+  options.update_period = 0.5;
+  options.horizon = 2.0;
+  sim.run(FlowVector::uniform(inst), options, recorder.observer());
+  ASSERT_EQ(recorder.flows().size(), 4u);
+  EXPECT_EQ(recorder.flows()[0].size(), inst.path_count());
+}
+
+TEST(TrajectoryRecorder, TimeToGap) {
+  const Instance inst = pigou();
+  const Policy policy = make_uniform_linear_policy(inst);
+  const FluidSimulator sim(inst, policy);
+  TrajectoryRecorder recorder(inst);
+  SimulationOptions options;
+  options.update_period = 0.25;
+  options.horizon = 100.0;
+  sim.run(FlowVector::uniform(inst), options, recorder.observer());
+  const auto hit = recorder.time_to_gap(1e-3);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_GT(*hit, 0.0);
+  EXPECT_FALSE(recorder.time_to_gap(-1.0).has_value());
+}
+
+TEST(AnalyseOscillation, DetectsSettledSeries) {
+  std::vector<std::vector<double>> flows(10, std::vector<double>{0.5, 0.5});
+  const OscillationReport report = analyse_oscillation(flows);
+  EXPECT_TRUE(report.settled);
+  EXPECT_FALSE(report.period_two);
+  EXPECT_DOUBLE_EQ(report.step_amplitude, 0.0);
+}
+
+TEST(AnalyseOscillation, DetectsPeriodTwo) {
+  std::vector<std::vector<double>> flows;
+  for (int i = 0; i < 12; ++i) {
+    flows.push_back(i % 2 == 0 ? std::vector<double>{0.7, 0.3}
+                               : std::vector<double>{0.3, 0.7});
+  }
+  const OscillationReport report = analyse_oscillation(flows);
+  EXPECT_FALSE(report.settled);
+  EXPECT_TRUE(report.period_two);
+  EXPECT_NEAR(report.step_amplitude, 0.4, 1e-12);
+  EXPECT_NEAR(report.period2_residual, 0.0, 1e-12);
+}
+
+TEST(AnalyseOscillation, ChaoticSeriesIsNeither) {
+  std::vector<std::vector<double>> flows;
+  double x = 0.2;
+  for (int i = 0; i < 20; ++i) {
+    x = 3.9 * x * (1.0 - x);  // logistic map
+    flows.push_back({x, 1.0 - x});
+  }
+  const OscillationReport report = analyse_oscillation(flows);
+  EXPECT_FALSE(report.settled);
+  EXPECT_FALSE(report.period_two);
+}
+
+TEST(AnalyseOscillation, RejectsTinySeries) {
+  std::vector<std::vector<double>> flows(3, std::vector<double>{1.0});
+  EXPECT_THROW(analyse_oscillation(flows), std::invalid_argument);
+}
+
+TEST(TailAmplitude, PeakToPeak) {
+  const std::vector<double> series{5.0, 1.0, 2.0, 4.0, 3.0};
+  EXPECT_DOUBLE_EQ(tail_amplitude(series, 3), 2.0);   // {2,4,3}
+  EXPECT_DOUBLE_EQ(tail_amplitude(series, 100), 4.0); // clamped to all
+  EXPECT_THROW(tail_amplitude({}, 2), std::invalid_argument);
+}
+
+TEST(RoundCounter, CountsBadRoundsOnOscillator) {
+  // Best response on the pulse instance never reaches an approximate
+  // equilibrium with tight delta/eps: every round is bad.
+  const Instance inst = two_link_pulse(4.0);
+  const BestResponseSimulator sim(inst);
+  const double T = 0.5;
+  const double f1 = 1.0 / (std::exp(-T) + 1.0);
+  RoundCounter counter(inst, RoundCounter::Mode::kStrict, 0.05, 0.25);
+  BestResponseOptions options;
+  options.update_period = T;
+  options.horizon = 10.0;
+  sim.run(FlowVector(inst, {f1, 1.0 - f1}), options, counter.observer());
+  EXPECT_EQ(counter.total_rounds(), 20u);
+  EXPECT_EQ(counter.bad_rounds(), counter.total_rounds());
+}
+
+TEST(RoundCounter, SmoothPolicyHasFinitelyManyBadRounds) {
+  const Instance inst = two_link_pulse(4.0);
+  const Policy policy = make_uniform_linear_policy(inst);
+  const double T = inst.safe_update_period(*policy.smoothness());
+  const FluidSimulator sim(inst, policy);
+  RoundCounter counter(inst, RoundCounter::Mode::kStrict, 0.05, 0.1);
+  SimulationOptions options;
+  options.update_period = T;
+  options.horizon = 300.0;
+  sim.run(FlowVector(inst, {0.95, 0.05}), options, counter.observer());
+  EXPECT_GT(counter.total_rounds(), counter.bad_rounds());
+  // Once good, stays good: the last bad round is early in the run.
+  EXPECT_LT(counter.last_bad_round(), counter.total_rounds() / 2);
+}
+
+TEST(RoundCounter, WeakModeIsNeverStricter) {
+  const Instance inst = two_link_pulse(4.0);
+  const Policy policy = make_uniform_linear_policy(inst);
+  const double T = inst.safe_update_period(*policy.smoothness());
+  const FluidSimulator sim(inst, policy);
+  RoundCounter strict(inst, RoundCounter::Mode::kStrict, 0.05, 0.1);
+  RoundCounter weak(inst, RoundCounter::Mode::kWeak, 0.05, 0.1);
+  SimulationOptions options;
+  options.update_period = T;
+  options.horizon = 100.0;
+  const PhaseObserver strict_obs = strict.observer();
+  const PhaseObserver weak_obs = weak.observer();
+  sim.run(FlowVector(inst, {0.9, 0.1}), options,
+          [&](const PhaseInfo& info) {
+            strict_obs(info);
+            weak_obs(info);
+          });
+  EXPECT_LE(weak.bad_rounds(), strict.bad_rounds());
+}
+
+TEST(RoundCounter, RejectsBadParameters) {
+  const Instance inst = pigou();
+  EXPECT_THROW(RoundCounter(inst, RoundCounter::Mode::kStrict, 0.0, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW(RoundCounter(inst, RoundCounter::Mode::kWeak, 0.1, 0.0),
+               std::invalid_argument);
+}
+
+TEST(AccountingRecorder, IdentityHoldsOnEveryPhase) {
+  const Instance inst = braess(true);
+  const Policy policy = make_uniform_linear_policy(inst);
+  const FluidSimulator sim(inst, policy);
+  AccountingRecorder recorder(inst);
+  SimulationOptions options;
+  options.update_period = 0.05;
+  options.horizon = 5.0;
+  sim.run(FlowVector::uniform(inst), options, recorder.observer());
+  EXPECT_EQ(recorder.records().size(), 100u);
+  EXPECT_LT(recorder.max_identity_residual(), 1e-12);
+}
+
+TEST(AccountingRecorder, DetectsViolationsAtHugeT) {
+  // With a naive policy and a long period the potential can rise; the
+  // recorder must notice (Lemma 4's premise is violated).
+  const Instance inst = two_link_pulse(16.0);
+  const Policy policy = make_naive_better_response_policy();
+  const FluidSimulator sim(inst, policy);
+  AccountingRecorder recorder(inst);
+  SimulationOptions options;
+  options.update_period = 2.0;
+  options.horizon = 40.0;
+  sim.run(FlowVector(inst, {0.95, 0.05}), options, recorder.observer());
+  EXPECT_GT(recorder.lemma4_violations(), 0u);
+  EXPECT_GT(recorder.max_delta_phi(), 0.0);
+}
+
+}  // namespace
+}  // namespace staleflow

@@ -1,0 +1,258 @@
+// Tests for the fluid dynamics layer: phase generator structure, exact
+// expm transitions vs numerical integration, fresh-information dynamics,
+// and the replicator identity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/bulletin_board.h"
+#include "core/dynamics.h"
+#include "core/policy.h"
+#include "equilibrium/frank_wolfe.h"
+#include "latency/functions.h"
+#include "net/generators.h"
+#include "ode/integrator.h"
+#include "util/rng.h"
+
+namespace staleflow {
+namespace {
+
+Instance pigou() {
+  Graph g(2);
+  const EdgeId e1 = g.add_edge(VertexId{0}, VertexId{1});
+  const EdgeId e2 = g.add_edge(VertexId{0}, VertexId{1});
+  InstanceBuilder b(std::move(g));
+  b.set_latency(e1, linear(1.0));
+  b.set_latency(e2, constant(1.0));
+  b.add_commodity(VertexId{0}, VertexId{1}, 1.0);
+  return std::move(b).build();
+}
+
+TEST(PhaseRates, GeneratorColumnsSumToZero) {
+  const Instance inst = braess(true);
+  const Policy policy = make_uniform_linear_policy(inst);
+  BulletinBoard board(inst);
+  const FlowVector f = FlowVector::uniform(inst);
+  board.post(0.0, f.values());
+  const PhaseRates rates(inst, policy, board);
+  const Matrix& g = rates.generator();
+  for (std::size_t col = 0; col < g.cols(); ++col) {
+    double sum = 0.0;
+    for (std::size_t row = 0; row < g.rows(); ++row) {
+      sum += g(row, col);
+      if (row != col) {
+        EXPECT_GE(g(row, col), 0.0);
+      }
+    }
+    EXPECT_NEAR(sum, 0.0, 1e-14);
+  }
+}
+
+TEST(PhaseRates, ZeroAtWardropEquilibrium) {
+  const Instance inst = pigou();
+  const Policy policy = make_uniform_linear_policy(inst);
+  BulletinBoard board(inst);
+  const std::vector<double> eq{1.0, 0.0};
+  board.post(0.0, eq);
+  const PhaseRates rates(inst, policy, board);
+  std::vector<double> dfdt(2);
+  rates.rhs(eq, dfdt);
+  EXPECT_NEAR(dfdt[0], 0.0, 1e-14);
+  EXPECT_NEAR(dfdt[1], 0.0, 1e-14);
+}
+
+TEST(PhaseRates, RequiresPostedBoard) {
+  const Instance inst = pigou();
+  const Policy policy = make_uniform_linear_policy(inst);
+  const BulletinBoard board(inst);
+  EXPECT_THROW(PhaseRates(inst, policy, board), std::logic_error);
+}
+
+TEST(PhaseRates, RhsConservesCommodityMass) {
+  const Instance inst = shared_bottleneck(0.4);
+  const Policy policy = make_replicator_policy(inst, 0.05);
+  BulletinBoard board(inst);
+  Rng rng(5);
+  std::vector<double> f(inst.path_count());
+  for (auto& v : f) v = rng.uniform();
+  renormalise(inst, f);
+  board.post(0.0, f);
+  const PhaseRates rates(inst, policy, board);
+  std::vector<double> dfdt(f.size());
+  rates.rhs(f, dfdt);
+  for (std::size_t c = 0; c < inst.commodity_count(); ++c) {
+    double total = 0.0;
+    for (const PathId p : inst.commodity(CommodityId{c}).paths) {
+      total += dfdt[p.index()];
+    }
+    EXPECT_NEAR(total, 0.0, 1e-14);
+  }
+}
+
+TEST(PhaseRates, ExactTransitionMatchesRk4) {
+  const Instance inst = braess(true);
+  const Policy policy = make_uniform_linear_policy(inst);
+  BulletinBoard board(inst);
+  const FlowVector start = FlowVector::uniform(inst);
+  board.post(0.0, start.values());
+  const PhaseRates rates(inst, policy, board);
+
+  const double tau = 0.37;
+  const std::vector<double> via_expm =
+      rates.transition(tau).apply(start.values());
+
+  std::vector<double> via_rk4(start.values().begin(), start.values().end());
+  const OdeRhs rhs = [&rates](double, std::span<const double> y,
+                              std::span<double> dydt) { rates.rhs(y, dydt); };
+  RungeKutta4(1e-4).integrate(rhs, 0.0, tau, via_rk4);
+
+  for (std::size_t p = 0; p < via_expm.size(); ++p) {
+    EXPECT_NEAR(via_expm[p], via_rk4[p], 1e-10);
+  }
+}
+
+TEST(PhaseRates, TransitionPreservesFeasibility) {
+  const Instance inst = two_link_pulse(4.0);
+  const Policy policy = make_uniform_linear_policy(inst);
+  BulletinBoard board(inst);
+  const std::vector<double> start{0.9, 0.1};
+  board.post(0.0, start);
+  const PhaseRates rates(inst, policy, board);
+  const std::vector<double> end = rates.transition(2.0).apply(start);
+  EXPECT_TRUE(is_feasible(inst, end, 1e-12));
+  EXPECT_THROW(rates.transition(-1.0), std::invalid_argument);
+}
+
+TEST(FreshDynamics, ConservesMassAndDecreasesPotential) {
+  const Instance inst = braess(true);
+  const Policy policy = make_uniform_linear_policy(inst);
+  const FreshDynamics dynamics(inst, policy);
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> f(inst.path_count());
+    for (auto& v : f) v = rng.uniform();
+    renormalise(inst, f);
+    std::vector<double> dfdt(f.size());
+    dynamics.rhs(f, dfdt);
+    EXPECT_NEAR(std::accumulate(dfdt.begin(), dfdt.end(), 0.0), 0.0, 1e-14);
+    // d/dt Phi = sum_P f'_P l_P <= 0 for selfish policies (Theorem 2).
+    const std::vector<double> latency = path_latencies(inst, f);
+    double phi_dot = 0.0;
+    for (std::size_t p = 0; p < f.size(); ++p) {
+      phi_dot += dfdt[p] * latency[p];
+    }
+    EXPECT_LE(phi_dot, 1e-14);
+  }
+}
+
+TEST(FreshDynamics, ZeroOnlyAtEquilibrium) {
+  const Instance inst = pigou();
+  const Policy policy = make_uniform_linear_policy(inst);
+  const FreshDynamics dynamics(inst, policy);
+  std::vector<double> dfdt(2);
+
+  const std::vector<double> eq{1.0, 0.0};
+  dynamics.rhs(eq, dfdt);
+  EXPECT_NEAR(dfdt[0], 0.0, 1e-14);
+
+  const std::vector<double> off{0.5, 0.5};
+  dynamics.rhs(off, dfdt);
+  EXPECT_GT(dfdt[0], 0.0);  // flow moves towards the cheaper link
+  EXPECT_LT(dfdt[1], 0.0);
+}
+
+TEST(FreshDynamics, ReplicatorIdentity) {
+  // For proportional sampling + linear migration on one commodity with
+  // r = 1 the fluid ODE reduces to the replicator equation
+  //   f'_P = f_P * (L - l_P) / l_max.
+  const Instance inst = uniform_parallel_links(4, 0.25, 1.0);
+  const Policy policy = make_replicator_policy(inst);
+  const FreshDynamics dynamics(inst, policy);
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> f(4);
+    for (auto& v : f) v = rng.uniform(0.05, 1.0);
+    renormalise(inst, f);
+    std::vector<double> dfdt(4);
+    dynamics.rhs(f, dfdt);
+    const FlowEvaluation eval = evaluate(inst, f);
+    for (std::size_t p = 0; p < 4; ++p) {
+      const double expected = f[p] *
+                              (eval.average_latency - eval.path_latency[p]) /
+                              inst.max_latency();
+      EXPECT_NEAR(dfdt[p], expected, 1e-12);
+    }
+  }
+}
+
+TEST(FreshDynamics, SizeMismatchThrows) {
+  const Instance inst = pigou();
+  const Policy policy = make_uniform_linear_policy(inst);
+  const FreshDynamics dynamics(inst, policy);
+  std::vector<double> f{0.5, 0.5};
+  std::vector<double> wrong(3);
+  EXPECT_THROW(dynamics.rhs(f, wrong), std::invalid_argument);
+}
+
+TEST(BulletinBoard, StoresSnapshot) {
+  const Instance inst = pigou();
+  BulletinBoard board(inst);
+  EXPECT_FALSE(board.has_data());
+  const std::vector<double> f{0.25, 0.75};
+  board.post(1.5, f);
+  EXPECT_TRUE(board.has_data());
+  EXPECT_DOUBLE_EQ(board.posted_at(), 1.5);
+  EXPECT_DOUBLE_EQ(board.path_flow()[0], 0.25);
+  EXPECT_DOUBLE_EQ(board.path_latency()[0], 0.25);  // l = x
+  EXPECT_DOUBLE_EQ(board.path_latency()[1], 1.0);
+  EXPECT_DOUBLE_EQ(board.edge_latency()[1], 1.0);
+  const std::vector<double> wrong{1.0};
+  EXPECT_THROW(board.post(2.0, wrong), std::invalid_argument);
+}
+
+TEST(BulletinBoard, StaleValuesPersistWithinPhase) {
+  // The board keeps the posted values even if the true flow moves on.
+  const Instance inst = pigou();
+  BulletinBoard board(inst);
+  board.post(0.0, std::vector<double>{0.5, 0.5});
+  const double frozen = board.path_latency()[0];
+  // ... the live flow changes, but nothing is re-posted:
+  EXPECT_DOUBLE_EQ(board.path_latency()[0], frozen);
+  board.post(1.0, std::vector<double>{0.9, 0.1});
+  EXPECT_NE(board.path_latency()[0], frozen);
+}
+
+class GeneratorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorSweep, PhaseGeneratorIsAlwaysAValidRateMatrix) {
+  // Property: whatever the (feasible) board flow, the per-phase generator
+  // has non-negative off-diagonals and zero column sums.
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const Instance inst = random_parallel_links(5, rng);
+  const Policy policy = make_replicator_policy(inst, 0.1);
+  BulletinBoard board(inst);
+  std::vector<double> f(inst.path_count());
+  for (auto& v : f) v = rng.uniform();
+  renormalise(inst, f);
+  board.post(0.0, f);
+  const PhaseRates rates(inst, policy, board);
+  const Matrix& g = rates.generator();
+  for (std::size_t col = 0; col < g.cols(); ++col) {
+    double sum = 0.0;
+    for (std::size_t row = 0; row < g.rows(); ++row) {
+      sum += g(row, col);
+      if (row != col) {
+        EXPECT_GE(g(row, col), 0.0);
+      }
+    }
+    EXPECT_NEAR(sum, 0.0, 1e-13);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace staleflow

@@ -1,0 +1,276 @@
+// Integration tests: end-to-end properties that span the whole stack —
+// generators, dynamics, bulletin board, equilibrium solver, analysis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "staleflow/staleflow.h"
+
+namespace staleflow {
+namespace {
+
+// ------------------------------------------------------------ end-to-end
+
+TEST(EndToEnd, StaleDynamicsReachesTheFrankWolfeEquilibrium) {
+  // On strictly-increasing parallel links the equilibrium is unique, so
+  // the dynamics' limit must match the convex solver's flow path-by-path.
+  Rng rng(41);
+  const Instance inst = random_parallel_links(5, rng, 0.5, 0.5, 1.5);
+  const FrankWolfeResult reference = solve_equilibrium(inst);
+
+  const Policy policy = make_uniform_linear_policy(inst);
+  const double T = inst.safe_update_period(*policy.smoothness());
+  const FluidSimulator sim(inst, policy);
+  SimulationOptions options;
+  options.update_period = T;
+  options.horizon = 4'000.0;
+  options.stop_gap = 1e-9;
+  const SimulationResult result = sim.run(FlowVector::uniform(inst), options);
+
+  for (std::size_t p = 0; p < inst.path_count(); ++p) {
+    EXPECT_NEAR(result.final_flow[PathId{p}], reference.flow[PathId{p}],
+                2e-3);
+  }
+}
+
+TEST(EndToEnd, PotentialNeverDropsBelowOptimum) {
+  Rng rng(43);
+  const Instance inst = grid(3, 3, rng);
+  const double phi_star = optimal_potential(inst);
+  const Policy policy = make_replicator_policy(inst, 0.05);
+  const FluidSimulator sim(inst, policy);
+  SimulationOptions options;
+  options.update_period = 0.05;
+  options.horizon = 50.0;
+  sim.run(FlowVector::uniform(inst), options, [&](const PhaseInfo& info) {
+    EXPECT_GE(potential(inst, info.flow_after), phi_star - 1e-9);
+  });
+}
+
+TEST(EndToEnd, SerialisedInstanceReproducesDynamics) {
+  // Save/load an instance and re-run the identical simulation: the
+  // trajectories must agree exactly (determinism across the I/O layer).
+  const Instance original = braess(true);
+  const Instance reloaded = parse_instance(serialize_instance(original));
+
+  auto run = [](const Instance& inst) {
+    const Policy policy = make_uniform_linear_policy(inst);
+    const FluidSimulator sim(inst, policy);
+    SimulationOptions options;
+    options.update_period = 0.1;
+    options.horizon = 10.0;
+    return sim.run(FlowVector::uniform(inst), options);
+  };
+  const SimulationResult a = run(original);
+  const SimulationResult b = run(reloaded);
+  for (std::size_t p = 0; p < original.path_count(); ++p) {
+    EXPECT_DOUBLE_EQ(a.final_flow[PathId{p}], b.final_flow[PathId{p}]);
+  }
+}
+
+TEST(EndToEnd, AgentsAndFluidAgreeOnTheEquilibrium) {
+  const Instance inst = shared_bottleneck(0.5);
+  const Policy policy = make_uniform_linear_policy(inst);
+  const double T = inst.safe_update_period(*policy.smoothness());
+
+  const FluidSimulator fluid(inst, policy);
+  SimulationOptions fluid_options;
+  fluid_options.update_period = T;
+  fluid_options.horizon = 200.0;
+  const SimulationResult fluid_result =
+      fluid.run(FlowVector::uniform(inst), fluid_options);
+
+  const AgentSimulator agents(inst, policy);
+  AgentSimOptions agent_options;
+  agent_options.num_agents = 50'000;
+  agent_options.update_period = T;
+  agent_options.horizon = 200.0;
+  agent_options.seed = 17;
+  const AgentSimResult agent_result =
+      agents.run(FlowVector::uniform(inst), agent_options);
+
+  for (std::size_t p = 0; p < inst.path_count(); ++p) {
+    EXPECT_NEAR(agent_result.final_flow[PathId{p}],
+                fluid_result.final_flow[PathId{p}], 0.02);
+  }
+}
+
+TEST(EndToEnd, RelativeSlackPolicyConvergesOnSteepInstance) {
+  // Degree-4 monomial links: beta = 4 * c is large, so slope-driven rules
+  // are slow; the relative-slack rule (extension, [10]) still converges
+  // under fresh information and — with a shift — under staleness.
+  const Instance inst = parallel_links(4, [](std::size_t j) {
+    return polynomial({0.1 * static_cast<double>(j), 0.0, 0.0, 0.0, 8.0});
+  });
+  const Policy policy = make_relative_slack_policy(0.25);
+  ASSERT_TRUE(policy.smoothness().has_value());
+  const double T = inst.safe_update_period(*policy.smoothness());
+
+  const FluidSimulator sim(inst, policy);
+  SimulationOptions options;
+  options.update_period = T;
+  options.horizon = 2'000.0;
+  options.stop_gap = 1e-6;
+  std::vector<double> start(4, 0.1 / 3.0);
+  start[3] = 0.9;
+  const SimulationResult result = sim.run(FlowVector(inst, start), options);
+  EXPECT_LT(result.final_gap, 1e-4);
+}
+
+// --------------------------------------------- theorem-shape property sweeps
+
+struct StaleCase {
+  double beta;
+  double fraction;  // T / T_safe
+};
+
+class StaleConvergenceSweep
+    : public ::testing::TestWithParam<StaleCase> {};
+
+TEST_P(StaleConvergenceSweep, Corollary5HoldsAcrossBetaAndT) {
+  const auto [beta, fraction] = GetParam();
+  const Instance inst = two_link_pulse(beta);
+  const Policy policy = make_uniform_linear_policy(inst);
+  const double T = fraction * inst.safe_update_period(*policy.smoothness());
+  const FluidSimulator sim(inst, policy);
+
+  AccountingRecorder recorder(inst);
+  SimulationOptions options;
+  options.update_period = T;
+  options.horizon = 500.0;
+  options.stop_gap = 1e-9;
+  const SimulationResult result =
+      sim.run(FlowVector(inst, {0.9, 0.1}), options, recorder.observer());
+
+  EXPECT_LT(result.final_gap, 1e-4) << "beta=" << beta << " frac=" << fraction;
+  EXPECT_EQ(recorder.lemma4_violations(), 0u);
+  EXPECT_LT(recorder.max_identity_residual(), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StaleConvergenceSweep,
+    ::testing::Values(StaleCase{1.0, 0.5}, StaleCase{1.0, 1.0},
+                      StaleCase{4.0, 0.5}, StaleCase{4.0, 1.0},
+                      StaleCase{16.0, 0.5}, StaleCase{16.0, 1.0},
+                      StaleCase{64.0, 1.0}));
+
+class OscillationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(OscillationSweep, BestResponseAmplitudeFormulaAcrossBeta) {
+  const double beta = GetParam();
+  const double T = 0.4;
+  const Instance inst = two_link_pulse(beta);
+  const BestResponseSimulator sim(inst);
+  const double f1 = 1.0 / (std::exp(-T) + 1.0);
+
+  double measured = 0.0;
+  BestResponseOptions options;
+  options.update_period = T;
+  options.horizon = 12.0 * T;
+  sim.run(FlowVector(inst, {f1, 1.0 - f1}), options,
+          [&](const PhaseInfo& info) {
+            measured = std::max(
+                measured, max_latency_deviation(inst, info.flow_before, -1.0));
+          });
+  const double predicted =
+      beta * (1.0 - std::exp(-T)) / (2.0 * std::exp(-T) + 2.0);
+  EXPECT_NEAR(measured, predicted, 1e-9 * (1.0 + beta));
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, OscillationSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0, 8.0, 32.0));
+
+// Theorem 6/7 shape at test scale: more paths => more bad rounds under
+// uniform sampling, roughly flat under proportional sampling.
+TEST(TheoremShapes, ProportionalBeatsUniformScalingInPathCount) {
+  auto bad_rounds = [](std::size_t m, bool uniform) {
+    const Instance inst = parallel_links(m, [m](std::size_t j) {
+      return affine(0.5 * static_cast<double>(j) / static_cast<double>(m),
+                    1.0);
+    });
+    const Policy policy = uniform ? make_uniform_linear_policy(inst)
+                                  : make_replicator_policy(inst);
+    const double T =
+        std::min(inst.safe_update_period(*policy.smoothness()), 1.0);
+    std::vector<double> start(m, 0.1 / static_cast<double>(m - 1));
+    start[m - 1] = 0.9;
+    const FluidSimulator sim(inst, policy);
+    RoundCounter counter(inst, RoundCounter::Mode::kWeak, 0.1, 0.05);
+    SimulationOptions options;
+    options.update_period = T;
+    options.horizon = 1e9;
+    options.max_phases = 5'000;
+    options.stop_gap = 1e-9;
+    options.step_size = T / 16.0;
+    sim.run(FlowVector(inst, start), options, counter.observer());
+    return counter.bad_rounds();
+  };
+
+  const double uniform_growth = static_cast<double>(bad_rounds(16, true)) /
+                                static_cast<double>(bad_rounds(4, true));
+  const double proportional_growth =
+      static_cast<double>(bad_rounds(16, false)) /
+      static_cast<double>(bad_rounds(4, false));
+  EXPECT_GT(uniform_growth, proportional_growth);
+  EXPECT_LT(proportional_growth, 2.0);  // near-flat in m (Theorem 7)
+}
+
+TEST(TheoremShapes, SaferPeriodsMeanSlowerConvergence) {
+  // Corollary 5's trade-off: alpha ~ 1/T, so time-to-equilibrium grows
+  // with T when alpha is tuned to the staleness.
+  const Instance inst = two_link_pulse(4.0);
+  double previous_time = 0.0;
+  for (const double T : {0.1, 0.4, 1.6}) {
+    const double alpha =
+        1.0 / (4.0 * static_cast<double>(inst.max_path_length()) *
+               inst.max_slope() * T);
+    const Policy policy = make_alpha_policy(alpha);
+    const FluidSimulator sim(inst, policy);
+    TrajectoryRecorder recorder(inst);
+    SimulationOptions options;
+    options.update_period = T;
+    options.horizon = 2'000.0;
+    options.stop_gap = 1e-6;
+    sim.run(FlowVector(inst, {0.9, 0.1}), options, recorder.observer());
+    const auto hit = recorder.time_to_gap(1e-3);
+    ASSERT_TRUE(hit.has_value()) << "T=" << T;
+    EXPECT_GT(*hit, previous_time);
+    previous_time = *hit;
+  }
+}
+
+// --------------------------------------------------------- multi-commodity
+
+TEST(MultiCommodity, StaleConvergenceOnSharedBottleneck) {
+  const Instance inst = shared_bottleneck(0.4);
+  const Policy policy = make_uniform_linear_policy(inst);
+  const double T = inst.safe_update_period(*policy.smoothness());
+  const FluidSimulator sim(inst, policy);
+  AccountingRecorder recorder(inst);
+  SimulationOptions options;
+  options.update_period = T;
+  options.horizon = 600.0;
+  options.stop_gap = 1e-8;
+  const SimulationResult result =
+      sim.run(FlowVector::uniform(inst), options, recorder.observer());
+  EXPECT_LT(result.final_gap, 1e-5);
+  EXPECT_EQ(recorder.lemma4_violations(), 0u);
+}
+
+TEST(MultiCommodity, GridWithTwoCommodities) {
+  Rng rng(51);
+  const Instance inst = multicommodity_grid(3, 3, 2, rng);
+  const Policy policy = make_replicator_policy(inst, 0.05);
+  const double T = inst.safe_update_period(*policy.smoothness());
+  const FluidSimulator sim(inst, policy);
+  SimulationOptions options;
+  options.update_period = T;
+  options.horizon = 2'000.0;
+  options.stop_gap = 1e-6;
+  const SimulationResult result = sim.run(FlowVector::uniform(inst), options);
+  EXPECT_LT(result.final_gap, 1e-3);
+  EXPECT_TRUE(is_feasible(inst, result.final_flow.values(), 1e-8));
+}
+
+}  // namespace
+}  // namespace staleflow

@@ -1,0 +1,293 @@
+// Tests for the latency module: every function family satisfies the model
+// contract (continuous, non-decreasing, finite slope) and its closed-form
+// derivative/integral agree with numerical differentiation/quadrature.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "latency/functions.h"
+#include "latency/latency_function.h"
+#include "latency/quadrature.h"
+
+namespace staleflow {
+namespace {
+
+TEST(Quadrature, IntegratesPolynomialsExactly) {
+  EXPECT_NEAR(integrate([](double x) { return x * x; }, 0.0, 1.0), 1.0 / 3.0,
+              1e-12);
+  EXPECT_NEAR(integrate([](double x) { return 3.0 * x * x; }, 1.0, 2.0), 7.0,
+              1e-10);
+}
+
+TEST(Quadrature, OrientedInterval) {
+  EXPECT_NEAR(integrate([](double x) { return x; }, 1.0, 0.0), -0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(integrate([](double) { return 1.0; }, 2.0, 2.0), 0.0);
+}
+
+TEST(Quadrature, HandlesKinks) {
+  const auto kink = [](double x) { return std::max(0.0, x - 0.5); };
+  EXPECT_NEAR(integrate(kink, 0.0, 1.0), 0.125, 1e-8);
+}
+
+TEST(Quadrature, RejectsBadTolerance) {
+  EXPECT_THROW(integrate([](double) { return 1.0; }, 0.0, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- families
+
+/// Checks value/derivative/integral consistency via finite differences and
+/// quadrature on a grid, plus the library's own contract check.
+void expect_consistent(const LatencyFunction& fn) {
+  EXPECT_EQ(check_latency_contract(fn), "") << fn.describe();
+
+  // Spot-check derivative against central differences away from kinks.
+  const double h = 1e-7;
+  for (double x : {0.123, 0.347, 0.622, 0.881}) {
+    const double numeric = (fn.value(x + h) - fn.value(x - h)) / (2.0 * h);
+    EXPECT_NEAR(fn.derivative(x), numeric, 1e-4 * (1.0 + fn.max_slope(1.0)))
+        << fn.describe() << " at x=" << x;
+  }
+}
+
+TEST(ConstantLatency, Behaviour) {
+  const ConstantLatency fn(2.5);
+  EXPECT_DOUBLE_EQ(fn.value(0.0), 2.5);
+  EXPECT_DOUBLE_EQ(fn.value(1.0), 2.5);
+  EXPECT_DOUBLE_EQ(fn.derivative(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(fn.integral(0.4), 1.0);
+  EXPECT_DOUBLE_EQ(fn.max_slope(1.0), 0.0);
+  expect_consistent(fn);
+  EXPECT_THROW(ConstantLatency(-1.0), std::invalid_argument);
+}
+
+TEST(AffineLatency, Behaviour) {
+  const AffineLatency fn(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(fn.value(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(fn.derivative(0.1), 2.0);
+  EXPECT_DOUBLE_EQ(fn.integral(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(fn.max_slope(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(fn.offset(), 1.0);
+  EXPECT_DOUBLE_EQ(fn.slope(), 2.0);
+  expect_consistent(fn);
+  EXPECT_THROW(AffineLatency(-0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(AffineLatency(0.1, -1.0), std::invalid_argument);
+}
+
+TEST(MonomialLatency, Behaviour) {
+  const MonomialLatency fn(2.0, 3.0);  // 2 x^3
+  EXPECT_DOUBLE_EQ(fn.value(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(fn.derivative(1.0), 6.0);
+  EXPECT_DOUBLE_EQ(fn.integral(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(fn.max_slope(1.0), 6.0);
+  EXPECT_DOUBLE_EQ(fn.max_slope(0.5), 1.5);
+  expect_consistent(fn);
+  EXPECT_THROW(MonomialLatency(1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(MonomialLatency(-1.0, 2.0), std::invalid_argument);
+}
+
+TEST(PolynomialLatency, Behaviour) {
+  const PolynomialLatency fn({1.0, 0.0, 3.0});  // 1 + 3x^2
+  EXPECT_DOUBLE_EQ(fn.value(2.0), 13.0);
+  EXPECT_DOUBLE_EQ(fn.derivative(1.0), 6.0);
+  EXPECT_DOUBLE_EQ(fn.integral(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(fn.max_slope(1.0), 6.0);
+  expect_consistent(fn);
+  EXPECT_THROW(PolynomialLatency({}), std::invalid_argument);
+  EXPECT_THROW(PolynomialLatency({1.0, -2.0}), std::invalid_argument);
+}
+
+TEST(PolynomialLatency, MatchesEquivalentAffine) {
+  const PolynomialLatency poly({0.5, 1.5});
+  const AffineLatency aff(0.5, 1.5);
+  for (double x = 0.0; x <= 1.0; x += 0.1) {
+    EXPECT_NEAR(poly.value(x), aff.value(x), 1e-14);
+    EXPECT_NEAR(poly.integral(x), aff.integral(x), 1e-14);
+  }
+}
+
+TEST(ShiftedLinearLatency, PaperExample) {
+  // The Section 3.2 instance: l(x) = max{0, beta (x - 1/2)} with beta = 4.
+  const ShiftedLinearLatency fn(4.0, 0.5);
+  EXPECT_DOUBLE_EQ(fn.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(fn.value(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(fn.value(0.75), 1.0);
+  EXPECT_DOUBLE_EQ(fn.value(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(fn.derivative(0.25), 0.0);
+  EXPECT_DOUBLE_EQ(fn.derivative(0.75), 4.0);
+  EXPECT_DOUBLE_EQ(fn.integral(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(fn.integral(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(fn.max_slope(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(fn.max_slope(0.4), 0.0);  // flat below the threshold
+  expect_consistent(fn);
+}
+
+TEST(PiecewiseLinearLatency, Behaviour) {
+  const PiecewiseLinearLatency fn({{0.0, 0.0}, {0.5, 1.0}, {1.0, 1.5}});
+  EXPECT_DOUBLE_EQ(fn.value(0.25), 0.5);
+  EXPECT_DOUBLE_EQ(fn.value(0.75), 1.25);
+  EXPECT_DOUBLE_EQ(fn.derivative(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(fn.derivative(0.75), 1.0);
+  EXPECT_DOUBLE_EQ(fn.max_slope(1.0), 2.0);
+  EXPECT_NEAR(fn.integral(0.5), 0.25, 1e-12);
+  EXPECT_NEAR(fn.integral(1.0), 0.25 + 0.5 * (1.0 + 1.5) * 0.5, 1e-12);
+  expect_consistent(fn);
+}
+
+TEST(PiecewiseLinearLatency, RejectsBadBreakpoints) {
+  using BP = PiecewiseLinearLatency::Breakpoint;
+  EXPECT_THROW(PiecewiseLinearLatency(std::vector<BP>{{0.0, 0.0}}),
+               std::invalid_argument);
+  // Does not start at 0.
+  EXPECT_THROW(PiecewiseLinearLatency(std::vector<BP>{{0.1, 0.0}, {1.0, 1.0}}),
+               std::invalid_argument);
+  // Does not cover [0, 1].
+  EXPECT_THROW(PiecewiseLinearLatency(std::vector<BP>{{0.0, 0.0}, {0.9, 1.0}}),
+               std::invalid_argument);
+  // Decreasing y.
+  EXPECT_THROW(PiecewiseLinearLatency(std::vector<BP>{{0.0, 1.0}, {1.0, 0.5}}),
+               std::invalid_argument);
+  // Non-increasing x.
+  EXPECT_THROW(PiecewiseLinearLatency(
+                   std::vector<BP>{{0.0, 0.0}, {0.5, 0.5}, {0.5, 1.0}, {1.0, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(BprLatency, Behaviour) {
+  const BprLatency fn(1.0, 0.15, 0.8, 4.0);
+  EXPECT_DOUBLE_EQ(fn.value(0.0), 1.0);
+  EXPECT_NEAR(fn.value(0.8), 1.15, 1e-12);
+  EXPECT_GT(fn.derivative(1.0), fn.derivative(0.5));
+  expect_consistent(fn);
+  EXPECT_THROW(BprLatency(0.0, 0.15, 0.8, 4.0), std::invalid_argument);
+  EXPECT_THROW(BprLatency(1.0, -0.1, 0.8, 4.0), std::invalid_argument);
+  EXPECT_THROW(BprLatency(1.0, 0.15, 0.0, 4.0), std::invalid_argument);
+  EXPECT_THROW(BprLatency(1.0, 0.15, 0.8, 0.5), std::invalid_argument);
+}
+
+TEST(MM1Latency, Behaviour) {
+  const MM1Latency fn(2.0);
+  EXPECT_DOUBLE_EQ(fn.value(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(fn.value(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(fn.derivative(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(fn.max_slope(1.0), 1.0);
+  EXPECT_NEAR(fn.integral(1.0), std::log(2.0), 1e-12);
+  expect_consistent(fn);
+  EXPECT_THROW(MM1Latency(1.0), std::invalid_argument);
+  EXPECT_THROW(MM1Latency(0.5), std::invalid_argument);
+}
+
+TEST(AllFamilies, CloneProducesEqualBehaviour) {
+  std::vector<LatencyPtr> fns;
+  fns.push_back(constant(1.0));
+  fns.push_back(affine(0.5, 2.0));
+  fns.push_back(linear(3.0));
+  fns.push_back(monomial(1.0, 2.0));
+  fns.push_back(polynomial({1.0, 1.0, 1.0}));
+  fns.push_back(shifted_linear(4.0));
+  fns.push_back(piecewise_linear({{0.0, 0.0}, {1.0, 2.0}}));
+  fns.push_back(bpr(1.0, 0.15, 1.0, 4.0));
+  fns.push_back(mm1(3.0));
+  for (const auto& fn : fns) {
+    const LatencyPtr copy = fn->clone();
+    for (double x = 0.0; x <= 1.0; x += 0.25) {
+      EXPECT_DOUBLE_EQ(copy->value(x), fn->value(x)) << fn->describe();
+      EXPECT_DOUBLE_EQ(copy->integral(x), fn->integral(x)) << fn->describe();
+    }
+    EXPECT_EQ(copy->describe(), fn->describe());
+  }
+}
+
+TEST(AllFamilies, DescribeIsNonEmpty) {
+  EXPECT_FALSE(constant(1.0)->describe().empty());
+  EXPECT_FALSE(affine(1.0, 1.0)->describe().empty());
+  EXPECT_FALSE(shifted_linear(2.0)->describe().empty());
+  EXPECT_FALSE(mm1(2.0)->describe().empty());
+}
+
+TEST(MaxElasticity, MonomialEqualsDegree) {
+  // For c*x^d the elasticity x*l'/l is exactly d everywhere.
+  for (const double d : {1.0, 2.0, 3.5, 6.0}) {
+    const MonomialLatency fn(7.0, d);
+    EXPECT_NEAR(max_elasticity(fn), d, 1e-9) << "d=" << d;
+  }
+}
+
+TEST(MaxElasticity, ConstantIsZero) {
+  EXPECT_DOUBLE_EQ(max_elasticity(ConstantLatency(3.0)), 0.0);
+}
+
+TEST(MaxElasticity, AffineBelowOne) {
+  // x*b/(a+bx) < 1, approaching 1 as a -> 0.
+  const AffineLatency fn(0.01, 1.0);
+  const double e = max_elasticity(fn);
+  EXPECT_GT(e, 0.9);
+  EXPECT_LT(e, 1.0);
+}
+
+TEST(MaxElasticity, SkipsZeroLatencyRegion) {
+  // The pulse function is 0 below the threshold; elasticity is evaluated
+  // only where l > 0 and is large just past the kink.
+  const ShiftedLinearLatency fn(4.0, 0.5);
+  EXPECT_GT(max_elasticity(fn), 1.0);
+}
+
+TEST(ContractCheck, CatchesViolations) {
+  // A deliberately broken function: claims slope 0 but has slope 1.
+  class Broken final : public LatencyFunction {
+   public:
+    double value(double x) const override { return x; }
+    double derivative(double) const override { return 1.0; }
+    double integral(double x) const override { return 0.5 * x * x; }
+    double max_slope(double) const override { return 0.0; }  // lie
+    std::string describe() const override { return "broken"; }
+    LatencyPtr clone() const override {
+      return std::make_unique<Broken>(*this);
+    }
+  };
+  EXPECT_NE(check_latency_contract(Broken{}), "");
+}
+
+TEST(ContractCheck, CatchesWrongIntegral) {
+  class WrongIntegral final : public LatencyFunction {
+   public:
+    double value(double x) const override { return x; }
+    double derivative(double) const override { return 1.0; }
+    double integral(double x) const override { return x; }  // wrong
+    double max_slope(double) const override { return 1.0; }
+    std::string describe() const override { return "wrong-integral"; }
+    LatencyPtr clone() const override {
+      return std::make_unique<WrongIntegral>(*this);
+    }
+  };
+  EXPECT_NE(check_latency_contract(WrongIntegral{}), "");
+}
+
+// Parameterised sweep: the contract holds across a family grid.
+class MonomialSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MonomialSweep, ContractHolds) {
+  const double degree = GetParam();
+  const MonomialLatency fn(1.5, degree);
+  EXPECT_EQ(check_latency_contract(fn), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, MonomialSweep,
+                         ::testing::Values(1.0, 1.5, 2.0, 3.0, 4.0, 6.0));
+
+class MM1Sweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MM1Sweep, ContractHoldsAndSlopeFormula) {
+  const double capacity = GetParam();
+  const MM1Latency fn(capacity);
+  EXPECT_EQ(check_latency_contract(fn), "");
+  const double expected = 1.0 / ((capacity - 1.0) * (capacity - 1.0));
+  EXPECT_NEAR(fn.max_slope(1.0), expected, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, MM1Sweep,
+                         ::testing::Values(1.1, 1.5, 2.0, 4.0, 10.0));
+
+}  // namespace
+}  // namespace staleflow

@@ -1,0 +1,339 @@
+// Tests for the ODE module: integrators against closed-form solutions,
+// dense matrix algebra, and the matrix exponential.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ode/expm.h"
+#include "ode/integrator.h"
+#include "ode/matrix.h"
+
+namespace staleflow {
+namespace {
+
+// y' = -y, y(0) = 1 => y(t) = e^{-t}.
+const OdeRhs kDecay = [](double, std::span<const double> y,
+                         std::span<double> dydt) { dydt[0] = -y[0]; };
+
+// Harmonic oscillator: (x, v)' = (v, -x); solution (cos t, -sin t).
+const OdeRhs kOscillator = [](double, std::span<const double> y,
+                              std::span<double> dydt) {
+  dydt[0] = y[1];
+  dydt[1] = -y[0];
+};
+
+// Non-autonomous: y' = t => y(t) = y0 + t^2/2.
+const OdeRhs kRamp = [](double t, std::span<const double>,
+                        std::span<double> dydt) { dydt[0] = t; };
+
+TEST(ExplicitEuler, ConvergesFirstOrder) {
+  // Error at t = 1 should shrink roughly linearly with the step.
+  double prev_err = 0.0;
+  for (int k = 0; k < 3; ++k) {
+    const double h = 0.01 / std::pow(2.0, k);
+    std::vector<double> y{1.0};
+    ExplicitEuler(h).integrate(kDecay, 0.0, 1.0, y);
+    const double err = std::abs(y[0] - std::exp(-1.0));
+    if (k > 0) {
+      EXPECT_NEAR(prev_err / err, 2.0, 0.3);
+    }
+    prev_err = err;
+  }
+}
+
+TEST(RungeKutta4, IsVeryAccurate) {
+  std::vector<double> y{1.0};
+  const OdeStats stats = RungeKutta4(0.01).integrate(kDecay, 0.0, 2.0, y);
+  EXPECT_NEAR(y[0], std::exp(-2.0), 1e-10);
+  EXPECT_EQ(stats.steps_accepted, 200u);
+  EXPECT_EQ(stats.rhs_evaluations, 800u);
+}
+
+TEST(RungeKutta4, OscillatorStaysOnCircle) {
+  std::vector<double> y{1.0, 0.0};
+  RungeKutta4(0.001).integrate(kOscillator, 0.0, 6.283185307179586, y);
+  EXPECT_NEAR(y[0], 1.0, 1e-9);
+  EXPECT_NEAR(y[1], 0.0, 1e-9);
+}
+
+TEST(RungeKutta4, HandlesNonAutonomousRhs) {
+  std::vector<double> y{1.0};
+  RungeKutta4(0.05).integrate(kRamp, 0.0, 2.0, y);
+  EXPECT_NEAR(y[0], 3.0, 1e-10);
+}
+
+TEST(RungeKutta4, LastStepLandsExactly) {
+  // 0.3 is not a multiple of the 0.04 step.
+  std::vector<double> y{1.0};
+  RungeKutta4(0.04).integrate(kDecay, 0.0, 0.3, y);
+  EXPECT_NEAR(y[0], std::exp(-0.3), 1e-8);
+}
+
+TEST(Integrators, ObserverSeesMonotoneTimes) {
+  std::vector<double> y{1.0};
+  double last_t = 0.0;
+  std::size_t calls = 0;
+  RungeKutta4(0.1).integrate(kDecay, 0.0, 1.0, y,
+                             [&](double t, std::span<const double>) {
+                               EXPECT_GT(t, last_t);
+                               last_t = t;
+                               ++calls;
+                             });
+  EXPECT_EQ(calls, 10u);
+  EXPECT_DOUBLE_EQ(last_t, 1.0);
+}
+
+TEST(Integrators, RejectBadArguments) {
+  EXPECT_THROW(ExplicitEuler(0.0), std::invalid_argument);
+  EXPECT_THROW(RungeKutta4(-0.1), std::invalid_argument);
+  std::vector<double> y{1.0};
+  EXPECT_THROW(RungeKutta4(0.1).integrate(kDecay, 1.0, 0.0, y),
+               std::invalid_argument);
+  DormandPrince45::Options bad;
+  bad.abs_tolerance = 0.0;
+  // Braces avoid the vexing parse inside the macro.
+  EXPECT_THROW(DormandPrince45{bad}, std::invalid_argument);
+}
+
+TEST(DormandPrince45, MatchesExactSolution) {
+  std::vector<double> y{1.0};
+  DormandPrince45::Options opts;
+  opts.abs_tolerance = 1e-12;
+  opts.rel_tolerance = 1e-12;
+  const OdeStats stats = DormandPrince45(opts).integrate(kDecay, 0.0, 5.0, y);
+  EXPECT_NEAR(y[0], std::exp(-5.0), 1e-10);
+  EXPECT_GT(stats.steps_accepted, 0u);
+}
+
+TEST(DormandPrince45, AdaptsStepOnOscillator) {
+  std::vector<double> y{1.0, 0.0};
+  DormandPrince45::Options opts;
+  opts.abs_tolerance = 1e-10;
+  opts.rel_tolerance = 1e-10;
+  DormandPrince45(opts).integrate(kOscillator, 0.0, 12.566370614359172, y);
+  EXPECT_NEAR(y[0], 1.0, 1e-7);
+  EXPECT_NEAR(y[1], 0.0, 1e-7);
+}
+
+TEST(DormandPrince45, UsesFewerStepsThanFixedRk4ForSameAccuracy) {
+  std::vector<double> y1{1.0};
+  DormandPrince45::Options opts;
+  opts.abs_tolerance = 1e-8;
+  opts.rel_tolerance = 1e-8;
+  const OdeStats adaptive = DormandPrince45(opts).integrate(kDecay, 0.0, 10.0, y1);
+  // Over a long quiet interval the adaptive method should take big steps.
+  EXPECT_LT(adaptive.steps_accepted, 200u);
+  EXPECT_NEAR(y1[0], std::exp(-10.0), 1e-7);
+}
+
+TEST(DormandPrince45, ZeroLengthIntervalIsNoop) {
+  std::vector<double> y{3.0};
+  const OdeStats stats = DormandPrince45().integrate(kDecay, 1.0, 1.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_EQ(stats.steps_accepted, 0u);
+}
+
+// ------------------------------------------------------------------ Matrix
+
+TEST(Matrix, BasicAlgebra) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 3.0;
+  a(1, 1) = 4.0;
+  const Matrix ident = Matrix::identity(2);
+  const Matrix sum = a + ident;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(sum(1, 1), 5.0);
+  const Matrix twice = a * 2.0;
+  EXPECT_DOUBLE_EQ(twice(1, 0), 6.0);
+  const Matrix diff = twice - a;
+  EXPECT_DOUBLE_EQ(diff(0, 1), 2.0);
+}
+
+TEST(Matrix, MultiplyMatchesHandComputation) {
+  Matrix a(2, 3), b(3, 2);
+  int v = 1;
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = v++;
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) b(i, j) = v++;
+  }
+  const Matrix c = a.multiply(b);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12] => c = [58 64; 139 154].
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, ApplyIsMatVec) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 0.0;
+  a(1, 1) = 3.0;
+  const std::vector<double> x{1.0, 2.0};
+  const std::vector<double> y = a.apply(x);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+  const std::vector<double> wrong{1.0};
+  EXPECT_THROW(a.apply(wrong), std::invalid_argument);
+}
+
+TEST(Matrix, InfNorm) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = -5.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 2.0;
+  EXPECT_DOUBLE_EQ(a.inf_norm(), 6.0);
+}
+
+TEST(Matrix, SolveRecoversKnownSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 4.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 3.0;
+  Matrix rhs(2, 1);
+  rhs(0, 0) = 1.0;
+  rhs(1, 0) = 2.0;
+  const Matrix x = a.solve(rhs);
+  EXPECT_NEAR(4.0 * x(0, 0) + x(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x(0, 0) + 3.0 * x(1, 0), 2.0, 1e-12);
+}
+
+TEST(Matrix, SolveNeedsPivoting) {
+  Matrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  const Matrix x = a.solve(Matrix::identity(2));
+  // The inverse of the swap matrix is itself.
+  EXPECT_DOUBLE_EQ(x(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(x(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(x(0, 0), 0.0);
+}
+
+TEST(Matrix, SolveDetectsSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_THROW(a.solve(Matrix::identity(2)), std::domain_error);
+}
+
+TEST(Matrix, ShapeMismatchesThrow) {
+  Matrix a(2, 3);
+  Matrix b(2, 2);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a.multiply(a), std::invalid_argument);
+  EXPECT_THROW(a.solve(b), std::invalid_argument);
+}
+
+// -------------------------------------------------------------------- expm
+
+TEST(Expm, IdentityAndZero) {
+  const Matrix zero(3, 3);
+  const Matrix e = expm(zero);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(e(i, j), i == j ? 1.0 : 0.0, 1e-14);
+    }
+  }
+}
+
+TEST(Expm, DiagonalMatrix) {
+  Matrix d(2, 2);
+  d(0, 0) = 1.0;
+  d(1, 1) = -2.0;
+  const Matrix e = expm(d);
+  EXPECT_NEAR(e(0, 0), std::exp(1.0), 1e-12);
+  EXPECT_NEAR(e(1, 1), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(e(0, 1), 0.0, 1e-14);
+}
+
+TEST(Expm, RotationGenerator) {
+  // A = [[0, -t], [t, 0]] => expm(A) is rotation by t.
+  const double t = 1.234;
+  Matrix a(2, 2);
+  a(0, 1) = -t;
+  a(1, 0) = t;
+  const Matrix e = expm(a);
+  EXPECT_NEAR(e(0, 0), std::cos(t), 1e-12);
+  EXPECT_NEAR(e(0, 1), -std::sin(t), 1e-12);
+  EXPECT_NEAR(e(1, 0), std::sin(t), 1e-12);
+  EXPECT_NEAR(e(1, 1), std::cos(t), 1e-12);
+}
+
+TEST(Expm, LargeNormUsesScaling) {
+  // Rotation by a large angle exercises the squaring phase.
+  const double t = 50.0;
+  Matrix a(2, 2);
+  a(0, 1) = -t;
+  a(1, 0) = t;
+  const Matrix e = expm(a);
+  EXPECT_NEAR(e(0, 0), std::cos(t), 1e-9);
+  EXPECT_NEAR(e(1, 0), std::sin(t), 1e-9);
+}
+
+TEST(Expm, GeneratorMatrixPreservesMass) {
+  // Columns of a generator sum to 0 => expm columns sum to 1.
+  Matrix g(3, 3);
+  g(0, 0) = -1.0;
+  g(1, 0) = 0.6;
+  g(2, 0) = 0.4;
+  g(1, 1) = -0.5;
+  g(0, 1) = 0.5;
+  g(2, 2) = -2.0;
+  g(0, 2) = 1.0;
+  g(1, 2) = 1.0;
+  const Matrix e = expm(g);
+  for (std::size_t j = 0; j < 3; ++j) {
+    double column = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      column += e(i, j);
+      EXPECT_GE(e(i, j), -1e-12);  // transition probabilities
+    }
+    EXPECT_NEAR(column, 1.0, 1e-12);
+  }
+}
+
+TEST(Expm, AgreesWithOdeIntegration) {
+  Matrix a(3, 3);
+  a(0, 0) = -0.7;
+  a(0, 1) = 0.2;
+  a(1, 0) = 0.7;
+  a(1, 1) = -0.2;
+  a(1, 2) = 0.3;
+  a(2, 2) = -0.3;
+  const std::vector<double> y0{0.5, 0.3, 0.2};
+  const double t = 2.0;
+
+  Matrix at = a;
+  at *= t;
+  const std::vector<double> via_expm = expm(at).apply(y0);
+
+  std::vector<double> via_rk4 = y0;
+  const OdeRhs rhs = [&a](double, std::span<const double> y,
+                          std::span<double> dydt) {
+    const std::vector<double> out = a.apply(y);
+    std::copy(out.begin(), out.end(), dydt.begin());
+  };
+  RungeKutta4(1e-4).integrate(rhs, 0.0, t, via_rk4);
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(via_expm[i], via_rk4[i], 1e-9);
+  }
+}
+
+TEST(Expm, RejectsNonSquare) {
+  EXPECT_THROW(expm(Matrix(2, 3)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace staleflow

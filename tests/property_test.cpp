@@ -1,0 +1,264 @@
+// Cross-cutting property sweeps: randomized invariants that should hold
+// for the whole stack regardless of instance and policy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "staleflow/staleflow.h"
+
+namespace staleflow {
+namespace {
+
+// ------------------------------------------------------------------- expm
+
+class ExpmGeneratorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExpmGeneratorSweep, RandomGeneratorMatricesAgreeWithRk4) {
+  // Property: for random generator matrices (non-negative off-diagonals,
+  // zero column sums) expm agrees with direct ODE integration and maps
+  // distributions to distributions.
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 3 + static_cast<std::size_t>(GetParam()) % 4;
+  Matrix g(n, n);
+  for (std::size_t col = 0; col < n; ++col) {
+    double total = 0.0;
+    for (std::size_t row = 0; row < n; ++row) {
+      if (row == col) continue;
+      g(row, col) = rng.uniform(0.0, 2.0);
+      total += g(row, col);
+    }
+    g(col, col) = -total;
+  }
+
+  std::vector<double> start(n);
+  for (auto& v : start) v = rng.uniform(0.1, 1.0);
+  const double mass = std::accumulate(start.begin(), start.end(), 0.0);
+  for (auto& v : start) v /= mass;
+
+  const double tau = rng.uniform(0.1, 2.0);
+  Matrix gt = g;
+  gt *= tau;
+  const std::vector<double> via_expm = expm(gt).apply(start);
+
+  std::vector<double> via_rk4 = start;
+  const OdeRhs rhs = [&g](double, std::span<const double> y,
+                          std::span<double> dydt) {
+    const std::vector<double> out = g.apply(y);
+    std::copy(out.begin(), out.end(), dydt.begin());
+  };
+  RungeKutta4(1e-4).integrate(rhs, 0.0, tau, via_rk4);
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(via_expm[i], via_rk4[i], 1e-8);
+    EXPECT_GE(via_expm[i], -1e-12);
+    total += via_expm[i];
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExpmGeneratorSweep,
+                         ::testing::Range(1, 13));
+
+// ------------------------------------------------------------ Frank-Wolfe
+
+class FrankWolfeFamilySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FrankWolfeFamilySweep, NonlinearLatencyFamiliesReachEquilibrium) {
+  // Property: the solver handles every latency family, and at the result
+  // every flow-carrying path has (near-)minimal latency.
+  const int which = GetParam();
+  Instance inst = parallel_links(4, [which](std::size_t j) -> LatencyPtr {
+    const double a = 0.2 * static_cast<double>(j);
+    switch (which) {
+      case 0:
+        return affine(a, 1.0);
+      case 1:
+        return polynomial({a, 0.0, 1.0});
+      case 2:
+        return bpr(0.5 + a, 0.3, 0.7, 2.0);
+      case 3:
+        return mm1(1.5 + a);
+      default:
+        return monomial(1.0 + a, 2.0);
+    }
+  });
+  FrankWolfeOptions options;
+  options.gap_tolerance = 1e-9;
+  const FrankWolfeResult result = solve_equilibrium(inst, options);
+  EXPECT_TRUE(result.converged);
+  const FlowEvaluation eval = evaluate(inst, result.flow.values());
+  for (std::size_t p = 0; p < inst.path_count(); ++p) {
+    if (result.flow[PathId{p}] > 1e-7) {
+      EXPECT_NEAR(eval.path_latency[p], eval.commodity_min_latency[0], 1e-5)
+          << "family " << which << " path " << p;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, FrankWolfeFamilySweep,
+                         ::testing::Range(0, 5));
+
+// ------------------------------------------------------------ marginal cost
+
+class MarginalContractSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MarginalContractSweep, MarginalCostSatisfiesContractForConvexFamilies) {
+  const int which = GetParam();
+  LatencyPtr base;
+  switch (which) {
+    case 0:
+      base = constant(2.0);
+      break;
+    case 1:
+      base = affine(0.5, 1.5);
+      break;
+    case 2:
+      base = monomial(2.0, 2.0);
+      break;
+    case 3:
+      base = polynomial({0.1, 0.2, 0.3, 0.4});
+      break;
+    case 4:
+      base = bpr(1.0, 0.15, 0.9, 4.0);
+      break;
+    default:
+      base = mm1(2.0);
+      break;
+  }
+  const MarginalCostLatency mc(*base);
+  EXPECT_EQ(check_latency_contract(mc), "") << base->describe();
+  // Integral identity INT_0^x c = x * l(x) for a few probes.
+  for (double x : {0.25, 0.5, 1.0}) {
+    EXPECT_NEAR(mc.integral(x), x * base->value(x), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, MarginalContractSweep,
+                         ::testing::Range(0, 6));
+
+// --------------------------------------------------------------- dynamics
+
+class MassConservationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MassConservationSweep, SimulationConservesDemandExactly) {
+  // Property: across random instances, policies and periods, the fluid
+  // simulator returns feasible flows (mass conservation + nonnegativity).
+  Rng rng(static_cast<std::uint64_t>(100 + GetParam()));
+  const Instance inst = layered_dag(2, 3, 2, rng);
+  std::vector<Policy> policies;
+  policies.push_back(make_uniform_linear_policy(inst));
+  policies.push_back(make_replicator_policy(inst, 0.1));
+  policies.push_back(make_logit_policy(inst, 2.0));
+  for (const Policy& policy : policies) {
+    const FluidSimulator sim(inst, policy);
+    SimulationOptions options;
+    options.update_period = rng.uniform(0.01, 0.5);
+    options.horizon = 5.0;
+    const SimulationResult result =
+        sim.run(FlowVector::uniform(inst), options);
+    EXPECT_TRUE(is_feasible(inst, result.final_flow.values(), 1e-9))
+        << policy.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MassConservationSweep,
+                         ::testing::Range(0, 8));
+
+TEST(SafePolicyFactory, MatchesCorollary5Recipe) {
+  const Instance inst = two_link_pulse(8.0);  // D = 1, beta = 8
+  const Policy policy = make_safe_policy(inst, 0.25);
+  ASSERT_TRUE(policy.smoothness().has_value());
+  EXPECT_DOUBLE_EQ(*policy.smoothness(), 1.0 / (4.0 * 8.0 * 0.25));
+  // By construction T = 0.25 is exactly the safe period for this alpha.
+  EXPECT_DOUBLE_EQ(inst.safe_update_period(*policy.smoothness()), 0.25);
+  EXPECT_THROW(make_safe_policy(inst, 0.0), std::invalid_argument);
+
+  Graph g(2);
+  const EdgeId e1 = g.add_edge(VertexId{0}, VertexId{1});
+  const EdgeId e2 = g.add_edge(VertexId{0}, VertexId{1});
+  InstanceBuilder b(std::move(g));
+  b.set_latency(e1, constant(1.0));
+  b.set_latency(e2, constant(2.0));
+  b.add_commodity(VertexId{0}, VertexId{1}, 1.0);
+  const Instance flat = std::move(b).build();
+  EXPECT_THROW(make_safe_policy(flat, 0.25), std::invalid_argument);
+}
+
+class SafePolicySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SafePolicySweep, SafePolicyConvergesAtItsOwnPeriod) {
+  const double T = GetParam();
+  const Instance inst = two_link_pulse(4.0);
+  const Policy policy = make_safe_policy(inst, T);
+  const FluidSimulator sim(inst, policy);
+  AccountingRecorder recorder(inst);
+  SimulationOptions options;
+  options.update_period = T;
+  options.horizon = 1'500.0 * T;
+  options.stop_gap = 1e-8;
+  const SimulationResult result =
+      sim.run(FlowVector(inst, {0.9, 0.1}), options, recorder.observer());
+  EXPECT_LT(result.final_gap, 1e-4) << "T=" << T;
+  EXPECT_EQ(recorder.lemma4_violations(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, SafePolicySweep,
+                         ::testing::Values(0.05, 0.2, 0.8, 3.2));
+
+// ----------------------------------------------------- best-reply ties
+
+TEST(BestReply, MultiCommodityTies) {
+  const Instance inst = shared_bottleneck(0.5);
+  // Equal latencies everywhere: each commodity splits over its paths.
+  const std::vector<double> latency(inst.path_count(), 1.0);
+  const FlowVector reply = best_reply_flow(inst, latency);
+  for (std::size_t c = 0; c < inst.commodity_count(); ++c) {
+    const Commodity& commodity = inst.commodity(CommodityId{c});
+    const double share =
+        commodity.demand / static_cast<double>(commodity.paths.size());
+    for (const PathId p : commodity.paths) {
+      EXPECT_DOUBLE_EQ(reply[p], share);
+    }
+  }
+}
+
+// ------------------------------------------------------ agents (replicator)
+
+TEST(AgentsProperty, ReplicatorPolicyNeverResurrectsEmptyPaths) {
+  // Proportional sampling cannot discover a path with zero board flow; in
+  // the discrete simulator a path that starts empty stays empty.
+  const Instance inst = uniform_parallel_links(3, 0.0, 1.0);
+  const Policy policy = make_replicator_policy(inst);
+  const AgentSimulator sim(inst, policy);
+  AgentSimOptions options;
+  options.num_agents = 600;
+  options.update_period = 0.2;
+  options.horizon = 8.0;
+  options.seed = 77;
+  const FlowVector start(inst, {0.5, 0.5, 0.0});
+  const AgentSimResult result = sim.run(start, options);
+  EXPECT_DOUBLE_EQ(result.final_flow[PathId{2}], 0.0);
+}
+
+TEST(AgentsProperty, UniformFloorResurrectsEmptyPaths) {
+  // With a uniform floor the third path gets sampled and, being cheaper,
+  // attracts flow.
+  const Instance inst = parallel_links(3, [](std::size_t j) {
+    return j == 2 ? affine(0.0, 0.5) : affine(0.5, 1.0);
+  });
+  const Policy policy = make_replicator_policy(inst, 0.2);
+  const AgentSimulator sim(inst, policy);
+  AgentSimOptions options;
+  options.num_agents = 2'000;
+  options.update_period = 0.2;
+  options.horizon = 30.0;
+  options.seed = 78;
+  const FlowVector start(inst, {0.5, 0.5, 0.0});
+  const AgentSimResult result = sim.run(start, options);
+  EXPECT_GT(result.final_flow[PathId{2}], 0.3);
+}
+
+}  // namespace
+}  // namespace staleflow

@@ -1,0 +1,363 @@
+// Tests for the simulators: the paper's headline behaviours.
+//   * Theorem 2  — convergence under fresh information.
+//   * Section 3.2 — best response oscillates under staleness, with the
+//                   exact closed-form orbit and amplitude.
+//   * Corollary 5 — smooth policies converge when T <= 1/(4 D alpha beta).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/accounting.h"
+#include "analysis/oscillation.h"
+#include "analysis/trajectory.h"
+#include "core/best_response.h"
+#include "core/fluid_simulator.h"
+#include "equilibrium/frank_wolfe.h"
+#include "equilibrium/metrics.h"
+#include "latency/functions.h"
+#include "net/generators.h"
+#include "util/rng.h"
+
+namespace staleflow {
+namespace {
+
+Instance pigou() {
+  Graph g(2);
+  const EdgeId e1 = g.add_edge(VertexId{0}, VertexId{1});
+  const EdgeId e2 = g.add_edge(VertexId{0}, VertexId{1});
+  InstanceBuilder b(std::move(g));
+  b.set_latency(e1, linear(1.0));
+  b.set_latency(e2, constant(1.0));
+  b.add_commodity(VertexId{0}, VertexId{1}, 1.0);
+  return std::move(b).build();
+}
+
+// --------------------------------------------------- fresh info (Thm 2)
+
+TEST(FluidSimulator, FreshInformationConvergesOnPigou) {
+  const Instance inst = pigou();
+  const Policy policy = make_uniform_linear_policy(inst);
+  const FluidSimulator sim(inst, policy);
+  SimulationOptions options;
+  options.update_period = 0.0;  // fresh
+  options.horizon = 200.0;
+  const SimulationResult result =
+      sim.run(FlowVector::uniform(inst), options);
+  EXPECT_LT(result.final_gap, 1e-3);
+  EXPECT_NEAR(result.final_flow[PathId{0}], 1.0, 0.05);
+}
+
+TEST(FluidSimulator, FreshPotentialIsMonotone) {
+  const Instance inst = braess(true);
+  const Policy policy = make_replicator_policy(inst, 0.05);
+  const FluidSimulator sim(inst, policy);
+  TrajectoryRecorder recorder(inst);
+  SimulationOptions options;
+  options.update_period = 0.0;
+  options.horizon = 50.0;
+  sim.run(FlowVector::uniform(inst), options, recorder.observer());
+  EXPECT_LT(recorder.max_potential_increase(), 1e-9);
+}
+
+TEST(FluidSimulator, FreshConvergesForAllPolicyFamilies) {
+  const Instance inst = pigou();
+  std::vector<Policy> policies;
+  policies.push_back(make_uniform_linear_policy(inst));
+  policies.push_back(make_replicator_policy(inst, 0.02));
+  policies.push_back(make_logit_policy(inst, 3.0));
+  for (const Policy& policy : policies) {
+    const FluidSimulator sim(inst, policy);
+    SimulationOptions options;
+    options.update_period = 0.0;
+    options.horizon = 400.0;
+    const SimulationResult result =
+        sim.run(FlowVector::uniform(inst), options);
+    EXPECT_LT(result.final_gap, 5e-3) << policy.name();
+  }
+}
+
+// ------------------------------------------ best response oscillation
+
+TEST(BestResponse, ClosedFormOrbitFromPaper) {
+  // Section 3.2: with f1(0) = 1/(e^{-T}+1) the orbit returns to itself
+  // every two phases and alternates across 1/2.
+  const double beta = 4.0;
+  const double T = 0.5;
+  const Instance inst = two_link_pulse(beta);
+  const BestResponseSimulator sim(inst);
+
+  const double f1_start = 1.0 / (std::exp(-T) + 1.0);
+  FlowVector start(inst, {f1_start, 1.0 - f1_start});
+
+  std::vector<double> f1_at_phase_start;
+  BestResponseOptions options;
+  options.update_period = T;
+  options.horizon = 10.0 * T;
+  const PhaseObserver observer = [&](const PhaseInfo& info) {
+    f1_at_phase_start.push_back(info.flow_before[0]);
+  };
+  sim.run(start, options, observer);
+
+  ASSERT_GE(f1_at_phase_start.size(), 6u);
+  for (std::size_t i = 0; i + 2 < f1_at_phase_start.size(); ++i) {
+    EXPECT_NEAR(f1_at_phase_start[i], f1_at_phase_start[i + 2], 1e-12);
+    // Alternation across 1/2.
+    EXPECT_LT((f1_at_phase_start[i] - 0.5) * (f1_at_phase_start[i + 1] - 0.5),
+              0.0);
+  }
+  // f1(T) = f1(0) * e^{-T}, exactly as in the paper.
+  EXPECT_NEAR(f1_at_phase_start[1], f1_start * std::exp(-T), 1e-12);
+}
+
+TEST(BestResponse, OscillationAmplitudeMatchesFormula) {
+  // X = beta * (1 - e^{-T}) / (2 e^{-T} + 2) at the start of each phase.
+  const double beta = 8.0;
+  for (const double T : {0.1, 0.25, 0.5, 1.0}) {
+    const Instance inst = two_link_pulse(beta);
+    const BestResponseSimulator sim(inst);
+    const double f1_start = 1.0 / (std::exp(-T) + 1.0);
+    FlowVector start(inst, {f1_start, 1.0 - f1_start});
+
+    double max_deviation = 0.0;
+    BestResponseOptions options;
+    options.update_period = T;
+    options.horizon = 8.0 * T;
+    const PhaseObserver observer = [&](const PhaseInfo& info) {
+      max_deviation = std::max(
+          max_deviation,
+          max_latency_deviation(inst, info.flow_before, -1.0));
+    };
+    sim.run(start, options, observer);
+
+    const double predicted =
+        beta * (1.0 - std::exp(-T)) / (2.0 * std::exp(-T) + 2.0);
+    EXPECT_NEAR(max_deviation, predicted, 1e-10) << "T=" << T;
+  }
+}
+
+TEST(BestResponse, NeverSettlesOnPulseInstance) {
+  const Instance inst = two_link_pulse(4.0);
+  const BestResponseSimulator sim(inst);
+  const double T = 0.3;
+  const double f1_start = 1.0 / (std::exp(-T) + 1.0);
+  FlowVector start(inst, {f1_start, 1.0 - f1_start});
+
+  TrajectoryRecorder::Options rec_options;
+  rec_options.store_flows = true;
+  TrajectoryRecorder recorder(inst, rec_options);
+  BestResponseOptions options;
+  options.update_period = T;
+  options.horizon = 30.0;
+  sim.run(start, options, recorder.observer());
+
+  const OscillationReport report =
+      analyse_oscillation(recorder.flows(), 20, 1e-9);
+  EXPECT_FALSE(report.settled);
+  EXPECT_TRUE(report.period_two);
+}
+
+TEST(BestResponse, ConvergesOnPigouDespiteStaleness) {
+  // Pigou has a dominant link; best response lands on it and stays.
+  const Instance inst = pigou();
+  const BestResponseSimulator sim(inst);
+  BestResponseOptions options;
+  options.update_period = 0.2;
+  options.horizon = 40.0;
+  const SimulationResult result = sim.run(FlowVector::uniform(inst), options);
+  EXPECT_LT(result.final_gap, 1e-6);
+}
+
+TEST(BestResponse, TieSplitting) {
+  const Instance inst = two_link_pulse(4.0);
+  const std::vector<double> latency{0.5, 0.5};
+  const FlowVector reply = best_reply_flow(inst, latency);
+  EXPECT_DOUBLE_EQ(reply[PathId{0}], 0.5);
+  EXPECT_DOUBLE_EQ(reply[PathId{1}], 0.5);
+  const std::vector<double> uneven{0.5, 0.500001};
+  const FlowVector strict = best_reply_flow(inst, uneven);
+  EXPECT_DOUBLE_EQ(strict[PathId{0}], 1.0);
+  const FlowVector tolerant = best_reply_flow(inst, uneven, 1e-3);
+  EXPECT_DOUBLE_EQ(tolerant[PathId{0}], 0.5);
+}
+
+// -------------------------------------------- stale smooth (Cor 5)
+
+TEST(FluidSimulator, SmoothPolicyConvergesAtSafePeriod) {
+  const Instance inst = two_link_pulse(4.0);
+  const Policy policy = make_uniform_linear_policy(inst);
+  const double T_safe = inst.safe_update_period(*policy.smoothness());
+  const FluidSimulator sim(inst, policy);
+
+  SimulationOptions options;
+  options.update_period = T_safe;
+  options.horizon = 400.0;
+  options.stop_gap = 1e-9;
+  const SimulationResult result =
+      sim.run(FlowVector(inst, {0.9, 0.1}), options);
+  EXPECT_LT(result.final_gap, 1e-4);
+}
+
+TEST(FluidSimulator, PotentialDecreasesEveryPhaseAtSafePeriod) {
+  // Lemma 4: Delta Phi <= V/2 <= 0 in every phase when T is safe.
+  const Instance inst = two_link_pulse(4.0);
+  const Policy policy = make_uniform_linear_policy(inst);
+  const double T_safe = inst.safe_update_period(*policy.smoothness());
+  const FluidSimulator sim(inst, policy);
+
+  AccountingRecorder recorder(inst);
+  SimulationOptions options;
+  options.update_period = T_safe;
+  options.horizon = 60.0;
+  sim.run(FlowVector(inst, {0.95, 0.05}), options, recorder.observer());
+
+  EXPECT_EQ(recorder.lemma4_violations(), 0u);
+  EXPECT_LT(recorder.max_delta_phi(), 1e-12);
+  EXPECT_LT(recorder.max_identity_residual(), 1e-12);
+}
+
+TEST(FluidSimulator, ReplicatorConvergesUnderStaleness) {
+  const Instance inst = two_link_pulse(4.0);
+  const Policy policy = make_replicator_policy(inst, 0.01);
+  const double T_safe = inst.safe_update_period(*policy.smoothness());
+  const FluidSimulator sim(inst, policy);
+
+  SimulationOptions options;
+  options.update_period = T_safe;
+  options.horizon = 600.0;
+  options.stop_gap = 1e-7;
+  const SimulationResult result =
+      sim.run(FlowVector(inst, {0.85, 0.15}), options);
+  EXPECT_LT(result.final_gap, 1e-4);
+}
+
+TEST(FluidSimulator, ExactAndRk4PhaseSolutionsAgree) {
+  const Instance inst = braess(true);
+  const Policy policy = make_uniform_linear_policy(inst);
+  const FluidSimulator sim(inst, policy);
+
+  SimulationOptions rk4_options;
+  rk4_options.update_period = 0.1;
+  rk4_options.horizon = 5.0;
+  rk4_options.method = IntegrationMethod::kRk4;
+  rk4_options.step_size = 1e-3;
+  const SimulationResult via_rk4 =
+      sim.run(FlowVector::uniform(inst), rk4_options);
+
+  SimulationOptions exact_options = rk4_options;
+  exact_options.method = IntegrationMethod::kExact;
+  const SimulationResult via_exact =
+      sim.run(FlowVector::uniform(inst), exact_options);
+
+  for (std::size_t p = 0; p < inst.path_count(); ++p) {
+    EXPECT_NEAR(via_rk4.final_flow[PathId{p}],
+                via_exact.final_flow[PathId{p}], 1e-8);
+  }
+}
+
+TEST(FluidSimulator, AdaptiveMethodAgreesWithExact) {
+  const Instance inst = two_link_pulse(4.0);
+  const Policy policy = make_uniform_linear_policy(inst);
+  const FluidSimulator sim(inst, policy);
+
+  SimulationOptions exact;
+  exact.update_period = 0.2;
+  exact.horizon = 3.0;
+  exact.method = IntegrationMethod::kExact;
+  const SimulationResult a = sim.run(FlowVector(inst, {0.8, 0.2}), exact);
+
+  SimulationOptions adaptive = exact;
+  adaptive.method = IntegrationMethod::kAdaptive;
+  const SimulationResult b = sim.run(FlowVector(inst, {0.8, 0.2}), adaptive);
+
+  EXPECT_NEAR(a.final_flow[PathId{0}], b.final_flow[PathId{0}], 1e-7);
+}
+
+TEST(FluidSimulator, StopGapTerminatesEarly) {
+  const Instance inst = pigou();
+  const Policy policy = make_uniform_linear_policy(inst);
+  const FluidSimulator sim(inst, policy);
+  SimulationOptions options;
+  options.update_period = 0.1;
+  options.horizon = 1'000.0;
+  options.stop_gap = 1e-3;
+  const SimulationResult result = sim.run(FlowVector::uniform(inst), options);
+  EXPECT_TRUE(result.stopped_by_gap);
+  EXPECT_LT(result.final_time, 1'000.0);
+  EXPECT_LE(result.final_gap, 1e-3);
+}
+
+TEST(FluidSimulator, MaxPhasesCapsWork) {
+  const Instance inst = pigou();
+  const Policy policy = make_uniform_linear_policy(inst);
+  const FluidSimulator sim(inst, policy);
+  SimulationOptions options;
+  options.update_period = 0.1;
+  options.horizon = 1'000.0;
+  options.max_phases = 7;
+  const SimulationResult result = sim.run(FlowVector::uniform(inst), options);
+  EXPECT_EQ(result.phases, 7u);
+}
+
+TEST(FluidSimulator, LongRunStaysFeasible) {
+  const Instance inst = braess(true);
+  const Policy policy = make_replicator_policy(inst, 0.05);
+  const FluidSimulator sim(inst, policy);
+  SimulationOptions options;
+  options.update_period = 0.05;
+  options.horizon = 100.0;
+  const SimulationResult result = sim.run(FlowVector::uniform(inst), options);
+  EXPECT_TRUE(is_feasible(inst, result.final_flow.values(), 1e-9));
+}
+
+TEST(FluidSimulator, RejectsBadInput) {
+  const Instance inst = pigou();
+  const Policy policy = make_uniform_linear_policy(inst);
+  const FluidSimulator sim(inst, policy);
+  SimulationOptions options;
+  EXPECT_THROW(sim.run(FlowVector(inst, {0.7, 0.7}), options),
+               std::invalid_argument);
+  options.horizon = -1.0;
+  EXPECT_THROW(sim.run(FlowVector::uniform(inst), options),
+               std::invalid_argument);
+  SimulationOptions fresh_exact;
+  fresh_exact.update_period = 0.0;
+  fresh_exact.method = IntegrationMethod::kExact;
+  EXPECT_THROW(sim.run(FlowVector::uniform(inst), fresh_exact),
+               std::invalid_argument);
+}
+
+TEST(BestResponseSimulator, RejectsBadInput) {
+  const Instance inst = pigou();
+  const BestResponseSimulator sim(inst);
+  BestResponseOptions options;
+  options.update_period = 0.0;
+  EXPECT_THROW(sim.run(FlowVector::uniform(inst), options),
+               std::invalid_argument);
+}
+
+// Corollary 5 sweep: with uniform+alpha-capped migration, vary T relative
+// to T_safe = 1/(4 D alpha beta) and check the safe side always converges.
+class SafePeriodSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SafePeriodSweep, ConvergesWheneverTIsAtMostSafe) {
+  const double fraction = GetParam();
+  const Instance inst = two_link_pulse(8.0);
+  const double alpha = 0.5;
+  const Policy policy = make_alpha_policy(alpha);
+  const double T = fraction * inst.safe_update_period(alpha);
+  const FluidSimulator sim(inst, policy);
+
+  SimulationOptions options;
+  options.update_period = T;
+  options.horizon = 300.0;
+  options.stop_gap = 1e-8;
+  const SimulationResult result =
+      sim.run(FlowVector(inst, {0.9, 0.1}), options);
+  EXPECT_LT(result.final_gap, 1e-4) << "T/T_safe = " << fraction;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SafePeriodSweep,
+                         ::testing::Values(0.25, 0.5, 0.75, 1.0));
+
+}  // namespace
+}  // namespace staleflow

@@ -1,0 +1,135 @@
+// Tests for the social-optimum / price-of-anarchy module.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "equilibrium/social.h"
+#include "latency/functions.h"
+#include "net/generators.h"
+#include "util/rng.h"
+
+namespace staleflow {
+namespace {
+
+Instance pigou() {
+  Graph g(2);
+  const EdgeId e1 = g.add_edge(VertexId{0}, VertexId{1});
+  const EdgeId e2 = g.add_edge(VertexId{0}, VertexId{1});
+  InstanceBuilder b(std::move(g));
+  b.set_latency(e1, linear(1.0));
+  b.set_latency(e2, constant(1.0));
+  b.add_commodity(VertexId{0}, VertexId{1}, 1.0);
+  return std::move(b).build();
+}
+
+TEST(MarginalCostLatency, AffineClosedForm) {
+  // l = a + b x  =>  c = a + 2 b x,  INT c = a x + b x^2 = x l(x).
+  const AffineLatency base(1.0, 3.0);
+  const MarginalCostLatency mc(base);
+  EXPECT_DOUBLE_EQ(mc.value(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(mc.value(0.5), 1.0 + 3.0);  // 1 + 2*3*0.5
+  EXPECT_DOUBLE_EQ(mc.integral(0.5), 0.5 * base.value(0.5));
+  EXPECT_NEAR(mc.derivative(0.3), 6.0, 1e-5);
+  EXPECT_GE(mc.max_slope(1.0), 6.0 - 1e-6);
+}
+
+TEST(MarginalCostLatency, MonomialClosedForm) {
+  // l = x^d => c = (d+1) x^d.
+  const MonomialLatency base(1.0, 3.0);
+  const MarginalCostLatency mc(base);
+  for (double x : {0.2, 0.5, 0.9}) {
+    EXPECT_NEAR(mc.value(x), 4.0 * std::pow(x, 3.0), 1e-12);
+    EXPECT_NEAR(mc.integral(x), std::pow(x, 4.0), 1e-12);
+  }
+}
+
+TEST(MarginalCostLatency, SatisfiesLatencyContract) {
+  const AffineLatency affine_base(0.5, 2.0);
+  EXPECT_EQ(check_latency_contract(MarginalCostLatency(affine_base)), "");
+  const MonomialLatency monomial_base(2.0, 2.0);
+  EXPECT_EQ(check_latency_contract(MarginalCostLatency(monomial_base)), "");
+}
+
+TEST(MarginalCostLatency, CloneBehaves) {
+  const AffineLatency base(1.0, 2.0);
+  const MarginalCostLatency mc(base);
+  const LatencyPtr copy = mc.clone();
+  EXPECT_DOUBLE_EQ(copy->value(0.4), mc.value(0.4));
+  EXPECT_NE(copy->describe().find("marginal"), std::string::npos);
+}
+
+TEST(SocialCost, MatchesHandComputation) {
+  const Instance inst = pigou();
+  // f = (0.5, 0.5): C = 0.5*0.5 + 0.5*1 = 0.75.
+  EXPECT_DOUBLE_EQ(social_cost(inst, std::vector<double>{0.5, 0.5}), 0.75);
+  EXPECT_DOUBLE_EQ(social_cost(inst, std::vector<double>{1.0, 0.0}), 1.0);
+}
+
+TEST(MarginalCostInstance, PreservesStructure) {
+  const Instance inst = braess(true);
+  const Instance twin = marginal_cost_instance(inst);
+  EXPECT_EQ(twin.path_count(), inst.path_count());
+  EXPECT_EQ(twin.commodity_count(), inst.commodity_count());
+  EXPECT_EQ(twin.edge_count(), inst.edge_count());
+  // Path p in the twin uses the same edges as path p in the original.
+  for (std::size_t p = 0; p < inst.path_count(); ++p) {
+    EXPECT_TRUE(twin.path(PathId{p}) == inst.path(PathId{p}));
+  }
+}
+
+TEST(SocialOptimum, PigouSplitsTraffic) {
+  // min f1*f1 + f2: optimum at f1 = 1/2, cost 1/4 + 1/2 = 3/4.
+  const Instance inst = pigou();
+  const SocialOptimumResult opt = solve_social_optimum(inst);
+  EXPECT_TRUE(opt.converged);
+  EXPECT_NEAR(opt.flow[PathId{0}], 0.5, 1e-4);
+  EXPECT_NEAR(opt.social_cost, 0.75, 1e-6);
+}
+
+TEST(PriceOfAnarchy, PigouIsFourThirds) {
+  const Instance inst = pigou();
+  const PriceOfAnarchyResult poa = price_of_anarchy(inst);
+  EXPECT_NEAR(poa.equilibrium_cost, 1.0, 1e-6);
+  EXPECT_NEAR(poa.optimum_cost, 0.75, 1e-6);
+  EXPECT_NEAR(poa.ratio, 4.0 / 3.0, 1e-5);
+}
+
+TEST(PriceOfAnarchy, BraessIsFourThirds) {
+  // Equilibrium cost 2 (everyone zig-zags), optimum 1.5.
+  const Instance inst = braess(true);
+  const PriceOfAnarchyResult poa = price_of_anarchy(inst);
+  EXPECT_NEAR(poa.ratio, 4.0 / 3.0, 1e-4);
+}
+
+TEST(PriceOfAnarchy, OneWithoutShortcut) {
+  // Without the shortcut, the equilibrium happens to be optimal.
+  const Instance inst = braess(false);
+  const PriceOfAnarchyResult poa = price_of_anarchy(inst);
+  EXPECT_NEAR(poa.ratio, 1.0, 1e-6);
+}
+
+TEST(PriceOfAnarchy, ZeroCostOptimumHandled) {
+  // The pulse instance has equilibrium latency 0 => both costs 0, PoA 1.
+  const Instance inst = two_link_pulse(4.0);
+  const PriceOfAnarchyResult poa = price_of_anarchy(inst);
+  EXPECT_DOUBLE_EQ(poa.ratio, 1.0);
+}
+
+// Property sweep: Roughgarden-Tardos — with affine latencies the price of
+// anarchy never exceeds 4/3.
+class AffinePoaSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AffinePoaSweep, AffinePoaAtMostFourThirds) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const auto links = static_cast<std::size_t>(2 + GetParam() % 5);
+  const Instance inst = random_parallel_links(links, rng, 1.0, 0.1, 2.0);
+  const PriceOfAnarchyResult poa = price_of_anarchy(inst);
+  EXPECT_GE(poa.ratio, 1.0 - 1e-9);
+  EXPECT_LE(poa.ratio, 4.0 / 3.0 + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AffinePoaSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace staleflow
