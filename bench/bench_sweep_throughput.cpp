@@ -1,0 +1,95 @@
+// Sweep-engine throughput: cells/sec scaling from 1 to N threads.
+//
+// The sweep engine is the substrate every large-scale experiment runs on,
+// so its scaling *is* the experiment budget: a sweep that takes an hour
+// single-threaded should take minutes on a workstation. This bench runs a
+// fixed 120-cell fluid sweep (4 scenarios x 5 policies x 2 periods x 3
+// replicas) at doubling thread counts and reports cells/sec, speedup and
+// parallel efficiency — plus a cross-check that every thread count
+// produced identical results (the determinism contract of runner.h).
+#include <cmath>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "staleflow/staleflow.h"
+
+namespace staleflow {
+namespace {
+
+ExperimentSpec make_spec() {
+  ExperimentSpec spec;
+  spec.scenarios = {"two-link-pulse", "braess", "uniform-links-8",
+                    "random-links-8"};
+  for (const char* name :
+       {"replicator", "uniform-linear", "alpha:0.5", "logit:10", "safe"}) {
+    spec.policies.push_back(named_policy(name));
+  }
+  spec.update_periods = {0.05, 0.1};
+  spec.replicas = 3;
+  spec.horizon = 30.0;
+  spec.stop_gap = 1e-6;
+  return spec;
+}
+
+/// Deterministic fields of a result, flattened for comparison.
+std::vector<double> fingerprint(const SweepResult& result) {
+  std::vector<double> out;
+  out.reserve(result.cells.size() * 4);
+  for (const CellResult& cell : result.cells) {
+    out.push_back(cell.final_gap);
+    out.push_back(cell.final_potential);
+    out.push_back(cell.oscillation_amplitude);
+    out.push_back(static_cast<double>(cell.phases));
+  }
+  return out;
+}
+
+void run() {
+  const ExperimentSpec spec = make_spec();
+  const SweepRunner runner;
+  const std::size_t hardware =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  std::cout << "sweep: " << cell_count(spec) << " fluid cells, hardware "
+            << "concurrency " << hardware << "\n\n"
+            << "-- Table S1: sweep throughput vs. thread count\n\n";
+
+  std::vector<std::size_t> thread_counts = {1};
+  while (thread_counts.back() < hardware) {
+    thread_counts.push_back(std::min(hardware, thread_counts.back() * 2));
+  }
+
+  Table table({"threads", "seconds", "cells/s", "speedup", "efficiency"});
+  double base_seconds = 0.0;
+  std::vector<double> reference;
+  bool all_identical = true;
+
+  for (const std::size_t threads : thread_counts) {
+    const SweepResult result = runner.run(spec, threads);
+    if (threads == 1) {
+      base_seconds = result.wall_seconds;
+      reference = fingerprint(result);
+    } else if (fingerprint(result) != reference) {
+      all_identical = false;
+    }
+    const double speedup =
+        result.wall_seconds > 0.0 ? base_seconds / result.wall_seconds : 0.0;
+    table.add_row({fmt_int((long long)threads),
+                   fmt(result.wall_seconds, 2),
+                   fmt(result.cells_per_second(), 1), fmt(speedup, 2),
+                   fmt(speedup / static_cast<double>(threads), 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nresults bit-identical across thread counts: "
+            << fmt_bool(all_identical) << "\n";
+}
+
+}  // namespace
+}  // namespace staleflow
+
+int main() {
+  staleflow::run();
+  return 0;
+}

@@ -55,6 +55,10 @@ struct AgentSimResult {
 };
 
 /// Event-driven (Gillespie) simulation of N agents under a policy.
+///
+/// Thread-safety: run() is const, seeds its own Rng from the options and
+/// keeps all state local; concurrent runs against the same
+/// Instance/Policy are safe.
 class AgentSimulator {
  public:
   AgentSimulator(const Instance& instance, const Policy& policy);

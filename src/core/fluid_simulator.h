@@ -84,6 +84,11 @@ struct SimulationResult {
 
 /// Simulates a rerouting policy on an instance. Stateless; run() may be
 /// called repeatedly with different initial conditions.
+///
+/// Thread-safety: run() is const and keeps all run state (board, flow,
+/// integrator, jitter rng) local, so concurrent run() calls on the same
+/// or different simulators are safe as long as the Instance and Policy
+/// outlive them — the sweep engine relies on this.
 class FluidSimulator {
  public:
   FluidSimulator(const Instance& instance, const Policy& policy);

@@ -54,6 +54,9 @@ struct RoundSimResult {
 };
 
 /// Iterates the synchronous expected-flow map.
+///
+/// Thread-safety: like FluidSimulator, run() is const with all state
+/// local; concurrent runs against the same Instance/Policy are safe.
 class RoundSimulator {
  public:
   RoundSimulator(const Instance& instance, const Policy& policy);

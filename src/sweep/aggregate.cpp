@@ -1,0 +1,135 @@
+#include "sweep/aggregate.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/csv.h"
+
+namespace staleflow {
+namespace {
+
+GroupSummary& group_for(std::vector<GroupSummary>& groups,
+                        const CellResult& cell) {
+  for (GroupSummary& group : groups) {
+    if (group.scenario == cell.cell.scenario &&
+        group.policy == cell.cell.policy) {
+      return group;
+    }
+  }
+  GroupSummary fresh;
+  fresh.scenario = cell.cell.scenario;
+  fresh.policy = cell.cell.policy;
+  groups.push_back(std::move(fresh));
+  return groups.back();
+}
+
+/// Mean rendered as "-" for empty accumulators (e.g. no converged cells).
+std::string fmt_mean(const RunningStats& stats, int precision = 4) {
+  return stats.empty() ? "-" : fmt(stats.mean(), precision);
+}
+
+}  // namespace
+
+std::vector<GroupSummary> summarise(const SweepResult& result) {
+  std::vector<GroupSummary> groups;
+  for (const CellResult& cell : result.cells) {
+    GroupSummary& group = group_for(groups, cell);
+    ++group.cells;
+    if (!cell.ok) {
+      ++group.errors;
+      continue;
+    }
+    if (cell.converged) {
+      ++group.converged;
+      group.time_to_converge.add(cell.time_to_converge);
+    }
+    if (cell.settled) ++group.settled;
+    if (cell.period_two) ++group.period_two;
+    group.final_gap.add(cell.final_gap);
+    group.final_potential.add(cell.final_potential);
+    group.oscillation.add(cell.oscillation_amplitude);
+  }
+  return groups;
+}
+
+Table summary_table(std::span<const GroupSummary> groups) {
+  Table table({"scenario", "policy", "cells", "conv", "err", "mean gap",
+               "mean phi", "mean t_conv", "mean osc", "settled", "p2"});
+  for (const GroupSummary& group : groups) {
+    table.add_row({group.scenario, group.policy, fmt_int((long long)group.cells),
+                   fmt_int((long long)group.converged),
+                   fmt_int((long long)group.errors),
+                   group.final_gap.empty() ? "-"
+                                           : fmt_sci(group.final_gap.mean()),
+                   fmt_mean(group.final_potential),
+                   fmt_mean(group.time_to_converge),
+                   group.oscillation.empty()
+                       ? "-"
+                       : fmt_sci(group.oscillation.mean()),
+                   fmt_int((long long)group.settled),
+                   fmt_int((long long)group.period_two)});
+  }
+  return table;
+}
+
+std::string fmt_exact(double value) {
+  std::ostringstream out;
+  out << std::setprecision(17) << value;
+  return out.str();
+}
+
+void write_cells_csv(const std::string& path, const SweepResult& result) {
+  CsvWriter csv(path,
+                {"index", "scenario", "policy", "update_period", "replica",
+                 "ok", "paths", "commodities", "phases", "final_time",
+                 "converged", "time_to_converge", "final_gap",
+                 "final_potential", "oscillation_amplitude", "settled",
+                 "period_two", "error"});
+  for (const CellResult& cell : result.cells) {
+    csv.add_row({fmt_int((long long)cell.cell.index), cell.cell.scenario,
+                 cell.cell.policy, fmt_exact(cell.cell.update_period),
+                 fmt_int((long long)cell.cell.replica), fmt_bool(cell.ok),
+                 fmt_int((long long)cell.paths),
+                 fmt_int((long long)cell.commodities),
+                 fmt_int((long long)cell.phases), fmt_exact(cell.final_time),
+                 fmt_bool(cell.converged),
+                 cell.converged ? fmt_exact(cell.time_to_converge) : "",
+                 fmt_exact(cell.final_gap), fmt_exact(cell.final_potential),
+                 fmt_exact(cell.oscillation_amplitude),
+                 fmt_bool(cell.settled), fmt_bool(cell.period_two),
+                 cell.error});
+  }
+  csv.close();
+}
+
+void write_summary_csv(const std::string& path,
+                       std::span<const GroupSummary> groups) {
+  CsvWriter csv(path, {"scenario", "policy", "cells", "errors", "converged",
+                       "settled", "period_two", "mean_final_gap",
+                       "max_final_gap", "mean_final_potential",
+                       "mean_time_to_converge", "mean_oscillation"});
+  for (const GroupSummary& group : groups) {
+    csv.add_row({group.scenario, group.policy,
+                 fmt_int((long long)group.cells),
+                 fmt_int((long long)group.errors),
+                 fmt_int((long long)group.converged),
+                 fmt_int((long long)group.settled),
+                 fmt_int((long long)group.period_two),
+                 group.final_gap.empty() ? ""
+                                         : fmt_exact(group.final_gap.mean()),
+                 group.final_gap.empty() ? ""
+                                         : fmt_exact(group.final_gap.max()),
+                 group.final_potential.empty()
+                     ? ""
+                     : fmt_exact(group.final_potential.mean()),
+                 group.time_to_converge.empty()
+                     ? ""
+                     : fmt_exact(group.time_to_converge.mean()),
+                 group.oscillation.empty()
+                     ? ""
+                     : fmt_exact(group.oscillation.mean())});
+  }
+  csv.close();
+}
+
+}  // namespace staleflow

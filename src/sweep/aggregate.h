@@ -1,0 +1,54 @@
+// Aggregation of sweep results: scenario x policy group summaries, the
+// paper-style summary table, and CSV export.
+//
+// CSV output is part of the determinism contract: cells are emitted in
+// canonical order with fixed maximum-precision number formatting and no
+// timing columns, so two sweeps with the same spec and seed produce
+// byte-identical files regardless of thread count.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sweep/runner.h"
+#include "util/statistics.h"
+#include "util/table.h"
+
+namespace staleflow {
+
+/// Accumulated metrics of all cells sharing a scenario x policy pair
+/// (periods and replicas pooled).
+struct GroupSummary {
+  std::string scenario;
+  std::string policy;
+  std::size_t cells = 0;
+  std::size_t errors = 0;      // cells with ok == false
+  std::size_t converged = 0;
+  std::size_t settled = 0;
+  std::size_t period_two = 0;
+  RunningStats final_gap;          // over ok cells
+  RunningStats final_potential;    // over ok cells
+  RunningStats time_to_converge;   // over converged cells only
+  RunningStats oscillation;        // step amplitude over ok cells
+};
+
+/// Groups cells by scenario x policy, in order of first appearance (which
+/// for a spec expansion is scenario-major, then policy).
+std::vector<GroupSummary> summarise(const SweepResult& result);
+
+/// Renders the scenario x policy summary in the repo's bench table style.
+Table summary_table(std::span<const GroupSummary> groups);
+
+/// Writes one row per cell (canonical order, no timing columns).
+void write_cells_csv(const std::string& path, const SweepResult& result);
+
+/// Writes one row per scenario x policy group.
+void write_summary_csv(const std::string& path,
+                       std::span<const GroupSummary> groups);
+
+/// Round-trip double formatting (17 significant digits) used by the CSVs;
+/// exposed for tests asserting byte-identical output.
+std::string fmt_exact(double value);
+
+}  // namespace staleflow

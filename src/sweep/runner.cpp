@@ -1,0 +1,221 @@
+#include "sweep/runner.h"
+
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "agents/agent_simulator.h"
+#include "analysis/oscillation.h"
+#include "analysis/trajectory.h"
+#include "core/fluid_simulator.h"
+#include "core/round_simulator.h"
+#include "equilibrium/metrics.h"
+#include "equilibrium/potential.h"
+#include "net/flow.h"
+#include "util/thread_pool.h"
+
+namespace staleflow {
+namespace {
+
+/// Fills the tail-behaviour fields from the recorder's flow snapshots.
+void analyse_tail(const TrajectoryRecorder& recorder, CellResult& out) {
+  const auto& flows = recorder.flows();
+  if (flows.size() < 4) return;  // too short to classify
+  const OscillationReport report = analyse_oscillation(flows);
+  out.oscillation_amplitude = report.step_amplitude;
+  out.settled = report.settled;
+  out.period_two = report.period_two;
+}
+
+void run_fluid(const Instance& instance, const Policy& policy,
+               const ExperimentSpec& spec, CellResult& out) {
+  SimulationOptions options;
+  options.update_period = out.cell.update_period;
+  options.horizon = spec.horizon;
+  options.stop_gap = spec.stop_gap;
+
+  TrajectoryOptions record;
+  record.store_flows = true;
+  TrajectoryRecorder recorder(instance, record);
+
+  const FluidSimulator simulator(instance, policy);
+  const SimulationResult result =
+      simulator.run(FlowVector::uniform(instance), options,
+                    recorder.observer());
+
+  out.phases = result.phases;
+  out.final_time = result.final_time;
+  out.final_gap = result.final_gap;
+  out.final_potential = result.final_potential;
+  out.converged = result.stopped_by_gap ||
+                  (spec.stop_gap > 0.0 && result.final_gap <= spec.stop_gap);
+  if (out.converged) {
+    const auto when = recorder.time_to_gap(spec.stop_gap);
+    out.time_to_converge = when ? *when : result.final_time;
+  }
+  analyse_tail(recorder, out);
+}
+
+void run_round(const Instance& instance, const Policy& policy,
+               const ExperimentSpec& spec, CellResult& out) {
+  RoundSimOptions options;
+  options.activation_probability = spec.activation_probability;
+  options.rounds_per_update = static_cast<std::size_t>(std::max(
+      1.0, std::round(out.cell.update_period / spec.round_length)));
+  options.total_rounds = static_cast<std::size_t>(
+      std::max(1.0, std::round(spec.horizon / spec.round_length)));
+  options.stop_gap = spec.stop_gap;
+
+  TrajectoryOptions record;
+  record.store_flows = true;
+  TrajectoryRecorder recorder(instance, record);
+  // Adapt the round observer to the phase observer the recorder expects;
+  // a round of the map represents `round_length` units of fluid time.
+  const PhaseObserver phase_observer = recorder.observer();
+  const RoundObserver observer = [&](const RoundInfo& info) {
+    PhaseInfo phase;
+    phase.index = info.round;
+    phase.start_time = spec.round_length * static_cast<double>(info.round);
+    phase.end_time = spec.round_length * static_cast<double>(info.round + 1);
+    phase.flow_before = info.flow_before;
+    phase.flow_after = info.flow_after;
+    phase_observer(phase);
+  };
+
+  const RoundSimulator simulator(instance, policy);
+  const RoundSimResult result =
+      simulator.run(FlowVector::uniform(instance), options, observer);
+
+  out.phases = result.rounds;
+  out.final_time = spec.round_length * static_cast<double>(result.rounds);
+  out.final_gap = result.final_gap;
+  out.final_potential = result.final_potential;
+  out.converged = result.stopped_by_gap ||
+                  (spec.stop_gap > 0.0 && result.final_gap <= spec.stop_gap);
+  if (out.converged) {
+    const auto when = recorder.time_to_gap(spec.stop_gap);
+    out.time_to_converge = when ? *when : out.final_time;
+  }
+  analyse_tail(recorder, out);
+}
+
+void run_agent(const Instance& instance, const Policy& policy,
+               const ExperimentSpec& spec, Rng& sim_rng, CellResult& out) {
+  AgentSimOptions options;
+  options.num_agents = spec.num_agents;
+  options.update_period = out.cell.update_period;
+  options.horizon = spec.horizon;
+  options.seed = sim_rng();
+
+  TrajectoryOptions record;
+  record.store_flows = true;
+  TrajectoryRecorder recorder(instance, record);
+
+  const AgentSimulator simulator(instance, policy);
+  const AgentSimResult result =
+      simulator.run(FlowVector::uniform(instance), options,
+                    recorder.observer());
+
+  out.phases = result.phases;
+  out.final_time = result.final_time;
+  out.final_gap = wardrop_gap(instance, result.final_flow.values());
+  out.final_potential = potential(instance, result.final_flow.values());
+  out.converged = spec.stop_gap > 0.0 && out.final_gap <= spec.stop_gap;
+  if (out.converged) {
+    const auto when = recorder.time_to_gap(spec.stop_gap);
+    out.time_to_converge = when ? *when : result.final_time;
+  }
+  analyse_tail(recorder, out);
+}
+
+CellResult run_cell(const Scenario& scenario, const PolicySpec& policy_spec,
+                    const ExperimentSpec& spec, CellSpec cell, Rng rng) {
+  CellResult out;
+  out.cell = std::move(cell);
+  try {
+    // Fixed stream layout per cell: one child for instance generation, one
+    // for simulator randomness. Splitting both up front keeps the layout
+    // stable if one consumer is skipped.
+    Rng instance_rng = rng.split();
+    Rng sim_rng = rng.split();
+
+    const Instance instance = scenario.make(instance_rng);
+    out.paths = instance.path_count();
+    out.commodities = instance.commodity_count();
+    const Policy policy =
+        policy_spec.make(instance, out.cell.update_period);
+
+    switch (spec.simulator) {
+      case SimulatorKind::kFluid:
+        run_fluid(instance, policy, spec, out);
+        break;
+      case SimulatorKind::kRound:
+        run_round(instance, policy, spec, out);
+        break;
+      case SimulatorKind::kAgent:
+        run_agent(instance, policy, spec, sim_rng, out);
+        break;
+    }
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.error = e.what();
+  }
+  return out;
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner() : registry_(ScenarioRegistry::builtin()) {}
+
+SweepRunner::SweepRunner(ScenarioRegistry registry)
+    : registry_(std::move(registry)) {}
+
+SweepResult SweepRunner::run(const ExperimentSpec& spec, std::size_t threads,
+                             const SweepProgress& progress) const {
+  const std::vector<CellSpec> cells = expand(spec, registry_);
+
+  std::unordered_map<std::string, const PolicySpec*> policies;
+  for (const PolicySpec& policy : spec.policies) {
+    policies.emplace(policy.name, &policy);
+  }
+
+  // Derive every cell's RNG stream by walking the canonical order. This is
+  // the determinism linchpin: streams depend only on (base_seed, index),
+  // never on which thread runs the cell or when.
+  Rng master(spec.base_seed);
+  std::vector<Rng> streams;
+  streams.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    streams.push_back(master.split());
+  }
+
+  SweepResult result;
+  result.simulator = spec.simulator;
+  result.cells.resize(cells.size());
+
+  std::size_t done = 0;
+  std::mutex progress_mutex;
+
+  const auto start = std::chrono::steady_clock::now();
+  parallel_for(cells.size(), threads, [&](std::size_t i) {
+    const CellSpec& cell = cells[i];
+    result.cells[i] = run_cell(registry_.at(cell.scenario),
+                               *policies.at(cell.policy), spec, cell,
+                               streams[i]);
+    if (progress) {
+      // Count under the same lock as the callback so completion counts
+      // arrive in order (the final (total, total) call really is last).
+      const std::lock_guard<std::mutex> lock(progress_mutex);
+      progress(++done, cells.size());
+    }
+  });
+  const auto end = std::chrono::steady_clock::now();
+  result.wall_seconds =
+      std::chrono::duration<double>(end - start).count();
+  return result;
+}
+
+}  // namespace staleflow

@@ -1,0 +1,92 @@
+#include "sweep/scenario.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "net/generators.h"
+
+namespace staleflow {
+
+ScenarioRegistry ScenarioRegistry::builtin() {
+  ScenarioRegistry registry;
+  registry.add({"two-link-pulse",
+                "Section 3.2 oscillation instance, beta = 4",
+                [](Rng&) { return two_link_pulse(4.0); }});
+  registry.add({"braess",
+                "Braess network with the paradox shortcut",
+                [](Rng&) { return braess(true); }});
+  registry.add({"braess-no-shortcut",
+                "Braess network without the shortcut edge",
+                [](Rng&) { return braess(false); }});
+  registry.add({"chained-braess-2",
+                "two Braess gadgets in series (9 paths)",
+                [](Rng&) { return chained_braess(2); }});
+  registry.add({"uniform-links-8",
+                "8 identical affine parallel links l(x) = 0.5 + x",
+                [](Rng&) { return uniform_parallel_links(8, 0.5, 1.0); }});
+  registry.add({"random-links-8",
+                "8 affine parallel links, random offsets/slopes",
+                [](Rng& rng) { return random_parallel_links(8, rng); }});
+  registry.add({"random-links-32",
+                "32 affine parallel links, random offsets/slopes",
+                [](Rng& rng) { return random_parallel_links(32, rng); }});
+  registry.add({"grid-3x3",
+                "3x3 directed grid, random affine latencies",
+                [](Rng& rng) { return grid(3, 3, rng); }});
+  registry.add({"layered-4x3",
+                "layered DAG: 4 layers of width 3, fanout 2",
+                [](Rng& rng) { return layered_dag(4, 3, 2, rng); }});
+  registry.add({"series-parallel-3",
+                "recursive series-parallel network of depth 3",
+                [](Rng& rng) { return series_parallel(3, rng); }});
+  registry.add({"shared-bottleneck",
+                "two commodities sharing a congestible middle edge",
+                [](Rng&) { return shared_bottleneck(); }});
+  registry.add({"multicommodity-grid-3x3",
+                "3x3 grid with 2 border-pair commodities",
+                [](Rng& rng) { return multicommodity_grid(3, 3, 2, rng); }});
+  return registry;
+}
+
+void ScenarioRegistry::add(Scenario scenario) {
+  if (scenario.name.empty()) {
+    throw std::invalid_argument("ScenarioRegistry::add: empty name");
+  }
+  if (!scenario.make) {
+    throw std::invalid_argument("ScenarioRegistry::add: null factory for '" +
+                                scenario.name + "'");
+  }
+  if (contains(scenario.name)) {
+    throw std::invalid_argument("ScenarioRegistry::add: duplicate name '" +
+                                scenario.name + "'");
+  }
+  scenarios_.push_back(std::move(scenario));
+}
+
+bool ScenarioRegistry::contains(const std::string& name) const {
+  for (const Scenario& s : scenarios_) {
+    if (s.name == name) return true;
+  }
+  return false;
+}
+
+const Scenario& ScenarioRegistry::at(const std::string& name) const {
+  for (const Scenario& s : scenarios_) {
+    if (s.name == name) return s;
+  }
+  std::ostringstream message;
+  message << "ScenarioRegistry: unknown scenario '" << name << "' (have:";
+  for (const Scenario& s : scenarios_) message << ' ' << s.name;
+  message << ')';
+  throw std::out_of_range(message.str());
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(scenarios_.size());
+  for (const Scenario& s : scenarios_) out.push_back(s.name);
+  return out;
+}
+
+}  // namespace staleflow

@@ -1,0 +1,189 @@
+#include "sweep/spec.h"
+
+#include <stdexcept>
+
+namespace staleflow {
+namespace {
+
+/// Parses the numeric parameter of a "name:value" policy spec.
+double parse_parameter(const std::string& spec, std::size_t colon) {
+  const std::string value = spec.substr(colon + 1);
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("named_policy: bad parameter in '" + spec +
+                                "'");
+  }
+}
+
+}  // namespace
+
+PolicySpec named_policy(const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  const std::string head = spec.substr(0, colon);
+
+  // Parameter-less policies must not silently swallow a ":value" suffix —
+  // the full spec string labels every result row, so running "replicator"
+  // under the name "replicator:2" would mis-attribute the data.
+  const auto reject_parameter = [&] {
+    if (colon != std::string::npos) {
+      throw std::invalid_argument("named_policy: '" + head +
+                                  "' takes no parameter (got '" + spec +
+                                  "')");
+    }
+  };
+
+  if (head == "replicator") {
+    reject_parameter();
+    return {spec, [](const Instance& instance, double) {
+              return make_replicator_policy(instance);
+            }};
+  }
+  if (head == "uniform-linear") {
+    reject_parameter();
+    return {spec, [](const Instance& instance, double) {
+              return make_uniform_linear_policy(instance);
+            }};
+  }
+  if (head == "alpha") {
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("named_policy: 'alpha' needs a parameter, "
+                                  "e.g. 'alpha:0.5'");
+    }
+    const double alpha = parse_parameter(spec, colon);
+    if (!(alpha > 0.0)) {
+      throw std::invalid_argument("named_policy: alpha must be > 0");
+    }
+    return {spec,
+            [alpha](const Instance&, double) { return make_alpha_policy(alpha); }};
+  }
+  if (head == "logit") {
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("named_policy: 'logit' needs a parameter, "
+                                  "e.g. 'logit:10'");
+    }
+    const double c = parse_parameter(spec, colon);
+    return {spec, [c](const Instance& instance, double) {
+              return make_logit_policy(instance, c);
+            }};
+  }
+  if (head == "naive") {
+    reject_parameter();
+    return {spec, [](const Instance&, double) {
+              return make_naive_better_response_policy();
+            }};
+  }
+  if (head == "relative-slack") {
+    const double shift =
+        colon == std::string::npos ? 0.0 : parse_parameter(spec, colon);
+    if (shift < 0.0) {
+      throw std::invalid_argument("named_policy: shift must be >= 0");
+    }
+    return {spec, [shift](const Instance&, double) {
+              return make_relative_slack_policy(shift);
+            }};
+  }
+  if (head == "safe") {
+    reject_parameter();
+    return {spec, [](const Instance& instance, double update_period) {
+              return make_safe_policy(instance, update_period);
+            }};
+  }
+  throw std::invalid_argument("named_policy: unknown policy '" + spec +
+                              "' (have: replicator, uniform-linear, alpha:<a>, "
+                              "logit:<c>, naive, relative-slack[:<s>], safe)");
+}
+
+SimulatorKind parse_simulator_kind(const std::string& name) {
+  if (name == "fluid") return SimulatorKind::kFluid;
+  if (name == "round") return SimulatorKind::kRound;
+  if (name == "agent") return SimulatorKind::kAgent;
+  throw std::invalid_argument(
+      "parse_simulator_kind: unknown simulator '" + name +
+      "' (have: fluid, round, agent)");
+}
+
+std::string to_string(SimulatorKind kind) {
+  switch (kind) {
+    case SimulatorKind::kFluid: return "fluid";
+    case SimulatorKind::kRound: return "round";
+    case SimulatorKind::kAgent: return "agent";
+  }
+  throw std::logic_error("to_string: unknown SimulatorKind");
+}
+
+std::size_t cell_count(const ExperimentSpec& spec) {
+  return spec.scenarios.size() * spec.policies.size() *
+         spec.update_periods.size() * spec.replicas;
+}
+
+std::vector<CellSpec> expand(const ExperimentSpec& spec,
+                             const ScenarioRegistry& registry) {
+  if (spec.scenarios.empty()) {
+    throw std::invalid_argument("expand: no scenarios");
+  }
+  if (spec.policies.empty()) {
+    throw std::invalid_argument("expand: no policies");
+  }
+  if (spec.update_periods.empty()) {
+    throw std::invalid_argument("expand: no update periods");
+  }
+  if (spec.replicas == 0) {
+    throw std::invalid_argument("expand: replicas must be >= 1");
+  }
+  for (std::size_t i = 0; i < spec.policies.size(); ++i) {
+    if (!spec.policies[i].make) {
+      throw std::invalid_argument("expand: null policy factory '" +
+                                  spec.policies[i].name + "'");
+    }
+    for (std::size_t j = i + 1; j < spec.policies.size(); ++j) {
+      if (spec.policies[i].name == spec.policies[j].name) {
+        throw std::invalid_argument("expand: duplicate policy '" +
+                                    spec.policies[i].name + "'");
+      }
+    }
+  }
+  for (std::size_t i = 0; i < spec.scenarios.size(); ++i) {
+    for (std::size_t j = i + 1; j < spec.scenarios.size(); ++j) {
+      if (spec.scenarios[i] == spec.scenarios[j]) {
+        throw std::invalid_argument("expand: duplicate scenario '" +
+                                    spec.scenarios[i] + "'");
+      }
+    }
+  }
+  for (const double period : spec.update_periods) {
+    if (!(period > 0.0)) {
+      throw std::invalid_argument("expand: update periods must be > 0");
+    }
+  }
+  if (!(spec.horizon > 0.0)) {
+    throw std::invalid_argument("expand: horizon must be > 0");
+  }
+  for (const std::string& name : spec.scenarios) {
+    registry.at(name);  // throws std::out_of_range on unknown names
+  }
+
+  std::vector<CellSpec> cells;
+  cells.reserve(cell_count(spec));
+  for (const std::string& scenario : spec.scenarios) {
+    for (const PolicySpec& policy : spec.policies) {
+      for (const double period : spec.update_periods) {
+        for (std::size_t replica = 0; replica < spec.replicas; ++replica) {
+          CellSpec cell;
+          cell.index = cells.size();
+          cell.scenario = scenario;
+          cell.policy = policy.name;
+          cell.update_period = period;
+          cell.replica = replica;
+          cells.push_back(std::move(cell));
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+}  // namespace staleflow

@@ -1,0 +1,95 @@
+// Declarative experiment specification and its expansion into cells.
+//
+// An ExperimentSpec names WHAT to run — scenarios x policies x staleness
+// periods x seed replicas, under one of the three simulators — and
+// expand() turns it into the flat, deterministically ordered list of cells
+// the runner executes. Cell order is part of the determinism contract:
+// per-cell RNG streams are derived by walking this order, so results never
+// depend on thread count or scheduling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "net/instance.h"
+#include "sweep/scenario.h"
+
+namespace staleflow {
+
+/// A named policy recipe. The factory receives the instance and the cell's
+/// bulletin-board period T (some policies, e.g. the Corollary 5 "safe"
+/// policy, are derived from both).
+struct PolicySpec {
+  std::string name;
+  std::function<Policy(const Instance&, double update_period)> make;
+};
+
+/// Builds a PolicySpec from a compact textual form:
+///   "replicator"            proportional + linear(l_max)      (Theorem 7)
+///   "uniform-linear"        uniform + linear(l_max)           (Theorem 6)
+///   "alpha:<a>"             uniform + min(1, a * gain)        (Corollary 5)
+///   "logit:<c>"             smoothed best response, parameter c
+///   "naive"                 uniform + better response (oscillates)
+///   "relative-slack[:<s>]"  proportional + relative slack, shift s [0]
+///   "safe"                  most aggressive provably convergent policy
+///                           for the cell's T (Corollary 5 inverted)
+/// Throws std::invalid_argument on an unknown name or a bad parameter.
+PolicySpec named_policy(const std::string& spec);
+
+/// Which simulator executes a cell.
+enum class SimulatorKind {
+  kFluid,  // fluid-limit ODE (Eq. (3)); the paper's main object
+  kRound,  // synchronous-rounds expected-flow map
+  kAgent   // finite-population stochastic (Gillespie) simulator
+};
+
+/// Parses "fluid" / "round" / "agent"; throws std::invalid_argument.
+SimulatorKind parse_simulator_kind(const std::string& name);
+std::string to_string(SimulatorKind kind);
+
+/// The full declarative sweep: the cartesian product
+/// scenarios x policies x update_periods x replicas.
+struct ExperimentSpec {
+  std::vector<std::string> scenarios;  // ScenarioRegistry names
+  std::vector<PolicySpec> policies;
+  std::vector<double> update_periods;  // bulletin-board periods T (> 0)
+  std::size_t replicas = 1;            // independent seeds per combination
+  std::uint64_t base_seed = 1;         // root of every cell's RNG stream
+
+  SimulatorKind simulator = SimulatorKind::kFluid;
+  double horizon = 50.0;     // simulated time (fluid/agent)
+  double stop_gap = 1e-6;    // convergence threshold (0 disables early stop)
+
+  // Round-simulator knobs (used when simulator == kRound). The period T is
+  // mapped to rounds_per_update = max(1, round(T / round_length)).
+  double activation_probability = 0.1;
+  double round_length = 0.01;  // simulated time one round represents
+
+  // Agent-simulator knob (used when simulator == kAgent).
+  std::size_t num_agents = 10'000;
+};
+
+/// One executable cell of the sweep grid.
+struct CellSpec {
+  std::size_t index = 0;  // position in expansion order
+  std::string scenario;
+  std::string policy;
+  double update_period = 0.0;
+  std::size_t replica = 0;
+};
+
+/// Number of cells the spec expands to.
+std::size_t cell_count(const ExperimentSpec& spec);
+
+/// Expands the cartesian product in the canonical order: scenario-major,
+/// then policy, then period, then replica. Validates the spec (non-empty
+/// axes, positive periods, resolvable scenario names) and throws
+/// std::invalid_argument / std::out_of_range on violations.
+std::vector<CellSpec> expand(const ExperimentSpec& spec,
+                             const ScenarioRegistry& registry);
+
+}  // namespace staleflow

@@ -1,0 +1,12 @@
+// Umbrella header for the experiment-sweep subsystem.
+//
+// Declare an ExperimentSpec (scenarios x policies x periods x replicas),
+// hand it to SweepRunner::run with a thread count, aggregate with
+// summarise() / write_cells_csv(). Results are bit-identical for any
+// thread count; see runner.h for the determinism contract.
+#pragma once
+
+#include "sweep/aggregate.h"
+#include "sweep/runner.h"
+#include "sweep/scenario.h"
+#include "sweep/spec.h"

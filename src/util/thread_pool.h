@@ -1,0 +1,69 @@
+// A fixed-size worker pool with a FIFO work queue.
+//
+// The sweep engine executes thousands of independent simulation cells; this
+// pool is the single place multi-threading lives so everything above it
+// (sweep runner, benches, tools) stays free of raw thread management.
+// Determinism discipline: tasks must never share mutable state and must not
+// draw from a shared RNG — anything random is derived *before* submission
+// (see SweepRunner), so results are independent of scheduling order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace staleflow {
+
+/// Fixed pool of worker threads draining a FIFO queue of tasks.
+///
+/// submit() is thread-safe. If a task throws, the first exception is
+/// captured and rethrown from wait_idle() (or swallowed by the destructor
+/// if wait_idle() is never called); subsequent tasks still run.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 picks std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task. Tasks are picked up FIFO by whichever worker frees
+  /// up first; completion order is unspecified.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle, then
+  /// rethrows the first exception any task raised since the last call.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Runs fn(i) for i in [0, count) across `threads` workers and waits for
+/// completion. threads == 0 picks hardware concurrency; threads == 1 runs
+/// inline on the calling thread (no pool); exceptions propagate either
+/// way (first one wins).
+void parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace staleflow

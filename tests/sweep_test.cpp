@@ -1,0 +1,354 @@
+// Tests for the sweep subsystem: thread pool, scenario registry, grid
+// expansion, aggregation, and the 1-thread vs 4-thread determinism
+// contract.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "equilibrium/potential.h"
+#include "net/flow.h"
+#include "net/generators.h"
+#include "sweep/sweep.h"
+#include "util/thread_pool.h"
+
+namespace staleflow {
+namespace {
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, RethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error is consumed; the pool keeps working.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversIndexRange) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    std::vector<int> hits(257, 0);
+    parallel_for(hits.size(), threads,
+                 [&hits](std::size_t i) { hits[i] += 1; });
+    for (const int hit : hits) EXPECT_EQ(hit, 1);
+  }
+}
+
+// ---------------------------------------------------------- ScenarioRegistry
+
+TEST(ScenarioRegistry, BuiltinHasKnownScenarios) {
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+  EXPECT_GE(registry.size(), 10u);
+  EXPECT_TRUE(registry.contains("two-link-pulse"));
+  EXPECT_TRUE(registry.contains("braess"));
+  EXPECT_TRUE(registry.contains("grid-3x3"));
+  EXPECT_FALSE(registry.contains("no-such-scenario"));
+  EXPECT_THROW(registry.at("no-such-scenario"), std::out_of_range);
+}
+
+TEST(ScenarioRegistry, FactoriesAreDeterministicGivenSeed) {
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+  for (const std::string& name : registry.names()) {
+    Rng a(123), b(123);
+    const Instance first = registry.at(name).make(a);
+    const Instance second = registry.at(name).make(b);
+    EXPECT_EQ(first.path_count(), second.path_count()) << name;
+    // Same structure and same latency landscape: evaluate at uniform flow.
+    const FlowVector flow = FlowVector::uniform(first);
+    EXPECT_DOUBLE_EQ(potential(first, flow.values()),
+                     potential(second, flow.values()))
+        << name;
+  }
+}
+
+TEST(ScenarioRegistry, RejectsDuplicatesAndBadEntries) {
+  ScenarioRegistry registry;
+  registry.add({"x", "", [](Rng&) { return braess(); }});
+  EXPECT_THROW(registry.add({"x", "", [](Rng&) { return braess(); }}),
+               std::invalid_argument);
+  EXPECT_THROW(registry.add({"", "", [](Rng&) { return braess(); }}),
+               std::invalid_argument);
+  EXPECT_THROW(registry.add({"y", "", nullptr}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- named_policy
+
+TEST(NamedPolicy, ParsesTheFullGrammar) {
+  const Instance instance = braess();
+  for (const char* name : {"replicator", "uniform-linear", "alpha:0.5",
+                           "logit:10", "naive", "relative-slack",
+                           "relative-slack:0.25", "safe"}) {
+    const PolicySpec spec = named_policy(name);
+    EXPECT_EQ(spec.name, name);
+    const Policy policy = spec.make(instance, 0.1);
+    EXPECT_FALSE(policy.name().empty());
+  }
+}
+
+TEST(NamedPolicy, RejectsUnknownAndMalformed) {
+  EXPECT_THROW(named_policy("no-such-policy"), std::invalid_argument);
+  EXPECT_THROW(named_policy("alpha"), std::invalid_argument);
+  EXPECT_THROW(named_policy("alpha:zero"), std::invalid_argument);
+  EXPECT_THROW(named_policy("alpha:-1"), std::invalid_argument);
+  EXPECT_THROW(named_policy("logit"), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- expand
+
+ExperimentSpec small_spec() {
+  ExperimentSpec spec;
+  spec.scenarios = {"braess", "uniform-links-8"};
+  spec.policies = {named_policy("replicator"), named_policy("alpha:0.5")};
+  spec.update_periods = {0.05, 0.1};
+  spec.replicas = 2;
+  spec.horizon = 10.0;
+  return spec;
+}
+
+TEST(Expand, CartesianProductInCanonicalOrder) {
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+  const ExperimentSpec spec = small_spec();
+  const std::vector<CellSpec> cells = expand(spec, registry);
+
+  ASSERT_EQ(cells.size(), cell_count(spec));
+  ASSERT_EQ(cells.size(), 2u * 2u * 2u * 2u);
+
+  // Indices are positions; order is scenario-major, then policy, period,
+  // replica.
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+  }
+  EXPECT_EQ(cells[0].scenario, "braess");
+  EXPECT_EQ(cells[0].policy, "replicator");
+  EXPECT_DOUBLE_EQ(cells[0].update_period, 0.05);
+  EXPECT_EQ(cells[0].replica, 0u);
+  EXPECT_EQ(cells[1].replica, 1u);
+  EXPECT_DOUBLE_EQ(cells[2].update_period, 0.1);
+  EXPECT_EQ(cells[4].policy, "alpha:0.5");
+  EXPECT_EQ(cells[8].scenario, "uniform-links-8");
+
+  // Every combination appears exactly once.
+  std::set<std::string> combos;
+  for (const CellSpec& cell : cells) {
+    std::ostringstream key;
+    key << cell.scenario << '|' << cell.policy << '|' << cell.update_period
+        << '|' << cell.replica;
+    EXPECT_TRUE(combos.insert(key.str()).second);
+  }
+}
+
+TEST(Expand, ValidatesTheSpec) {
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+
+  ExperimentSpec spec = small_spec();
+  spec.scenarios.clear();
+  EXPECT_THROW(expand(spec, registry), std::invalid_argument);
+
+  spec = small_spec();
+  spec.scenarios.push_back("no-such-scenario");
+  EXPECT_THROW(expand(spec, registry), std::out_of_range);
+
+  spec = small_spec();
+  spec.scenarios.push_back("braess");  // duplicate
+  EXPECT_THROW(expand(spec, registry), std::invalid_argument);
+
+  spec = small_spec();
+  spec.policies.clear();
+  EXPECT_THROW(expand(spec, registry), std::invalid_argument);
+
+  spec = small_spec();
+  spec.policies.push_back(named_policy("replicator"));  // duplicate
+  EXPECT_THROW(expand(spec, registry), std::invalid_argument);
+
+  spec = small_spec();
+  spec.update_periods = {0.1, 0.0};
+  EXPECT_THROW(expand(spec, registry), std::invalid_argument);
+
+  spec = small_spec();
+  spec.replicas = 0;
+  EXPECT_THROW(expand(spec, registry), std::invalid_argument);
+
+  spec = small_spec();
+  spec.horizon = 0.0;
+  EXPECT_THROW(expand(spec, registry), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- runner
+
+TEST(SweepRunner, RunsEveryCellAndConvergesOnEasyInstances) {
+  ExperimentSpec spec = small_spec();
+  spec.horizon = 50.0;
+  const SweepRunner runner;
+  const SweepResult result = runner.run(spec, 1);
+
+  ASSERT_EQ(result.cells.size(), cell_count(spec));
+  for (const CellResult& cell : result.cells) {
+    EXPECT_TRUE(cell.ok) << cell.error;
+    EXPECT_GT(cell.phases, 0u);
+    EXPECT_GT(cell.paths, 0u);
+    EXPECT_GE(cell.final_gap, 0.0);
+    // Smooth policies on these benign instances must make clear progress
+    // toward equilibrium within the horizon (the gentle alpha:0.5 policy
+    // is the slowest of the grid; uniform initial gaps are O(0.1..1)).
+    EXPECT_LT(cell.final_gap, 0.05)
+        << cell.cell.scenario << " / " << cell.cell.policy;
+  }
+}
+
+TEST(SweepRunner, CellErrorsAreRecordedNotThrown) {
+  ScenarioRegistry registry;
+  registry.add({"ok", "", [](Rng&) { return braess(); }});
+  registry.add({"broken", "", [](Rng&) -> Instance {
+                  throw std::runtime_error("generator exploded");
+                }});
+
+  ExperimentSpec spec;
+  spec.scenarios = {"ok", "broken"};
+  spec.policies = {named_policy("replicator")};
+  spec.update_periods = {0.1};
+  spec.horizon = 5.0;
+
+  const SweepRunner runner(std::move(registry));
+  const SweepResult result = runner.run(spec, 2);
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_TRUE(result.cells[0].ok);
+  EXPECT_FALSE(result.cells[1].ok);
+  EXPECT_NE(result.cells[1].error.find("generator exploded"),
+            std::string::npos);
+}
+
+TEST(SweepRunner, RoundAndAgentSimulatorsRun) {
+  ExperimentSpec spec;
+  spec.scenarios = {"braess"};
+  spec.policies = {named_policy("uniform-linear")};
+  spec.update_periods = {0.1};
+  spec.horizon = 5.0;
+
+  const SweepRunner runner;
+  spec.simulator = SimulatorKind::kRound;
+  SweepResult rounds = runner.run(spec, 1);
+  ASSERT_EQ(rounds.cells.size(), 1u);
+  EXPECT_TRUE(rounds.cells[0].ok) << rounds.cells[0].error;
+  EXPECT_GT(rounds.cells[0].phases, 0u);
+
+  spec.simulator = SimulatorKind::kAgent;
+  spec.num_agents = 500;
+  SweepResult agents = runner.run(spec, 1);
+  ASSERT_EQ(agents.cells.size(), 1u);
+  EXPECT_TRUE(agents.cells[0].ok) << agents.cells[0].error;
+  EXPECT_GT(agents.cells[0].phases, 0u);
+}
+
+// --------------------------------------------------------------- determinism
+
+/// The determinism contract: a sweep is bit-identical for 1 vs 4 threads.
+TEST(SweepRunner, BitIdenticalAcrossThreadCounts) {
+  ExperimentSpec spec = small_spec();
+  // Random scenarios make this a real test: instance generation draws from
+  // the per-cell stream, so any scheduling leak would shift results.
+  spec.scenarios = {"braess", "random-links-8", "grid-3x3"};
+  spec.horizon = 20.0;
+
+  const SweepRunner runner;
+  const SweepResult one = runner.run(spec, 1);
+  const SweepResult four = runner.run(spec, 4);
+
+  ASSERT_EQ(one.cells.size(), four.cells.size());
+  for (std::size_t i = 0; i < one.cells.size(); ++i) {
+    const CellResult& a = one.cells[i];
+    const CellResult& b = four.cells[i];
+    EXPECT_EQ(a.cell.scenario, b.cell.scenario);
+    EXPECT_EQ(a.cell.policy, b.cell.policy);
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.phases, b.phases);
+    EXPECT_EQ(a.converged, b.converged);
+    // Exact bit equality, not tolerance: the same instruction sequence
+    // must have run regardless of scheduling.
+    EXPECT_EQ(a.final_gap, b.final_gap) << i;
+    EXPECT_EQ(a.final_potential, b.final_potential) << i;
+    EXPECT_EQ(a.time_to_converge, b.time_to_converge) << i;
+    EXPECT_EQ(a.oscillation_amplitude, b.oscillation_amplitude) << i;
+  }
+}
+
+TEST(SweepRunner, CsvOutputIsByteIdenticalAcrossThreadCounts) {
+  ExperimentSpec spec = small_spec();
+  spec.scenarios = {"braess", "random-links-8"};
+  spec.horizon = 10.0;
+
+  const SweepRunner runner;
+  const std::string path_one = "sweep_test_cells_1.csv";
+  const std::string path_four = "sweep_test_cells_4.csv";
+  write_cells_csv(path_one, runner.run(spec, 1));
+  write_cells_csv(path_four, runner.run(spec, 4));
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  const std::string one = slurp(path_one);
+  const std::string four = slurp(path_four);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, four);
+  std::remove(path_one.c_str());
+  std::remove(path_four.c_str());
+}
+
+// -------------------------------------------------------------- aggregation
+
+TEST(Summarise, GroupsByScenarioAndPolicy) {
+  ExperimentSpec spec = small_spec();
+  spec.horizon = 20.0;
+  const SweepRunner runner;
+  const SweepResult result = runner.run(spec, 1);
+  const std::vector<GroupSummary> groups = summarise(result);
+
+  // 2 scenarios x 2 policies, each pooling 2 periods x 2 replicas.
+  ASSERT_EQ(groups.size(), 4u);
+  for (const GroupSummary& group : groups) {
+    EXPECT_EQ(group.cells, 4u);
+    EXPECT_EQ(group.errors, 0u);
+    EXPECT_EQ(group.final_gap.count(), 4u);
+  }
+  // Order of first appearance follows the canonical expansion order.
+  EXPECT_EQ(groups[0].scenario, "braess");
+  EXPECT_EQ(groups[0].policy, "replicator");
+  EXPECT_EQ(groups[1].policy, "alpha:0.5");
+  EXPECT_EQ(groups[2].scenario, "uniform-links-8");
+
+  const Table table = summary_table(groups);
+  EXPECT_EQ(table.rows(), groups.size());
+}
+
+}  // namespace
+}  // namespace staleflow

@@ -1,0 +1,227 @@
+// sweep_cli — run declarative experiment sweeps from the command line.
+//
+// Usage:
+//   sweep_cli run [--scenarios a,b,...] [--policies p,q,...]
+//                 [--periods 0.05,0.1,...] [--replicas <n>] [--seed <s>]
+//                 [--simulator fluid|round|agent] [--horizon <t>]
+//                 [--stop-gap <g>] [--agents <n>] [--threads <k>]
+//                 [--cells-csv <path>] [--summary-csv <path>] [--quiet]
+//   sweep_cli list
+//
+// `list` prints the scenario catalogue and policy grammar. `run` expands
+// the cartesian product scenarios x policies x periods x replicas,
+// executes it on a thread pool and prints a scenario x policy summary
+// table plus throughput. Results (and the CSVs) are bit-identical for any
+// --threads value.
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "staleflow/staleflow.h"
+
+namespace staleflow {
+namespace {
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  sweep_cli run [--scenarios a,b,...] [--policies p,q,...]\n"
+      "                [--periods 0.05,0.1,...] [--replicas <n>]\n"
+      "                [--seed <s>] [--simulator fluid|round|agent]\n"
+      "                [--horizon <t>] [--stop-gap <g>] [--agents <n>]\n"
+      "                [--threads <k>] [--cells-csv <path>]\n"
+      "                [--summary-csv <path>] [--quiet]\n"
+      "  sweep_cli list\n"
+      "policies: replicator | uniform-linear | alpha:<a> | logit:<c> |\n"
+      "          naive | relative-slack[:<s>] | safe\n";
+  std::exit(2);
+}
+
+std::map<std::string, std::string> parse_flags(
+    const std::vector<std::string>& args, std::size_t from) {
+  std::map<std::string, std::string> flags;
+  for (std::size_t i = from; i < args.size(); ++i) {
+    if (args[i].rfind("--", 0) != 0) usage("unexpected argument " + args[i]);
+    const std::string key = args[i].substr(2);
+    if (key == "quiet") {
+      flags[key] = "1";
+    } else {
+      if (i + 1 >= args.size()) usage("--" + key + " needs a value");
+      flags[key] = args[++i];
+    }
+  }
+  return flags;
+}
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+double number_or_die(const std::string& text, const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    usage("bad number for " + what + ": " + text);
+  }
+}
+
+long long integer_or_die(const std::string& text, const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const long long value = std::stoll(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    usage("bad integer for " + what + ": " + text);
+  }
+}
+
+int do_list() {
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+  Table table({"scenario", "description"});
+  for (const std::string& name : registry.names()) {
+    table.add_row({name, registry.at(name).description});
+  }
+  table.print(std::cout);
+  std::cout << "\npolicies: replicator | uniform-linear | alpha:<a> | "
+               "logit:<c> | naive |\n          relative-slack[:<s>] | safe\n";
+  return 0;
+}
+
+int do_run(const std::map<std::string, std::string>& flags) {
+  ExperimentSpec spec;
+  spec.scenarios = {"two-link-pulse", "braess", "uniform-links-8",
+                    "random-links-8"};
+  std::vector<std::string> policy_names = {"replicator", "uniform-linear",
+                                           "alpha:0.5", "logit:10", "safe"};
+  spec.update_periods = {0.05, 0.1};
+  spec.replicas = 3;
+
+  std::size_t threads = 1;
+  std::string cells_csv, summary_csv;
+  bool quiet = false;
+
+  for (const auto& [key, value] : flags) {
+    if (key == "scenarios") {
+      spec.scenarios = split_list(value);
+    } else if (key == "policies") {
+      policy_names = split_list(value);
+    } else if (key == "periods") {
+      spec.update_periods.clear();
+      for (const std::string& item : split_list(value)) {
+        spec.update_periods.push_back(number_or_die(item, "--periods"));
+      }
+    } else if (key == "replicas") {
+      spec.replicas =
+          static_cast<std::size_t>(integer_or_die(value, "--replicas"));
+    } else if (key == "seed") {
+      spec.base_seed =
+          static_cast<std::uint64_t>(integer_or_die(value, "--seed"));
+    } else if (key == "simulator") {
+      spec.simulator = parse_simulator_kind(value);
+    } else if (key == "horizon") {
+      spec.horizon = number_or_die(value, "--horizon");
+    } else if (key == "stop-gap") {
+      spec.stop_gap = number_or_die(value, "--stop-gap");
+    } else if (key == "agents") {
+      spec.num_agents =
+          static_cast<std::size_t>(integer_or_die(value, "--agents"));
+    } else if (key == "threads") {
+      threads = static_cast<std::size_t>(integer_or_die(value, "--threads"));
+    } else if (key == "cells-csv") {
+      cells_csv = value;
+    } else if (key == "summary-csv") {
+      summary_csv = value;
+    } else if (key == "quiet") {
+      quiet = true;
+    } else {
+      usage("unknown flag --" + key);
+    }
+  }
+
+  for (const std::string& name : policy_names) {
+    spec.policies.push_back(named_policy(name));
+  }
+
+  const SweepRunner runner;
+  const std::size_t total = cell_count(spec);
+  if (!quiet) {
+    std::cout << "sweep: " << spec.scenarios.size() << " scenarios x "
+              << spec.policies.size() << " policies x "
+              << spec.update_periods.size() << " periods x " << spec.replicas
+              << " replicas = " << total << " cells ("
+              << to_string(spec.simulator) << ", threads=" << threads
+              << ")\n";
+  }
+
+  SweepProgress progress = nullptr;
+  if (!quiet) {
+    progress = [total](std::size_t done, std::size_t) {
+      if (done % 25 == 0 || done == total) {
+        std::cerr << "  " << done << "/" << total << " cells\r";
+        if (done == total) std::cerr << '\n';
+      }
+    };
+  }
+
+  const SweepResult result = runner.run(spec, threads, progress);
+  const std::vector<GroupSummary> groups = summarise(result);
+
+  summary_table(groups).print(std::cout);
+  std::size_t errors = 0;
+  for (const CellResult& cell : result.cells) {
+    if (!cell.ok) ++errors;
+  }
+  if (errors > 0) {
+    std::cout << "\n" << errors << " cell(s) failed; see ";
+    std::cout << (cells_csv.empty() ? "--cells-csv output" : cells_csv)
+              << " for messages\n";
+  }
+  if (!quiet) {
+    std::cout << "\n" << result.cells.size() << " cells in "
+              << fmt(result.wall_seconds, 2) << " s ("
+              << fmt(result.cells_per_second(), 1) << " cells/s)\n";
+  }
+
+  if (!cells_csv.empty()) {
+    write_cells_csv(cells_csv, result);
+    if (!quiet) std::cout << "wrote " << cells_csv << "\n";
+  }
+  if (!summary_csv.empty()) {
+    write_summary_csv(summary_csv, groups);
+    if (!quiet) std::cout << "wrote " << summary_csv << "\n";
+  }
+  return errors == 0 ? 0 : 1;
+}
+
+int run_main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) usage();
+  const std::string& command = args[0];
+  try {
+    if (command == "list") return do_list();
+    if (command == "run") return do_run(parse_flags(args, 1));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  usage("unknown command " + command);
+}
+
+}  // namespace
+}  // namespace staleflow
+
+int main(int argc, char** argv) { return staleflow::run_main(argc, argv); }
