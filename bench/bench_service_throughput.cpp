@@ -1,0 +1,143 @@
+// bench_service_throughput — queries/sec scaling of the route service.
+//
+// Serves a fixed closed-loop workload (so every configuration answers the
+// same number of queries) on 1..N worker threads and reports throughput,
+// latency quantiles, speedup over single-threaded and parallel
+// efficiency. Alongside the human-readable table it writes
+// BENCH_service.json, the machine-readable perf-trajectory record future
+// PRs diff against. The dynamics outcome (digest) is asserted identical
+// across thread counts — the determinism contract under load.
+//
+// Usage: bench_service_throughput [max_threads] [json_path]
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "staleflow/staleflow.h"
+
+namespace staleflow {
+namespace {
+
+struct ScalingPoint {
+  std::size_t threads = 0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double wall_seconds = 0.0;
+  double speedup = 0.0;
+  double efficiency = 0.0;
+};
+
+int run_main(int argc, char** argv) {
+  std::size_t max_threads = 8;
+  std::string json_path = "BENCH_service.json";
+  if (argc > 1) {
+    const int parsed = std::atoi(argv[1]);
+    if (parsed < 0 || parsed > 1024) {
+      std::cerr << "usage: bench_service_throughput [max_threads 0..1024] "
+                   "[json_path]\n";
+      return 2;
+    }
+    max_threads = static_cast<std::size_t>(parsed);
+  }
+  if (argc > 2) json_path = argv[2];
+  if (max_threads == 0) {
+    max_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+
+  // Fixed configuration: a 32-link instance keeps the per-query CDF search
+  // nontrivial, the closed loop keeps the query count identical across
+  // thread counts.
+  Rng scenario_rng(7);
+  const Instance instance = random_parallel_links(32, scenario_rng);
+  const Policy policy = make_replicator_policy(instance);
+  const std::size_t queries_per_epoch = 200'000;
+  const WorkloadPtr workload = closed_loop_workload(queries_per_epoch);
+
+  RouteServerOptions options;
+  options.update_period = 0.05;
+  options.epochs = 15;
+  options.num_clients = 50'000;
+  options.shards = 32;
+  options.seed = 42;
+
+  std::cout << "service throughput: " << instance.describe() << "\n  "
+            << policy.name() << ", " << workload->name() << " x "
+            << options.epochs << " epochs, " << options.num_clients
+            << " clients, " << options.shards << " shards (hardware: "
+            << std::thread::hardware_concurrency() << " cores)\n\n";
+
+  std::vector<ScalingPoint> points;
+  std::uint64_t reference_digest = 0;
+  Table table({"threads", "Mq/s", "p50 us", "p99 us", "speedup", "eff"});
+
+  for (std::size_t threads = 1; threads <= max_threads; threads *= 2) {
+    options.threads = threads;
+    RouteServer server(instance, policy, *workload);
+    const RouteServerResult result =
+        server.run(FlowVector::uniform(instance), options);
+
+    const std::uint64_t digest = telemetry_digest(result.epochs);
+    if (threads == 1) {
+      reference_digest = digest;
+    } else if (digest != reference_digest) {
+      std::cerr << "FAIL: digest differs at " << threads
+                << " threads — determinism contract broken\n";
+      return 1;
+    }
+
+    ScalingPoint point;
+    point.threads = threads;
+    point.qps = result.queries_per_second;
+    point.p50_us = result.p50_us;
+    point.p99_us = result.p99_us;
+    point.wall_seconds = result.wall_seconds;
+    point.speedup = points.empty() ? 1.0 : point.qps / points.front().qps;
+    point.efficiency = point.speedup / static_cast<double>(threads);
+    points.push_back(point);
+
+    table.add_row({std::to_string(threads), fmt(point.qps / 1e6, 3),
+                   fmt(point.p50_us, 2), fmt(point.p99_us, 2),
+                   fmt(point.speedup, 2), fmt(point.efficiency, 2)});
+  }
+
+  table.print(std::cout);
+
+  std::ofstream json(json_path);
+  if (!json) {
+    std::cerr << "cannot open " << json_path << "\n";
+    return 1;
+  }
+  json << "{\n"
+       << "  \"bench\": \"service_throughput\",\n"
+       << "  \"config\": {\n"
+       << "    \"scenario\": \"random-links-32\",\n"
+       << "    \"policy\": \"" << policy.name() << "\",\n"
+       << "    \"workload\": \"" << workload->name() << "\",\n"
+       << "    \"epochs\": " << options.epochs << ",\n"
+       << "    \"clients\": " << options.num_clients << ",\n"
+       << "    \"shards\": " << options.shards << ",\n"
+       << "    \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << "\n  },\n"
+       << "  \"results\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ScalingPoint& p = points[i];
+    json << "    {\"threads\": " << p.threads << ", \"qps\": " << p.qps
+         << ", \"p50_us\": " << p.p50_us << ", \"p99_us\": " << p.p99_us
+         << ", \"wall_seconds\": " << p.wall_seconds
+         << ", \"speedup\": " << p.speedup
+         << ", \"efficiency\": " << p.efficiency << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "\nwrote " << json_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace staleflow
+
+int main(int argc, char** argv) { return staleflow::run_main(argc, argv); }

@@ -6,78 +6,10 @@
 #include <stdexcept>
 #include <vector>
 
+#include "agents/population.h"
 #include "core/bulletin_board.h"
 
 namespace staleflow {
-namespace {
-
-/// Per-commodity agent bookkeeping: which path each agent sits on, and the
-/// flow each agent carries.
-struct CommodityAgents {
-  std::vector<std::size_t> path_of_agent;  // local path index per agent
-  double flow_per_agent = 0.0;
-};
-
-/// Allocates `num_agents` across commodities proportionally to demand,
-/// guaranteeing at least one agent per commodity.
-std::vector<std::size_t> allocate_agents(const Instance& instance,
-                                         std::size_t num_agents) {
-  const std::size_t k = instance.commodity_count();
-  if (num_agents < k) {
-    throw std::invalid_argument(
-        "AgentSimulator: need at least one agent per commodity");
-  }
-  std::vector<std::size_t> counts(k, 1);
-  std::size_t assigned = k;
-  for (std::size_t c = 0; c < k && assigned < num_agents; ++c) {
-    const double demand = instance.commodity(CommodityId{c}).demand;
-    const auto extra = static_cast<std::size_t>(
-        std::floor(demand * static_cast<double>(num_agents)));
-    const std::size_t grant = std::min(extra > 0 ? extra - 1 : 0,
-                                       num_agents - assigned);
-    counts[c] += grant;
-    assigned += grant;
-  }
-  // Distribute any remainder round-robin.
-  for (std::size_t c = 0; assigned < num_agents; c = (c + 1) % k) {
-    ++counts[c];
-    ++assigned;
-  }
-  return counts;
-}
-
-/// Initial path counts per commodity approximating the target flow.
-std::vector<std::size_t> initial_counts(const Commodity& commodity,
-                                        std::span<const double> flow,
-                                        std::size_t agents) {
-  const std::size_t m = commodity.paths.size();
-  std::vector<std::size_t> counts(m, 0);
-  std::size_t assigned = 0;
-  for (std::size_t j = 0; j < m; ++j) {
-    const double share =
-        std::max(flow[commodity.paths[j].index()], 0.0) / commodity.demand;
-    counts[j] = static_cast<std::size_t>(
-        std::floor(share * static_cast<double>(agents)));
-    assigned += counts[j];
-  }
-  // Greedily hand out the rounding remainder to the largest fractional
-  // parts (deterministic: first-come order is fine for validation).
-  std::size_t j = 0;
-  while (assigned < agents) {
-    const double share =
-        std::max(flow[commodity.paths[j].index()], 0.0) / commodity.demand;
-    const double frac = share * static_cast<double>(agents) -
-                        std::floor(share * static_cast<double>(agents));
-    if (frac > 0.0 || assigned + (m - j) >= agents) {
-      ++counts[j];
-      ++assigned;
-    }
-    j = (j + 1) % m;
-  }
-  return counts;
-}
-
-}  // namespace
 
 AgentSimulator::AgentSimulator(const Instance& instance, const Policy& policy)
     : instance_(&instance), policy_(&policy) {}
@@ -94,60 +26,24 @@ AgentSimResult AgentSimulator::run(const FlowVector& initial,
 
   Rng rng(options.seed);
   const std::size_t k = instance_->commodity_count();
-  const std::vector<std::size_t> agents_per_commodity =
-      allocate_agents(*instance_, options.num_agents);
-
-  // Set up agents and empirical flow.
-  std::vector<CommodityAgents> population(k);
-  std::vector<double> empirical(instance_->path_count(), 0.0);
-  std::vector<std::size_t> agent_commodity;  // global agent id -> commodity
-  agent_commodity.reserve(options.num_agents);
-  std::vector<std::size_t> agent_local;  // global agent id -> local index
-  agent_local.reserve(options.num_agents);
-
-  for (std::size_t c = 0; c < k; ++c) {
-    const Commodity& commodity = instance_->commodity(CommodityId{c});
-    CommodityAgents& pop = population[c];
-    const std::size_t n_c = agents_per_commodity[c];
-    pop.flow_per_agent = commodity.demand / static_cast<double>(n_c);
-    const std::vector<std::size_t> counts =
-        initial_counts(commodity, initial.values(), n_c);
-    for (std::size_t j = 0; j < counts.size(); ++j) {
-      for (std::size_t a = 0; a < counts[j]; ++a) {
-        agent_commodity.push_back(c);
-        agent_local.push_back(pop.path_of_agent.size());
-        pop.path_of_agent.push_back(j);
-      }
-      empirical[commodity.paths[j].index()] +=
-          static_cast<double>(counts[j]) * pop.flow_per_agent;
-    }
-  }
+  Population population(*instance_, options.num_agents, initial.values());
 
   BulletinBoard board(*instance_);
   // Per-commodity sampling distribution, fixed within a phase.
-  std::vector<std::vector<double>> sampling_cdf(k);
+  std::vector<std::vector<double>> cdfs(k);
   auto refresh_board = [&](double now) {
-    board.post(now, empirical);
+    board.post(now, population.empirical_flow());
     for (std::size_t c = 0; c < k; ++c) {
-      const Commodity& commodity = instance_->commodity(CommodityId{c});
-      std::vector<double>& cdf = sampling_cdf[c];
-      cdf.resize(commodity.paths.size());
-      policy_->sampling().distribution(*instance_, commodity,
-                                       board.path_flow(),
-                                       board.path_latency(), cdf);
-      double acc = 0.0;
-      for (double& v : cdf) {
-        acc += v;
-        v = acc;
-      }
-      // Defend against round-off in the final bucket.
-      if (!cdf.empty()) cdf.back() = std::max(cdf.back(), 1.0);
+      sampling_cdf(*policy_, *instance_,
+                   instance_->commodity(CommodityId{c}), board.path_flow(),
+                   board.path_latency(), cdfs[c]);
     }
   };
 
-  AgentSimResult result{FlowVector(*instance_, empirical)};
+  AgentSimResult result{FlowVector(*instance_, population.empirical_flow())};
   const double total_rate = static_cast<double>(options.num_agents);
-  std::vector<double> flow_before = empirical;
+  std::vector<double> flow_before(population.empirical_flow().begin(),
+                                  population.empirical_flow().end());
 
   // Regret accounting: per-path latency integrals and the flow-weighted
   // experienced latency, accumulated per completed phase at its left
@@ -184,11 +80,12 @@ AgentSimResult AgentSimulator::run(const FlowVector& initial,
         info.start_time = next_update - options.update_period;
         info.end_time = next_update;
         info.flow_before = flow_before;
-        info.flow_after = empirical;
+        info.flow_after = population.empirical_flow();
         observer(info);
       }
       refresh_board(next_update);
-      flow_before = empirical;
+      flow_before.assign(population.empirical_flow().begin(),
+                         population.empirical_flow().end());
       next_update += options.update_period;
     }
     if (next_t >= options.horizon) {
@@ -201,18 +98,12 @@ AgentSimResult AgentSimulator::run(const FlowVector& initial,
     const auto agent = static_cast<std::size_t>(
         rng.below(static_cast<std::uint64_t>(options.num_agents)));
     ++result.activations;
-    const std::size_t c = agent_commodity[agent];
-    const Commodity& commodity = instance_->commodity(CommodityId{c});
-    CommodityAgents& pop = population[c];
-    const std::size_t current_local = pop.path_of_agent[agent_local[agent]];
+    const CommodityId c = population.commodity_of(agent);
+    const Commodity& commodity = instance_->commodity(c);
+    const std::size_t current_local = population.local_path(agent);
 
     // Sample a candidate path from the phase-constant distribution.
-    const std::vector<double>& cdf = sampling_cdf[c];
-    const double u = rng.uniform();
-    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
-    const auto sampled_local = static_cast<std::size_t>(
-        std::min<std::ptrdiff_t>(it - cdf.begin(),
-                                 static_cast<std::ptrdiff_t>(cdf.size()) - 1));
+    const std::size_t sampled_local = sample_from_cdf(cdfs[c.index()], rng);
     if (sampled_local == current_local) continue;
 
     const double l_current =
@@ -222,14 +113,11 @@ AgentSimResult AgentSimulator::run(const FlowVector& initial,
     const double mu = policy_->migration().probability(l_current, l_sampled);
     if (!rng.bernoulli(mu)) continue;
 
-    // Migrate.
-    pop.path_of_agent[agent_local[agent]] = sampled_local;
-    empirical[commodity.paths[current_local].index()] -= pop.flow_per_agent;
-    empirical[commodity.paths[sampled_local].index()] += pop.flow_per_agent;
+    population.migrate(agent, sampled_local);
     ++result.migrations;
   }
 
-  result.final_flow = FlowVector(*instance_, empirical);
+  result.final_flow = FlowVector(*instance_, population.empirical_flow());
   result.final_time = t;
   result.phases = phase;
 

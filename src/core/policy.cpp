@@ -1,5 +1,6 @@
 #include "core/policy.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace staleflow {
@@ -56,6 +57,30 @@ Policy make_safe_policy(const Instance& instance, double update_period) {
   }
   const double alpha = 1.0 / (4.0 * d * beta * update_period);
   return Policy(uniform_sampling(), alpha_capped_migration(alpha));
+}
+
+void sampling_cdf(const Policy& policy, const Instance& instance,
+                  const Commodity& commodity,
+                  std::span<const double> board_path_flow,
+                  std::span<const double> board_path_latency,
+                  std::vector<double>& out) {
+  out.resize(commodity.paths.size());
+  policy.sampling().distribution(instance, commodity, board_path_flow,
+                                 board_path_latency, out);
+  double acc = 0.0;
+  for (double& v : out) {
+    acc += v;
+    v = acc;
+  }
+  // Defend against round-off in the final bucket.
+  if (!out.empty()) out.back() = std::max(out.back(), 1.0);
+}
+
+std::size_t sample_from_cdf(std::span<const double> cdf, Rng& rng) {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return static_cast<std::size_t>(std::min<std::ptrdiff_t>(
+      it - cdf.begin(), static_cast<std::ptrdiff_t>(cdf.size()) - 1));
 }
 
 }  // namespace staleflow

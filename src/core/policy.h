@@ -3,11 +3,14 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/migration.h"
 #include "core/sampling.h"
 #include "net/instance.h"
+#include "util/rng.h"
 
 namespace staleflow {
 
@@ -66,5 +69,22 @@ Policy make_relative_slack_policy(double shift = 0.0);
 /// T <= 0 or the instance has zero slope/path length (any policy is safe
 /// then — no finite alpha is implied).
 Policy make_safe_policy(const Instance& instance, double update_period);
+
+/// Cumulative sampling distribution of `policy` over `commodity`'s local
+/// path list, evaluated against bulletin-board values. Resizes `out` to the
+/// commodity's path count; the final bucket is clamped to >= 1 so that
+/// round-off can never push a uniform draw past the end. Candidates are
+/// then drawn with one binary search per activation — the hot-path form
+/// shared by the finite-population simulator and the route service.
+void sampling_cdf(const Policy& policy, const Instance& instance,
+                  const Commodity& commodity,
+                  std::span<const double> board_path_flow,
+                  std::span<const double> board_path_latency,
+                  std::vector<double>& out);
+
+/// Draws a local path index from a distribution built by sampling_cdf():
+/// one uniform variate, one binary search, end-clamped against round-off.
+/// Requires a non-empty cdf.
+std::size_t sample_from_cdf(std::span<const double> cdf, Rng& rng);
 
 }  // namespace staleflow

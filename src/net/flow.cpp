@@ -46,6 +46,11 @@ FlowVector::FlowVector(const Instance& instance, std::vector<double> values)
   }
 }
 
+FlowVector::FlowVector(const Instance& instance,
+                       std::span<const double> values)
+    : FlowVector(instance,
+                 std::vector<double>(values.begin(), values.end())) {}
+
 bool is_feasible(const Instance& instance, std::span<const double> path_flow,
                  double tolerance) {
   if (path_flow.size() != instance.path_count()) return false;

@@ -31,6 +31,9 @@ class FlowVector {
   /// Wraps raw values (must have instance.path_count() entries).
   FlowVector(const Instance& instance, std::vector<double> values);
 
+  /// Copies raw values out of a span (same size contract).
+  FlowVector(const Instance& instance, std::span<const double> values);
+
   double operator[](PathId p) const { return values_[p.index()]; }
   double& operator[](PathId p) { return values_[p.index()]; }
 

@@ -1,0 +1,38 @@
+#include "service/ledger.h"
+
+#include <stdexcept>
+
+namespace staleflow {
+
+namespace {
+constexpr std::size_t kDoublesPerLine = 64 / sizeof(double);
+}
+
+FlowLedger::FlowLedger(std::size_t path_count, std::size_t shards)
+    : path_count_(path_count),
+      stride_((path_count + kDoublesPerLine - 1) / kDoublesPerLine *
+              kDoublesPerLine),
+      counters_(shards) {
+  if (shards == 0) {
+    throw std::invalid_argument("FlowLedger: need at least one shard");
+  }
+  delta_.assign(shards * stride_, 0.0);
+}
+
+FlowLedger::Totals FlowLedger::fold_into(std::span<double> flow) noexcept {
+  Totals totals;
+  for (std::size_t s = 0; s < counters_.size(); ++s) {
+    double* block = delta_.data() + s * stride_;
+    for (std::size_t p = 0; p < path_count_; ++p) {
+      flow[p] += block[p];
+      block[p] = 0.0;
+    }
+    totals.queries += counters_[s].queries;
+    totals.migrations += counters_[s].migrations;
+    counters_[s].queries = 0;
+    counters_[s].migrations = 0;
+  }
+  return totals;
+}
+
+}  // namespace staleflow

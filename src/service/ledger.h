@@ -1,0 +1,60 @@
+// Sharded flow accounting for the query pipeline.
+//
+// Workers never touch a shared flow vector on the hot path: every shard
+// accumulates its own flow deltas and query counters in private,
+// cache-line-separated storage, and the epoch thread folds all shards into
+// the master flow at the phase boundary — the folded flow is what the next
+// bulletin-board post() sees, closing the served-traffic -> next-board
+// loop. Folding walks shards in index order, so the result is independent
+// of how shards were scheduled onto threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace staleflow {
+
+class FlowLedger {
+ public:
+  /// `path_count` entries per shard; each shard's delta block is padded to
+  /// a cache-line multiple so concurrent shards never false-share.
+  FlowLedger(std::size_t path_count, std::size_t shards);
+
+  std::size_t shards() const noexcept { return counters_.size(); }
+
+  /// Records that `delta` flow moved onto `path` in shard `s`. Safe to
+  /// call concurrently for distinct shards.
+  void add(std::size_t s, std::size_t path, double delta) noexcept {
+    delta_[s * stride_ + path] += delta;
+  }
+
+  /// Counts one answered query (and optionally one migration) in shard `s`.
+  void count_query(std::size_t s, bool migrated) noexcept {
+    ++counters_[s].queries;
+    counters_[s].migrations += migrated ? 1 : 0;
+  }
+
+  struct Totals {
+    std::size_t queries = 0;
+    std::size_t migrations = 0;
+  };
+
+  /// Folds every shard's deltas into `flow` (shard-index order), returns
+  /// the summed counters, and resets the ledger for the next epoch.
+  Totals fold_into(std::span<double> flow) noexcept;
+
+ private:
+  std::size_t path_count_;
+  std::size_t stride_;  // path_count_ rounded up to a cache-line multiple
+  std::vector<double> delta_;  // shards * stride_
+
+  struct alignas(64) Counters {
+    std::uint64_t queries = 0;
+    std::uint64_t migrations = 0;
+  };
+  std::vector<Counters> counters_;
+};
+
+}  // namespace staleflow

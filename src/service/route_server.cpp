@@ -1,0 +1,246 @@
+#include "service/route_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "agents/population.h"
+#include "equilibrium/metrics.h"
+#include "service/ledger.h"
+#include "util/rng.h"
+#include "util/statistics.h"
+#include "util/thread_pool.h"
+
+namespace staleflow {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Everything one logical shard needs for an epoch: its own Rng stream,
+/// its arrival quota and its latency sample buffer. Shards never touch
+/// each other's context; the alignment keeps neighbouring contexts off
+/// the same cache line (the rng state is written on every query).
+struct alignas(64) ShardContext {
+  Rng rng{0};
+  std::size_t arrivals = 0;
+  std::vector<double> latency_us;
+};
+
+double seconds_between(Clock::time_point begin, Clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+}  // namespace
+
+RouteServer::RouteServer(const Instance& instance, const Policy& policy,
+                         const WorkloadGenerator& workload)
+    : instance_(&instance), policy_(&policy), workload_(&workload) {}
+
+RouteServerResult RouteServer::run(const FlowVector& initial,
+                                   const RouteServerOptions& options,
+                                   const EpochObserver& observer) {
+  if (!(options.update_period > 0.0)) {
+    throw std::invalid_argument(
+        "RouteServer::run: update period must be > 0");
+  }
+  if (options.epochs == 0) {
+    throw std::invalid_argument("RouteServer::run: need at least one epoch");
+  }
+  if (options.shards == 0 || options.shards > options.num_clients) {
+    throw std::invalid_argument(
+        "RouteServer::run: shards must be in [1, num_clients]");
+  }
+  if (options.num_clients >
+      std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument(
+        "RouteServer::run: num_clients must fit RouteQuery::client "
+        "(uint32)");
+  }
+  if (!is_feasible(*instance_, initial.values(), 1e-7)) {
+    throw std::invalid_argument("RouteServer::run: infeasible start");
+  }
+  if (options.record_latency && options.latency_sample_every == 0) {
+    throw std::invalid_argument(
+        "RouteServer::run: latency_sample_every must be >= 1");
+  }
+
+  const double T = options.update_period;
+  const std::size_t shards = options.shards;
+  Population clients(*instance_, options.num_clients, initial.values());
+
+  // Master flow: starts at the client fleet's empirical flow, advanced
+  // only by ledger folds at phase boundaries.
+  std::vector<double> flow(clients.empirical_flow().begin(),
+                           clients.empirical_flow().end());
+  FlowLedger ledger(instance_->path_count(), shards);
+  store_.publish(std::make_shared<BoardSnapshot>(*instance_, *policy_,
+                                                 /*epoch=*/0, /*now=*/0.0,
+                                                 flow));
+
+  // Shard s owns clients {s, s + shards, s + 2*shards, ...}.
+  std::vector<std::size_t> shard_clients(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shard_clients[s] = options.num_clients / shards +
+                       (s < options.num_clients % shards ? 1 : 0);
+  }
+
+  std::vector<ShardContext> ctx(shards);
+  std::unique_ptr<ThreadPool> pool;
+  if (options.threads != 1) {
+    pool = std::make_unique<ThreadPool>(options.threads);
+  }
+
+  const auto serve_shard = [&](std::size_t s) {
+    ShardContext& shard = ctx[s];
+    const std::size_t population = shard_clients[s];
+    // The RCU read path: pin this epoch's board for the whole batch.
+    const SnapshotPtr snap = store_.acquire();
+    const BulletinBoard& board = snap->board();
+    for (std::size_t q = 0; q < shard.arrivals; ++q) {
+      const bool timed = options.record_latency &&
+                         q % options.latency_sample_every == 0;
+      const Clock::time_point begin =
+          timed ? Clock::now() : Clock::time_point{};
+
+      const RouteQuery query{static_cast<std::uint32_t>(
+          s + shards * shard.rng.below(population))};
+      const CommodityId c = clients.commodity_of(query.client);
+      const Commodity& commodity = instance_->commodity(c);
+
+      // Step (1): sample a candidate from the precomputed CDF.
+      const std::size_t sampled = sample_from_cdf(snap->cdf(c), shard.rng);
+
+      // Step (2): migrate with probability mu(l_P, l_Q).
+      const std::size_t current = clients.local_path(query.client);
+      bool migrated = false;
+      if (sampled != current) {
+        const double l_current =
+            board.path_latency()[commodity.paths[current].index()];
+        const double l_sampled =
+            board.path_latency()[commodity.paths[sampled].index()];
+        const double mu =
+            policy_->migration().probability(l_current, l_sampled);
+        if (shard.rng.bernoulli(mu)) {
+          migrated = true;
+          const double moved = clients.flow_of(query.client);
+          ledger.add(s, commodity.paths[current].index(), -moved);
+          ledger.add(s, commodity.paths[sampled].index(), +moved);
+          clients.reassign(query.client, sampled);
+        }
+      }
+      ledger.count_query(s, migrated);
+
+      if (timed) {
+        shard.latency_us.push_back(
+            1e6 * seconds_between(begin, Clock::now()));
+      }
+    }
+  };
+
+  RouteServerResult result{FlowVector(*instance_)};
+  result.epochs.reserve(options.epochs);
+  std::vector<double> run_latency;
+  std::vector<double> epoch_latency;
+  Rng master(options.seed);
+
+  const Clock::time_point run_begin = Clock::now();
+  for (std::uint64_t e = 0; e < options.epochs; ++e) {
+    // Derive this epoch's streams in canonical order: one for the
+    // workload, then one per shard. Depends only on (seed, e, s).
+    Rng epoch_rng = master.split();
+    Rng arrivals_rng = epoch_rng.split();
+    const std::size_t total = workload_->arrivals(
+        e, static_cast<double>(e) * T, T, arrivals_rng);
+    for (std::size_t s = 0; s < shards; ++s) {
+      ctx[s].rng = epoch_rng.split();
+      ctx[s].arrivals = total / shards + (s < total % shards ? 1 : 0);
+      ctx[s].latency_us.clear();
+    }
+
+    const Clock::time_point epoch_begin = Clock::now();
+    if (pool == nullptr) {
+      for (std::size_t s = 0; s < shards; ++s) serve_shard(s);
+    } else {
+      for (std::size_t s = 0; s < shards; ++s) {
+        pool->submit([&serve_shard, s] { serve_shard(s); });
+      }
+      pool->wait_idle();
+    }
+    const double epoch_seconds =
+        seconds_between(epoch_begin, Clock::now());
+
+    // Phase boundary: fold served traffic into the master flow and
+    // publish the next board from it.
+    const SnapshotPtr served = store_.acquire();
+    const FlowLedger::Totals totals = ledger.fold_into(flow);
+
+    EpochSummary summary;
+    summary.epoch = e;
+    summary.start_time = static_cast<double>(e) * T;
+    summary.end_time = static_cast<double>(e + 1) * T;
+    summary.queries = totals.queries;
+    summary.migrations = totals.migrations;
+    summary.migration_rate =
+        totals.queries > 0 ? static_cast<double>(totals.migrations) /
+                                 static_cast<double>(totals.queries)
+                           : 0.0;
+    summary.wardrop_gap = wardrop_gap(*instance_, flow);
+    double board_latency = 0.0;
+    double board_volume = 0.0;
+    for (std::size_t p = 0; p < instance_->path_count(); ++p) {
+      board_latency +=
+          served->board().path_flow()[p] * served->board().path_latency()[p];
+      board_volume += served->board().path_flow()[p];
+    }
+    summary.board_latency =
+        board_volume > 0.0 ? board_latency / board_volume : 0.0;
+
+    if (options.record_latency) {
+      epoch_latency.clear();
+      for (const ShardContext& shard : ctx) {
+        epoch_latency.insert(epoch_latency.end(), shard.latency_us.begin(),
+                             shard.latency_us.end());
+      }
+      if (!epoch_latency.empty()) {
+        std::sort(epoch_latency.begin(), epoch_latency.end());
+        summary.p50_us = sorted_quantile(epoch_latency, 0.5);
+        summary.p99_us = sorted_quantile(epoch_latency, 0.99);
+        run_latency.insert(run_latency.end(), epoch_latency.begin(),
+                           epoch_latency.end());
+      }
+      summary.queries_per_second =
+          epoch_seconds > 0.0
+              ? static_cast<double>(totals.queries) / epoch_seconds
+              : 0.0;
+    }
+
+    result.total_queries += totals.queries;
+    result.total_migrations += totals.migrations;
+    result.epochs.push_back(summary);
+    if (observer) observer(summary);
+
+    store_.publish(std::make_shared<BoardSnapshot>(
+        *instance_, *policy_, e + 1, static_cast<double>(e + 1) * T, flow));
+  }
+
+  result.final_gap = result.epochs.back().wardrop_gap;
+  result.final_flow = FlowVector(*instance_, std::move(flow));
+  if (options.record_latency) {
+    result.wall_seconds = seconds_between(run_begin, Clock::now());
+    result.queries_per_second =
+        result.wall_seconds > 0.0
+            ? static_cast<double>(result.total_queries) / result.wall_seconds
+            : 0.0;
+    if (!run_latency.empty()) {
+      std::sort(run_latency.begin(), run_latency.end());
+      result.p50_us = sorted_quantile(run_latency, 0.5);
+      result.p99_us = sorted_quantile(run_latency, 0.99);
+    }
+  }
+  return result;
+}
+
+}  // namespace staleflow

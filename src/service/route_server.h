@@ -1,0 +1,111 @@
+// The online stale-routing engine: the paper's bulletin-board dynamics
+// run as a service.
+//
+// A RouteServer owns a client Population, an epoch-swapped SnapshotStore
+// and a sharded FlowLedger. Each epoch of length T it answers a batch of
+// RouteQuery requests against the *current* (stale) snapshot — sample a
+// candidate path with the policy's precomputed CDF, migrate with
+// probability mu(l_P, l_Q) — while per-shard accumulators record the flow
+// movement. At the phase boundary the shards are folded into the master
+// flow and the next BoardSnapshot is published from it, so served traffic
+// IS the flow that determines the next board, exactly Eq. (3)'s loop.
+//
+// Determinism contract (mirrors the sweep engine): clients are
+// partitioned over a FIXED number of logical shards (client % shards);
+// each epoch derives one Rng per shard by walking shard order with
+// Rng::split(); queries of a shard are served sequentially from its own
+// stream; shards share no mutable state (the ledger is per-shard, clients
+// of distinct shards are disjoint); folding walks shard order. Every
+// dynamics outcome is therefore bit-identical for any worker-thread
+// count — only the wall-clock telemetry differs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/policy.h"
+#include "net/flow.h"
+#include "net/instance.h"
+#include "service/snapshot.h"
+#include "service/telemetry.h"
+#include "service/workload.h"
+
+namespace staleflow {
+
+/// One routing request: client `client` asks which path to use next.
+struct RouteQuery {
+  std::uint32_t client = 0;
+};
+
+struct RouteServerOptions {
+  /// Bulletin-board period T. Must be > 0 (the service boundary enforces
+  /// the same contract as the simulators).
+  double update_period = 0.1;
+  std::size_t epochs = 100;
+
+  /// Virtual client fleet size (>= commodities; each carries
+  /// demand_i / N_i flow, as in the finite-population simulator).
+  std::size_t num_clients = 10'000;
+
+  /// Logical shards the clients are partitioned over. Part of the
+  /// determinism contract — results depend on the shard count, never on
+  /// `threads`. Must satisfy 1 <= shards <= num_clients.
+  std::size_t shards = 16;
+
+  /// Worker threads serving shards; 0 = hardware concurrency, 1 = inline.
+  std::size_t threads = 1;
+
+  std::uint64_t seed = 1;
+
+  /// Record wall-clock per-query latency (sampled). Off = deterministic
+  /// replay mode: all telemetry fields are reproducible bit-for-bit.
+  bool record_latency = true;
+  /// Sample every k-th query of a shard for the latency quantiles.
+  std::size_t latency_sample_every = 32;
+};
+
+struct RouteServerResult {
+  FlowVector final_flow;
+  std::vector<EpochSummary> epochs;
+  std::size_t total_queries = 0;
+  std::size_t total_migrations = 0;
+  double final_gap = 0.0;
+
+  // Wall-clock (non-deterministic; zero in replay mode).
+  double wall_seconds = 0.0;
+  double queries_per_second = 0.0;
+  double p50_us = 0.0;  // over all sampled queries of the run
+  double p99_us = 0.0;
+};
+
+/// Called at every phase boundary with the finished epoch's summary.
+using EpochObserver = std::function<void(const EpochSummary&)>;
+
+class RouteServer {
+ public:
+  /// The instance, policy and workload must outlive the server.
+  RouteServer(const Instance& instance, const Policy& policy,
+              const WorkloadGenerator& workload);
+
+  /// Serves `options.epochs` epochs starting from the feasible flow
+  /// `initial`. Throws std::invalid_argument on a non-positive update
+  /// period, zero epochs, a shard/client mismatch or an infeasible start.
+  RouteServerResult run(const FlowVector& initial,
+                        const RouteServerOptions& options,
+                        const EpochObserver& observer = nullptr);
+
+  /// Read side: the currently published snapshot (nullptr before the
+  /// first epoch of a run). Safe to call concurrently with run() — this
+  /// is the RCU read path external query threads would use.
+  SnapshotPtr snapshot() const noexcept { return store_.acquire(); }
+
+ private:
+  const Instance* instance_;
+  const Policy* policy_;
+  const WorkloadGenerator* workload_;
+  SnapshotStore store_;
+};
+
+}  // namespace staleflow

@@ -1,0 +1,12 @@
+// Umbrella header for the online routing service engine (src/service/):
+// epoch-swapped bulletin-board snapshots, sharded flow accounting, the
+// RouteServer query pipeline, workload generators and per-epoch
+// telemetry. See README.md ("The route service engine") for the
+// architecture sketch.
+#pragma once
+
+#include "service/ledger.h"
+#include "service/route_server.h"
+#include "service/snapshot.h"
+#include "service/telemetry.h"
+#include "service/workload.h"

@@ -1,0 +1,16 @@
+#include "service/snapshot.h"
+
+namespace staleflow {
+
+BoardSnapshot::BoardSnapshot(const Instance& instance, const Policy& policy,
+                             std::uint64_t epoch, double now,
+                             std::span<const double> path_flow)
+    : epoch_(epoch), board_(instance), cdf_(instance.commodity_count()) {
+  board_.post(now, path_flow);
+  for (std::size_t c = 0; c < instance.commodity_count(); ++c) {
+    sampling_cdf(policy, instance, instance.commodity(CommodityId{c}),
+                 board_.path_flow(), board_.path_latency(), cdf_[c]);
+  }
+}
+
+}  // namespace staleflow

@@ -1,0 +1,69 @@
+// Epoch-swapped bulletin boards: the read side of the route service.
+//
+// The paper's bulletin board is rebuilt once per period T and frozen in
+// between — exactly the shape of a production routing snapshot. A
+// BoardSnapshot wraps one frozen BulletinBoard together with everything a
+// query needs precomputed (per-commodity sampling CDFs, one binary search
+// per query), and the SnapshotStore swaps snapshots RCU-style: readers
+// acquire() a shared_ptr without ever taking a lock, writers publish() the
+// next epoch and the old board dies when its last reader drops it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/bulletin_board.h"
+#include "core/policy.h"
+#include "net/instance.h"
+
+namespace staleflow {
+
+/// One immutable, epoch-stamped board. Safe to read from any number of
+/// threads once constructed.
+class BoardSnapshot {
+ public:
+  /// Posts `path_flow` at time `now` and precomputes the sampling CDF of
+  /// `policy` for every commodity.
+  BoardSnapshot(const Instance& instance, const Policy& policy,
+                std::uint64_t epoch, double now,
+                std::span<const double> path_flow);
+
+  std::uint64_t epoch() const noexcept { return epoch_; }
+  const BulletinBoard& board() const noexcept { return board_; }
+
+  /// Cumulative sampling distribution over commodity `c`'s local path
+  /// list (see sampling_cdf() in core/policy.h).
+  std::span<const double> cdf(CommodityId c) const {
+    return cdf_[c.index()];
+  }
+
+ private:
+  std::uint64_t epoch_;
+  BulletinBoard board_;
+  std::vector<std::vector<double>> cdf_;  // by commodity
+};
+
+using SnapshotPtr = std::shared_ptr<const BoardSnapshot>;
+
+/// Atomically swappable current-snapshot holder. acquire() and publish()
+/// may race freely; a reader keeps its snapshot alive for as long as it
+/// holds the pointer, so queries never observe a half-updated board.
+class SnapshotStore {
+ public:
+  /// Current snapshot, or nullptr before the first publish().
+  SnapshotPtr acquire() const noexcept {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  void publish(SnapshotPtr next) noexcept {
+    current_.store(std::move(next), std::memory_order_release);
+  }
+
+ private:
+  std::atomic<SnapshotPtr> current_;
+};
+
+}  // namespace staleflow

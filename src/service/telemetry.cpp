@@ -1,0 +1,75 @@
+#include "service/telemetry.h"
+
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "util/csv.h"
+
+namespace staleflow {
+namespace {
+
+std::string fmt(double value) {
+  std::ostringstream out;
+  out.precision(17);  // round-trips any double exactly
+  out << value;
+  return out.str();
+}
+
+void hash_bytes(std::uint64_t& h, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001B3ULL;  // FNV-1a prime
+  }
+}
+
+void hash_double(std::uint64_t& h, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  hash_bytes(h, &bits, sizeof(bits));
+}
+
+}  // namespace
+
+void write_epoch_csv(const std::string& path,
+                     std::span<const EpochSummary> epochs,
+                     bool include_timing) {
+  std::vector<std::string> header = {"epoch",      "start",
+                                     "end",        "queries",
+                                     "migrations", "migration_rate",
+                                     "wardrop_gap", "board_latency"};
+  if (include_timing) {
+    header.insert(header.end(), {"p50_us", "p99_us", "qps"});
+  }
+  CsvWriter csv(path, header);
+  for (const EpochSummary& e : epochs) {
+    std::vector<std::string> row = {
+        std::to_string(e.epoch),      fmt(e.start_time),
+        fmt(e.end_time),              std::to_string(e.queries),
+        std::to_string(e.migrations), fmt(e.migration_rate),
+        fmt(e.wardrop_gap),           fmt(e.board_latency)};
+    if (include_timing) {
+      row.push_back(fmt(e.p50_us));
+      row.push_back(fmt(e.p99_us));
+      row.push_back(fmt(e.queries_per_second));
+    }
+    csv.add_row(row);
+  }
+}
+
+std::uint64_t telemetry_digest(std::span<const EpochSummary> epochs) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  for (const EpochSummary& e : epochs) {
+    hash_bytes(h, &e.epoch, sizeof(e.epoch));
+    std::uint64_t queries = e.queries;
+    std::uint64_t migrations = e.migrations;
+    hash_bytes(h, &queries, sizeof(queries));
+    hash_bytes(h, &migrations, sizeof(migrations));
+    hash_double(h, e.wardrop_gap);
+    hash_double(h, e.board_latency);
+  }
+  return h;
+}
+
+}  // namespace staleflow

@@ -1,0 +1,49 @@
+// Per-epoch live telemetry of the route service.
+//
+// Every epoch produces one EpochSummary. The fields split into two
+// classes: *deterministic* outcomes of the dynamics (queries, migrations,
+// Wardrop gap, board latency — functions of seed and configuration only)
+// and *wall-clock* figures (query latency quantiles, throughput) that
+// vary run to run. The CSV writer can restrict itself to the
+// deterministic columns so replay runs diff byte-for-byte regardless of
+// worker-thread count, and the digest pins those columns for golden
+// tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace staleflow {
+
+struct EpochSummary {
+  std::uint64_t epoch = 0;     // board epoch that served these queries
+  double start_time = 0.0;     // epoch * T
+  double end_time = 0.0;
+
+  // Deterministic outcome of the dynamics.
+  std::size_t queries = 0;
+  std::size_t migrations = 0;
+  double migration_rate = 0.0;  // migrations / queries (0 when idle)
+  double wardrop_gap = 0.0;     // gap of the folded flow at the boundary
+  double board_latency = 0.0;   // flow-weighted avg latency on the board
+
+  // Wall-clock figures; zeroed when latency recording is off.
+  double p50_us = 0.0;  // per-query service latency quantiles
+  double p99_us = 0.0;
+  double queries_per_second = 0.0;
+};
+
+/// Writes one row per epoch. With include_timing == false only the
+/// deterministic columns are emitted — the replay-diff format.
+void write_epoch_csv(const std::string& path,
+                     std::span<const EpochSummary> epochs,
+                     bool include_timing);
+
+/// FNV-1a digest over the deterministic fields of every epoch (bit
+/// patterns of the doubles, not their decimal rendering). The CI smoke
+/// test pins this value for a fixed configuration.
+std::uint64_t telemetry_digest(std::span<const EpochSummary> epochs);
+
+}  // namespace staleflow

@@ -1,0 +1,64 @@
+// Workload generators: the offered load of the route service.
+//
+// A generator decides how many route queries arrive in each epoch of
+// length T. Open-loop shapes (Poisson, bursty on/off, diurnal ramp) model
+// traffic that does not react to the service; the closed-loop shape
+// models a fixed client fleet issuing a constant batch per epoch. All
+// draws come from the Rng handed in, so a fixed seed replays the exact
+// arrival sequence.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/rng.h"
+
+namespace staleflow {
+
+class WorkloadGenerator {
+ public:
+  virtual ~WorkloadGenerator() = default;
+
+  /// Number of queries arriving in the epoch [start, start + period).
+  virtual std::size_t arrivals(std::uint64_t epoch, double start,
+                               double period, Rng& rng) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using WorkloadPtr = std::unique_ptr<const WorkloadGenerator>;
+
+/// Open-loop Poisson arrivals at a constant rate (queries per unit time).
+WorkloadPtr poisson_workload(double rate);
+
+/// On/off bursts: `on_epochs` epochs at `rate_on`, then `off_epochs` at
+/// `rate_off`, repeating. Arrivals are Poisson at the phase's rate.
+WorkloadPtr bursty_workload(double rate_on, double rate_off,
+                            std::uint64_t on_epochs,
+                            std::uint64_t off_epochs);
+
+/// Diurnal ramp: Poisson arrivals at rate
+/// base * (1 + amplitude * sin(2*pi * t / day)), clamped at 0.
+WorkloadPtr diurnal_workload(double base_rate, double amplitude,
+                             double day_length);
+
+/// Closed loop: a fixed client fleet issues exactly `queries_per_epoch`
+/// queries every epoch (zero think-time variance).
+WorkloadPtr closed_loop_workload(std::size_t queries_per_epoch);
+
+/// Parses a workload spec:
+///   "poisson:<rate>"
+///   "bursty:<rate_on>,<rate_off>,<on_epochs>,<off_epochs>"
+///   "diurnal:<base>,<amplitude>,<day_length>"
+///   "closed-loop:<n>"
+/// Throws std::invalid_argument listing the grammar on a bad spec.
+WorkloadPtr make_workload(const std::string& spec);
+
+/// Poisson variate with the given mean: Knuth's product method for small
+/// means, a clamped normal approximation above 64 (exact distribution
+/// tails are irrelevant at that size; determinism is what matters).
+std::size_t poisson_draw(double mean, Rng& rng);
+
+}  // namespace staleflow

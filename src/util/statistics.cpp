@@ -62,9 +62,18 @@ double RunningStats::max() const {
 
 double quantile(std::span<const double> samples, double q) {
   if (samples.empty()) throw std::invalid_argument("quantile: empty input");
-  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q not in [0,1]");
   std::vector<double> sorted(samples.begin(), samples.end());
   std::sort(sorted.begin(), sorted.end());
+  return sorted_quantile(sorted, q);
+}
+
+double sorted_quantile(std::span<const double> sorted, double q) {
+  if (sorted.empty()) {
+    throw std::invalid_argument("sorted_quantile: empty input");
+  }
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("sorted_quantile: q not in [0,1]");
+  }
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);

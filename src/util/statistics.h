@@ -59,6 +59,10 @@ Summary summarize(std::span<const double> samples);
 /// Linear-interpolation quantile, q in [0, 1]. Requires non-empty input.
 double quantile(std::span<const double> samples, double q);
 
+/// Same, for input that is already sorted ascending — no copy, no re-sort.
+/// Use when reading several quantiles off one sample set.
+double sorted_quantile(std::span<const double> sorted, double q);
+
 /// Ordinary least squares fit y = a + b*x. Returns {a, b, r2}.
 /// Requires xs.size() == ys.size() >= 2 and non-constant xs.
 struct LinearFit {

@@ -1,0 +1,98 @@
+// Flag-parsing helpers shared by the command-line tools.
+//
+// All parse errors throw UsageError; each tool catches it in run_main and
+// routes the message through its own usage() printer (usage text + exit
+// 2). Count-valued flags go through parse_count, which rejects negatives
+// instead of letting them wrap through a size_t cast.
+#pragma once
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace staleflow::cli {
+
+/// A bad command line: the message is shown above the usage text.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses "--key value" pairs from args[from..]; flags listed in
+/// `booleans` take no value and map to "1".
+inline std::map<std::string, std::string> parse_flags(
+    const std::vector<std::string>& args, std::size_t from,
+    const std::set<std::string>& booleans) {
+  std::map<std::string, std::string> flags;
+  for (std::size_t i = from; i < args.size(); ++i) {
+    if (args[i].rfind("--", 0) != 0) {
+      throw UsageError("unexpected argument " + args[i]);
+    }
+    const std::string key = args[i].substr(2);
+    if (booleans.contains(key)) {
+      flags[key] = "1";
+    } else {
+      if (i + 1 >= args.size()) throw UsageError("--" + key + " needs a value");
+      flags[key] = args[++i];
+    }
+  }
+  return flags;
+}
+
+/// Splits "a,b,c" into {"a","b","c"}, dropping empty items.
+inline std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+inline double parse_number(const std::string& text, const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw UsageError("bad number for " + what + ": " + text);
+  }
+}
+
+inline long long parse_integer(const std::string& text,
+                               const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const long long value = std::stoll(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw UsageError("bad integer for " + what + ": " + text);
+  }
+}
+
+/// Non-negative integer; "--epochs -1" is an error, not a 2^64 wrap.
+inline std::size_t parse_count(const std::string& text,
+                               const std::string& what) {
+  const long long value = parse_integer(text, what);
+  if (value < 0) throw UsageError(what + " must be >= 0, got " + text);
+  return static_cast<std::size_t>(value);
+}
+
+/// Rejects a value not present in `valid`, listing the catalogue.
+inline void require_known(const std::string& value,
+                          const std::vector<std::string>& valid,
+                          const std::string& what) {
+  for (const std::string& have : valid) {
+    if (have == value) return;
+  }
+  std::string message = "unknown " + what + " '" + value + "'; valid:";
+  for (const std::string& have : valid) message += ' ' + have;
+  throw UsageError(message);
+}
+
+}  // namespace staleflow::cli

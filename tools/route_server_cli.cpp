@@ -1,0 +1,206 @@
+// route_server_cli — run the online stale-routing service engine.
+//
+// Usage:
+//   route_server_cli run [--scenario <name>] [--policy <spec>]
+//                        [--period <T>] [--epochs <n>] [--clients <n>]
+//                        [--workload <spec>] [--shards <k>] [--threads <k>]
+//                        [--seed <s>] [--deterministic] [--csv <path>]
+//                        [--report-every <n>] [--quiet]
+//   route_server_cli list
+//
+// `list` prints the scenario catalogue plus the policy and workload
+// grammars. `run` serves the workload for the configured number of
+// epochs, printing per-epoch telemetry and a final summary including a
+// digest of the deterministic telemetry (used by the CI golden test).
+// With --deterministic, wall-clock latency recording is off and the CSV
+// holds only deterministic columns — byte-identical for any --threads.
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli_common.h"
+#include "staleflow/staleflow.h"
+
+namespace staleflow {
+namespace {
+
+constexpr const char* kPolicyGrammar =
+    "policies: replicator | uniform-linear | alpha:<a> | logit:<c> |\n"
+    "          naive | relative-slack[:<s>] | safe\n";
+constexpr const char* kWorkloadGrammar =
+    "workloads: poisson:<rate> | bursty:<on>,<off>,<on_epochs>,<off_epochs>"
+    " |\n           diurnal:<base>,<amplitude>,<day> | closed-loop:<n>\n";
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  route_server_cli run [--scenario <name>] [--policy <spec>]\n"
+      "                       [--period <T>] [--epochs <n>] [--clients <n>]\n"
+      "                       [--workload <spec>] [--shards <k>]\n"
+      "                       [--threads <k>] [--seed <s>]\n"
+      "                       [--deterministic] [--csv <path>]\n"
+      "                       [--report-every <n>] [--quiet]\n"
+      "  route_server_cli list\n"
+      << kPolicyGrammar << kWorkloadGrammar;
+  std::exit(2);
+}
+
+int do_list() {
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+  Table table({"scenario", "description"});
+  for (const std::string& name : registry.names()) {
+    table.add_row({name, registry.at(name).description});
+  }
+  table.print(std::cout);
+  std::cout << '\n' << kPolicyGrammar << kWorkloadGrammar;
+  return 0;
+}
+
+int do_run(const std::map<std::string, std::string>& flags) {
+  std::string scenario_name = "braess";
+  std::string policy_name = "replicator";
+  std::string workload_spec;  // default derived from --clients below
+  RouteServerOptions options;
+  options.epochs = 50;
+  std::string csv_path;
+  std::size_t report_every = 10;
+  bool quiet = false;
+
+  for (const auto& [key, value] : flags) {
+    if (key == "scenario") {
+      scenario_name = value;
+    } else if (key == "policy") {
+      policy_name = value;
+    } else if (key == "workload") {
+      workload_spec = value;
+    } else if (key == "period") {
+      options.update_period = cli::parse_number(value, "--period");
+    } else if (key == "epochs") {
+      options.epochs = cli::parse_count(value, "--epochs");
+    } else if (key == "clients") {
+      options.num_clients = cli::parse_count(value, "--clients");
+    } else if (key == "shards") {
+      options.shards = cli::parse_count(value, "--shards");
+    } else if (key == "threads") {
+      options.threads = cli::parse_count(value, "--threads");
+    } else if (key == "seed") {
+      options.seed = cli::parse_count(value, "--seed");
+    } else if (key == "deterministic") {
+      options.record_latency = false;
+    } else if (key == "csv") {
+      csv_path = value;
+    } else if (key == "report-every") {
+      report_every = cli::parse_count(value, "--report-every");
+    } else if (key == "quiet") {
+      quiet = true;
+    } else {
+      usage("unknown flag --" + key);
+    }
+  }
+
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+  cli::require_known(scenario_name, registry.names(), "scenario");
+
+  // Default offered load: every client activates once per unit time on
+  // average, the finite-population analogue of the paper's unit-rate
+  // Poisson clocks.
+  if (workload_spec.empty()) {
+    std::ostringstream spec;
+    spec << "poisson:" << options.num_clients;
+    workload_spec = spec.str();
+  }
+
+  Rng scenario_rng(options.seed);
+  const Instance instance = registry.at(scenario_name).make(scenario_rng);
+  // Bad specs are usage errors (exit 2 + grammar), like bad flag values.
+  const auto usage_error = [](const auto& make) {
+    try {
+      return make();
+    } catch (const std::invalid_argument& e) {
+      throw cli::UsageError(e.what());
+    }
+  };
+  const Policy policy = usage_error([&] {
+    return named_policy(policy_name).make(instance, options.update_period);
+  });
+  const WorkloadPtr workload =
+      usage_error([&] { return make_workload(workload_spec); });
+
+  if (!quiet) {
+    std::cout << "route_server: " << scenario_name << " ("
+              << instance.describe() << ")\n  policy " << policy.name()
+              << ", workload " << workload->name() << ", T="
+              << options.update_period << ", epochs=" << options.epochs
+              << ", clients=" << options.num_clients << ", shards="
+              << options.shards << ", threads=" << options.threads
+              << (options.record_latency ? "" : ", deterministic") << "\n";
+  }
+
+  EpochObserver observer = nullptr;
+  if (!quiet && report_every > 0) {
+    observer = [&](const EpochSummary& e) {
+      if (e.epoch % report_every != 0 && e.epoch + 1 != options.epochs) {
+        return;
+      }
+      std::cout << "  epoch " << e.epoch << ": " << e.queries
+                << " queries, migration rate " << fmt(e.migration_rate, 4)
+                << ", gap " << fmt(e.wardrop_gap, 6) << ", board latency "
+                << fmt(e.board_latency, 4);
+      if (e.queries_per_second > 0.0) {
+        std::cout << ", " << fmt(e.queries_per_second / 1e6, 2)
+                  << " Mq/s, p99 " << fmt(e.p99_us, 1) << " us";
+      }
+      std::cout << "\n";
+    };
+  }
+
+  RouteServer server(instance, policy, *workload);
+  const RouteServerResult result =
+      server.run(FlowVector::uniform(instance), options, observer);
+
+  std::cout << result.total_queries << " queries, "
+            << result.total_migrations << " migrations over "
+            << result.epochs.size() << " epochs; final gap "
+            << fmt(result.final_gap, 6) << "\n";
+  if (options.record_latency) {
+    std::cout << "throughput " << fmt(result.queries_per_second / 1e6, 3)
+              << " Mq/s (" << fmt(result.wall_seconds, 2) << " s wall), p50 "
+              << fmt(result.p50_us, 1) << " us, p99 "
+              << fmt(result.p99_us, 1) << " us\n";
+  }
+  std::cout << "digest=" << std::hex << telemetry_digest(result.epochs)
+            << std::dec << "\n";
+
+  if (!csv_path.empty()) {
+    write_epoch_csv(csv_path, result.epochs, options.record_latency);
+    if (!quiet) std::cout << "wrote " << csv_path << "\n";
+  }
+  return 0;
+}
+
+int run_main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) usage();
+  const std::string& command = args[0];
+  try {
+    if (command == "list") return do_list();
+    if (command == "run") {
+      return do_run(cli::parse_flags(args, 1, {"quiet", "deterministic"}));
+    }
+  } catch (const cli::UsageError& e) {
+    usage(e.what());
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  usage("unknown command " + command);
+}
+
+}  // namespace
+}  // namespace staleflow
+
+int main(int argc, char** argv) { return staleflow::run_main(argc, argv); }

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_common.h"
 #include "staleflow/staleflow.h"
 
 namespace staleflow {
@@ -42,34 +43,6 @@ namespace {
   std::exit(2);
 }
 
-/// Parses trailing --key value pairs (and boolean --flags).
-std::map<std::string, std::string> parse_flags(
-    const std::vector<std::string>& args, std::size_t from) {
-  std::map<std::string, std::string> flags;
-  for (std::size_t i = from; i < args.size(); ++i) {
-    if (args[i].rfind("--", 0) != 0) usage("unexpected argument " + args[i]);
-    const std::string key = args[i].substr(2);
-    if (key == "trace") {
-      flags[key] = "1";
-    } else {
-      if (i + 1 >= args.size()) usage("--" + key + " needs a value");
-      flags[key] = args[++i];
-    }
-  }
-  return flags;
-}
-
-double number_or_die(const std::string& text, const std::string& what) {
-  try {
-    std::size_t used = 0;
-    const double value = std::stod(text, &used);
-    if (used != text.size()) throw std::invalid_argument(text);
-    return value;
-  } catch (const std::exception&) {
-    usage("bad number for " + what + ": " + text);
-  }
-}
-
 Policy make_policy(const Instance& inst, const std::string& spec) {
   const auto colon = spec.find(':');
   const std::string kind = spec.substr(0, colon);
@@ -77,7 +50,7 @@ Policy make_policy(const Instance& inst, const std::string& spec) {
       colon == std::string::npos
           ? std::nullopt
           : std::optional<double>(
-                number_or_die(spec.substr(colon + 1), "policy parameter"));
+                cli::parse_number(spec.substr(colon + 1), "policy parameter"));
   if (kind == "uniform-linear") return make_uniform_linear_policy(inst);
   if (kind == "replicator") {
     return make_replicator_policy(inst, parameter.value_or(0.0));
@@ -120,7 +93,7 @@ int cmd_solve(const Instance& inst,
               const std::map<std::string, std::string>& flags) {
   FrankWolfeOptions options;
   if (const auto it = flags.find("tolerance"); it != flags.end()) {
-    options.gap_tolerance = number_or_die(it->second, "--tolerance");
+    options.gap_tolerance = cli::parse_number(it->second, "--tolerance");
   }
   const FrankWolfeResult result = solve_equilibrium(inst, options);
   std::cout << "converged: " << fmt_bool(result.converged)
@@ -168,11 +141,11 @@ int cmd_simulate(const Instance& inst,
 
   double horizon = 200.0;
   if (const auto it = flags.find("horizon"); it != flags.end()) {
-    horizon = number_or_die(it->second, "--horizon");
+    horizon = cli::parse_number(it->second, "--horizon");
   }
   double stop_gap = 0.0;
   if (const auto it = flags.find("stop-gap"); it != flags.end()) {
-    stop_gap = number_or_die(it->second, "--stop-gap");
+    stop_gap = cli::parse_number(it->second, "--stop-gap");
   }
   const bool trace = flags.count("trace") > 0;
 
@@ -183,7 +156,7 @@ int cmd_simulate(const Instance& inst,
     BestResponseOptions options;
     options.update_period = 0.1;
     if (const auto it = flags.find("T"); it != flags.end()) {
-      options.update_period = number_or_die(it->second, "--T");
+      options.update_period = cli::parse_number(it->second, "--T");
     }
     options.horizon = horizon;
     options.stop_gap = stop_gap;
@@ -200,7 +173,7 @@ int cmd_simulate(const Instance& inst,
             ? inst.safe_update_period(*policy.smoothness())
             : 0.1;
     if (const auto it = flags.find("T"); it != flags.end()) {
-      options.update_period = number_or_die(it->second, "--T");
+      options.update_period = cli::parse_number(it->second, "--T");
     }
     options.horizon = horizon;
     options.stop_gap = stop_gap;
@@ -236,7 +209,7 @@ int run(const std::vector<std::string>& args) {
   if (args.size() < 2) usage();
   const std::string& command = args[0];
   const Instance inst = load_instance(args[1]);
-  const auto flags = parse_flags(args, 2);
+  const auto flags = cli::parse_flags(args, 2, {"trace"});
 
   if (command == "info") return cmd_info(inst);
   if (command == "dot") {
@@ -257,6 +230,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   try {
     return staleflow::run(args);
+  } catch (const staleflow::cli::UsageError& e) {
+    staleflow::usage(e.what());
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -11,15 +11,20 @@
 // `list` prints the scenario catalogue and policy grammar. `run` expands
 // the cartesian product scenarios x policies x periods x replicas,
 // executes it on a thread pool and prints a scenario x policy summary
-// table plus throughput. Results (and the CSVs) are bit-identical for any
+// table plus throughput. Unknown scenario/policy names are rejected up
+// front with the valid catalogue; `--threads 0` means hardware
+// concurrency. Results (and the CSVs) are bit-identical for any
 // --threads value.
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "cli_common.h"
 #include "staleflow/staleflow.h"
 
 namespace staleflow {
@@ -39,54 +44,6 @@ namespace {
       "policies: replicator | uniform-linear | alpha:<a> | logit:<c> |\n"
       "          naive | relative-slack[:<s>] | safe\n";
   std::exit(2);
-}
-
-std::map<std::string, std::string> parse_flags(
-    const std::vector<std::string>& args, std::size_t from) {
-  std::map<std::string, std::string> flags;
-  for (std::size_t i = from; i < args.size(); ++i) {
-    if (args[i].rfind("--", 0) != 0) usage("unexpected argument " + args[i]);
-    const std::string key = args[i].substr(2);
-    if (key == "quiet") {
-      flags[key] = "1";
-    } else {
-      if (i + 1 >= args.size()) usage("--" + key + " needs a value");
-      flags[key] = args[++i];
-    }
-  }
-  return flags;
-}
-
-std::vector<std::string> split_list(const std::string& text) {
-  std::vector<std::string> out;
-  std::istringstream stream(text);
-  std::string item;
-  while (std::getline(stream, item, ',')) {
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
-}
-
-double number_or_die(const std::string& text, const std::string& what) {
-  try {
-    std::size_t used = 0;
-    const double value = std::stod(text, &used);
-    if (used != text.size()) throw std::invalid_argument(text);
-    return value;
-  } catch (const std::exception&) {
-    usage("bad number for " + what + ": " + text);
-  }
-}
-
-long long integer_or_die(const std::string& text, const std::string& what) {
-  try {
-    std::size_t used = 0;
-    const long long value = std::stoll(text, &used);
-    if (used != text.size()) throw std::invalid_argument(text);
-    return value;
-  } catch (const std::exception&) {
-    usage("bad integer for " + what + ": " + text);
-  }
 }
 
 int do_list() {
@@ -116,31 +73,28 @@ int do_run(const std::map<std::string, std::string>& flags) {
 
   for (const auto& [key, value] : flags) {
     if (key == "scenarios") {
-      spec.scenarios = split_list(value);
+      spec.scenarios = cli::split_list(value);
     } else if (key == "policies") {
-      policy_names = split_list(value);
+      policy_names = cli::split_list(value);
     } else if (key == "periods") {
       spec.update_periods.clear();
-      for (const std::string& item : split_list(value)) {
-        spec.update_periods.push_back(number_or_die(item, "--periods"));
+      for (const std::string& item : cli::split_list(value)) {
+        spec.update_periods.push_back(cli::parse_number(item, "--periods"));
       }
     } else if (key == "replicas") {
-      spec.replicas =
-          static_cast<std::size_t>(integer_or_die(value, "--replicas"));
+      spec.replicas = cli::parse_count(value, "--replicas");
     } else if (key == "seed") {
-      spec.base_seed =
-          static_cast<std::uint64_t>(integer_or_die(value, "--seed"));
+      spec.base_seed = cli::parse_count(value, "--seed");
     } else if (key == "simulator") {
       spec.simulator = parse_simulator_kind(value);
     } else if (key == "horizon") {
-      spec.horizon = number_or_die(value, "--horizon");
+      spec.horizon = cli::parse_number(value, "--horizon");
     } else if (key == "stop-gap") {
-      spec.stop_gap = number_or_die(value, "--stop-gap");
+      spec.stop_gap = cli::parse_number(value, "--stop-gap");
     } else if (key == "agents") {
-      spec.num_agents =
-          static_cast<std::size_t>(integer_or_die(value, "--agents"));
+      spec.num_agents = cli::parse_count(value, "--agents");
     } else if (key == "threads") {
-      threads = static_cast<std::size_t>(integer_or_die(value, "--threads"));
+      threads = cli::parse_count(value, "--threads");
     } else if (key == "cells-csv") {
       cells_csv = value;
     } else if (key == "summary-csv") {
@@ -152,11 +106,24 @@ int do_run(const std::map<std::string, std::string>& flags) {
     }
   }
 
+  const SweepRunner runner;
+
+  // Validate names eagerly, before any cell runs: a typo should fail with
+  // the catalogue in hand, not deep inside the sweep.
+  for (const std::string& name : spec.scenarios) {
+    cli::require_known(name, runner.registry().names(), "scenario");
+  }
   for (const std::string& name : policy_names) {
-    spec.policies.push_back(named_policy(name));
+    try {
+      spec.policies.push_back(named_policy(name));
+    } catch (const std::invalid_argument& e) {
+      usage(e.what());
+    }
   }
 
-  const SweepRunner runner;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
   const std::size_t total = cell_count(spec);
   if (!quiet) {
     std::cout << "sweep: " << spec.scenarios.size() << " scenarios x "
@@ -213,7 +180,9 @@ int run_main(int argc, char** argv) {
   const std::string& command = args[0];
   try {
     if (command == "list") return do_list();
-    if (command == "run") return do_run(parse_flags(args, 1));
+    if (command == "run") return do_run(cli::parse_flags(args, 1, {"quiet"}));
+  } catch (const cli::UsageError& e) {
+    usage(e.what());
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
