@@ -1,0 +1,132 @@
+// bench_capacity_table — capacity-planning tables from a service sweep.
+//
+// Runs the route service as a sweep cell grid (SimulatorKind::kService):
+// offered load x shard count x policy on a fixed scenario, each cell a
+// full RouteServer epoch pipeline in deterministic replay mode. The
+// per-cell route-latency quantiles come from merged LogHistograms, so the
+// table answers the capacity question directly: at which offered load,
+// with how many shards and which policy, does the served p99/p999 stay
+// acceptable and the Wardrop gap keep shrinking? Alongside the
+// human-readable table it writes BENCH_capacity.json, the
+// machine-readable record future PRs diff against (all figures in it are
+// deterministic — reruns on any host and thread count reproduce it
+// byte-for-byte except the wall-clock "cells_per_second" field).
+//
+// Usage: bench_capacity_table [threads] [json_path]
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "staleflow/staleflow.h"
+
+namespace staleflow {
+namespace {
+
+int run_main(int argc, char** argv) {
+  std::size_t threads = 0;  // 0 = hardware concurrency
+  std::string json_path = "BENCH_capacity.json";
+  if (argc > 1) {
+    const int parsed = std::atoi(argv[1]);
+    if (parsed < 0 || parsed > 1024) {
+      std::cerr << "usage: bench_capacity_table [threads 0..1024] "
+                   "[json_path]\n";
+      return 2;
+    }
+    threads = static_cast<std::size_t>(parsed);
+  }
+  if (argc > 2) json_path = argv[2];
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+
+  // The capacity grid: offered load from well below to well above one
+  // query per client per epoch, serial vs moderately vs heavily sharded,
+  // under the paper's two headline policies. Braess keeps the dynamics
+  // libm-free so the JSON is reproducible bit-for-bit across platforms.
+  ExperimentSpec spec;
+  spec.simulator = SimulatorKind::kService;
+  spec.scenarios = {"braess"};
+  spec.policies = {named_policy("replicator"), named_policy("alpha:0.5")};
+  spec.update_periods = {0.1};
+  spec.workloads = {"closed-loop:500", "closed-loop:2000",
+                    "closed-loop:8000"};
+  spec.shard_counts = {1, 8, 64};
+  spec.num_clients = 8'000;
+  spec.replicas = 1;
+  spec.horizon = 4.0;  // 40 epochs per cell
+  spec.stop_gap = 1e-3;
+  spec.base_seed = 7;
+
+  const SweepRunner runner;
+  std::cout << "capacity table: braess, T=0.1, 40 epochs/cell, "
+            << spec.num_clients << " clients, threads=" << threads << "\n\n";
+  const SweepResult result = runner.run(spec, threads);
+
+  Table table({"policy", "load/epoch", "shards", "queries", "mig rate",
+               "final gap", "p50", "p99", "p999"});
+  std::size_t errors = 0;
+  for (const CellResult& cell : result.cells) {
+    if (!cell.ok) {
+      ++errors;
+      std::cerr << "cell " << cell.cell.index << " failed: " << cell.error
+                << "\n";
+      continue;
+    }
+    table.add_row({cell.cell.policy, cell.cell.workload,
+                   fmt_int((long long)cell.cell.shards),
+                   fmt_int((long long)cell.queries),
+                   fmt(cell.migration_rate, 4), fmt_sci(cell.final_gap),
+                   fmt(cell.latency.quantile(0.5), 4),
+                   fmt(cell.latency.quantile(0.99), 4),
+                   fmt(cell.latency.quantile(0.999), 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\n" << result.cells.size() << " cells in "
+            << fmt(result.wall_seconds, 2) << " s ("
+            << fmt(result.cells_per_second(), 1) << " cells/s), digest="
+            << std::hex << cells_digest(result) << std::dec << "\n";
+  if (errors > 0) return 1;
+
+  std::ofstream json(json_path);
+  if (!json) {
+    std::cerr << "cannot open " << json_path << "\n";
+    return 1;
+  }
+  json << "{\n"
+       << "  \"bench\": \"capacity_table\",\n"
+       << "  \"config\": {\n"
+       << "    \"scenario\": \"braess\",\n"
+       << "    \"update_period\": 0.1,\n"
+       << "    \"epochs_per_cell\": 40,\n"
+       << "    \"clients\": " << spec.num_clients << ",\n"
+       << "    \"seed\": " << spec.base_seed << "\n"
+       << "  },\n"
+       << "  \"digest\": \"" << std::hex << cells_digest(result) << std::dec
+       << "\",\n"
+       << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const CellResult& cell = result.cells[i];
+    json << "    {\"policy\": \"" << cell.cell.policy << "\", \"workload\": \""
+         << cell.cell.workload << "\", \"shards\": " << cell.cell.shards
+         << ", \"queries\": " << cell.queries
+         << ", \"migration_rate\": " << fmt_exact(cell.migration_rate)
+         << ", \"final_gap\": " << fmt_exact(cell.final_gap)
+         << ", \"latency_p50\": " << fmt_exact(cell.latency.quantile(0.5))
+         << ", \"latency_p99\": " << fmt_exact(cell.latency.quantile(0.99))
+         << ", \"latency_p999\": " << fmt_exact(cell.latency.quantile(0.999))
+         << "}" << (i + 1 < result.cells.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"cells_per_second\": " << result.cells_per_second() << "\n"
+       << "}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace staleflow
+
+int main(int argc, char** argv) { return staleflow::run_main(argc, argv); }

@@ -1,6 +1,5 @@
 #include "service/route_server.h"
 
-#include <algorithm>
 #include <chrono>
 #include <limits>
 #include <memory>
@@ -11,7 +10,6 @@
 #include "equilibrium/metrics.h"
 #include "service/ledger.h"
 #include "util/rng.h"
-#include "util/statistics.h"
 #include "util/thread_pool.h"
 
 namespace staleflow {
@@ -20,13 +18,14 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 /// Everything one logical shard needs for an epoch: its own Rng stream,
-/// its arrival quota and its latency sample buffer. Shards never touch
-/// each other's context; the alignment keeps neighbouring contexts off
-/// the same cache line (the rng state is written on every query).
+/// its arrival quota and its latency histograms. Shards never touch each
+/// other's context; the alignment keeps neighbouring contexts off the
+/// same cache line (the rng state is written on every query).
 struct alignas(64) ShardContext {
   Rng rng{0};
   std::size_t arrivals = 0;
-  std::vector<double> latency_us;
+  LogHistogram route_hist;  // board latency of the served path (exact)
+  LogHistogram wall_hist;   // per-query service time in us (wall clock)
 };
 
 double seconds_between(Clock::time_point begin, Clock::time_point end) {
@@ -115,6 +114,7 @@ RouteServerResult RouteServer::run(const FlowVector& initial,
 
       // Step (2): migrate with probability mu(l_P, l_Q).
       const std::size_t current = clients.local_path(query.client);
+      std::size_t served_path = current;
       bool migrated = false;
       if (sampled != current) {
         const double l_current =
@@ -125,6 +125,7 @@ RouteServerResult RouteServer::run(const FlowVector& initial,
             policy_->migration().probability(l_current, l_sampled);
         if (shard.rng.bernoulli(mu)) {
           migrated = true;
+          served_path = sampled;
           const double moved = clients.flow_of(query.client);
           ledger.add(s, commodity.paths[current].index(), -moved);
           ledger.add(s, commodity.paths[sampled].index(), +moved);
@@ -133,17 +134,21 @@ RouteServerResult RouteServer::run(const FlowVector& initial,
       }
       ledger.count_query(s, migrated);
 
+      // The latency this query's client experiences on the board it was
+      // routed against — a deterministic board value, not wall clock.
+      shard.route_hist.record(
+          board.path_latency()[commodity.paths[served_path].index()]);
+
       if (timed) {
-        shard.latency_us.push_back(
-            1e6 * seconds_between(begin, Clock::now()));
+        shard.wall_hist.record(1e6 * seconds_between(begin, Clock::now()));
       }
     }
   };
 
   RouteServerResult result{FlowVector(*instance_)};
   result.epochs.reserve(options.epochs);
-  std::vector<double> run_latency;
-  std::vector<double> epoch_latency;
+  LogHistogram epoch_route;    // this epoch's merged route latencies
+  LogHistogram epoch_wall;     // this epoch's merged service times (us)
   Rng master(options.seed);
 
   const Clock::time_point run_begin = Clock::now();
@@ -157,7 +162,8 @@ RouteServerResult RouteServer::run(const FlowVector& initial,
     for (std::size_t s = 0; s < shards; ++s) {
       ctx[s].rng = epoch_rng.split();
       ctx[s].arrivals = total / shards + (s < total % shards ? 1 : 0);
-      ctx[s].latency_us.clear();
+      ctx[s].route_hist.reset();
+      ctx[s].wall_hist.reset();
     }
 
     const Clock::time_point epoch_begin = Clock::now();
@@ -198,19 +204,31 @@ RouteServerResult RouteServer::run(const FlowVector& initial,
     summary.board_latency =
         board_volume > 0.0 ? board_latency / board_volume : 0.0;
 
+    // Merge per-shard histograms in shard order (the canonical order the
+    // determinism contract fixes) into this epoch's distribution, then
+    // fold the epoch into the run-level distribution.
+    epoch_route.reset();
+    for (const ShardContext& shard : ctx) {
+      epoch_route.merge(shard.route_hist);
+    }
+    if (!epoch_route.empty()) {
+      summary.route_p50 = epoch_route.quantile(0.5);
+      summary.route_p99 = epoch_route.quantile(0.99);
+      summary.route_p999 = epoch_route.quantile(0.999);
+    }
+    result.route_latency.merge(epoch_route);
+
     if (options.record_latency) {
-      epoch_latency.clear();
+      epoch_wall.reset();
       for (const ShardContext& shard : ctx) {
-        epoch_latency.insert(epoch_latency.end(), shard.latency_us.begin(),
-                             shard.latency_us.end());
+        epoch_wall.merge(shard.wall_hist);
       }
-      if (!epoch_latency.empty()) {
-        std::sort(epoch_latency.begin(), epoch_latency.end());
-        summary.p50_us = sorted_quantile(epoch_latency, 0.5);
-        summary.p99_us = sorted_quantile(epoch_latency, 0.99);
-        run_latency.insert(run_latency.end(), epoch_latency.begin(),
-                           epoch_latency.end());
+      if (!epoch_wall.empty()) {
+        summary.p50_us = epoch_wall.quantile(0.5);
+        summary.p99_us = epoch_wall.quantile(0.99);
+        summary.p999_us = epoch_wall.quantile(0.999);
       }
+      result.wall_latency_us.merge(epoch_wall);
       summary.queries_per_second =
           epoch_seconds > 0.0
               ? static_cast<double>(totals.queries) / epoch_seconds
@@ -234,10 +252,10 @@ RouteServerResult RouteServer::run(const FlowVector& initial,
         result.wall_seconds > 0.0
             ? static_cast<double>(result.total_queries) / result.wall_seconds
             : 0.0;
-    if (!run_latency.empty()) {
-      std::sort(run_latency.begin(), run_latency.end());
-      result.p50_us = sorted_quantile(run_latency, 0.5);
-      result.p99_us = sorted_quantile(run_latency, 0.99);
+    if (!result.wall_latency_us.empty()) {
+      result.p50_us = result.wall_latency_us.quantile(0.5);
+      result.p99_us = result.wall_latency_us.quantile(0.99);
+      result.p999_us = result.wall_latency_us.quantile(0.999);
     }
   }
   return result;

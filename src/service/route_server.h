@@ -31,6 +31,7 @@
 #include "service/snapshot.h"
 #include "service/telemetry.h"
 #include "service/workload.h"
+#include "util/log_histogram.h"
 
 namespace staleflow {
 
@@ -59,10 +60,12 @@ struct RouteServerOptions {
 
   std::uint64_t seed = 1;
 
-  /// Record wall-clock per-query latency (sampled). Off = deterministic
-  /// replay mode: all telemetry fields are reproducible bit-for-bit.
+  /// Record wall-clock per-query service time into per-shard
+  /// LogHistograms. Off = deterministic replay mode: all telemetry fields
+  /// are reproducible bit-for-bit.
   bool record_latency = true;
-  /// Sample every k-th query of a shard for the latency quantiles.
+  /// Time every k-th query of a shard (the clock reads are the cost; the
+  /// histogram itself stores nothing per sample).
   std::size_t latency_sample_every = 32;
 };
 
@@ -73,11 +76,20 @@ struct RouteServerResult {
   std::size_t total_migrations = 0;
   double final_gap = 0.0;
 
-  // Wall-clock (non-deterministic; zero in replay mode).
+  /// Deterministic route-latency distribution of the whole run: the board
+  /// latency of the path each query's client was routed on, merged over
+  /// every shard and epoch in canonical order. Mergeable further (e.g.
+  /// across sweep cells) because every server uses the same default
+  /// histogram configuration.
+  LogHistogram route_latency;
+
+  // Wall-clock (non-deterministic; zero / empty in replay mode).
+  LogHistogram wall_latency_us;  // per-query service time, merged over run
   double wall_seconds = 0.0;
   double queries_per_second = 0.0;
-  double p50_us = 0.0;  // over all sampled queries of the run
+  double p50_us = 0.0;  // quantiles of wall_latency_us
   double p99_us = 0.0;
+  double p999_us = 0.0;
 };
 
 /// Called at every phase boundary with the finished epoch's summary.

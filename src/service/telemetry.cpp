@@ -1,10 +1,10 @@
 #include "service/telemetry.h"
 
-#include <cstring>
 #include <sstream>
 #include <vector>
 
 #include "util/csv.h"
+#include "util/fnv.h"
 
 namespace staleflow {
 namespace {
@@ -16,20 +16,6 @@ std::string fmt(double value) {
   return out.str();
 }
 
-void hash_bytes(std::uint64_t& h, const void* data, std::size_t size) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < size; ++i) {
-    h ^= bytes[i];
-    h *= 0x100000001B3ULL;  // FNV-1a prime
-  }
-}
-
-void hash_double(std::uint64_t& h, double value) {
-  std::uint64_t bits = 0;
-  std::memcpy(&bits, &value, sizeof(bits));
-  hash_bytes(h, &bits, sizeof(bits));
-}
-
 }  // namespace
 
 void write_epoch_csv(const std::string& path,
@@ -38,9 +24,11 @@ void write_epoch_csv(const std::string& path,
   std::vector<std::string> header = {"epoch",      "start",
                                      "end",        "queries",
                                      "migrations", "migration_rate",
-                                     "wardrop_gap", "board_latency"};
+                                     "wardrop_gap", "board_latency",
+                                     "route_p50",  "route_p99",
+                                     "route_p999"};
   if (include_timing) {
-    header.insert(header.end(), {"p50_us", "p99_us", "qps"});
+    header.insert(header.end(), {"p50_us", "p99_us", "p999_us", "qps"});
   }
   CsvWriter csv(path, header);
   for (const EpochSummary& e : epochs) {
@@ -48,10 +36,13 @@ void write_epoch_csv(const std::string& path,
         std::to_string(e.epoch),      fmt(e.start_time),
         fmt(e.end_time),              std::to_string(e.queries),
         std::to_string(e.migrations), fmt(e.migration_rate),
-        fmt(e.wardrop_gap),           fmt(e.board_latency)};
+        fmt(e.wardrop_gap),           fmt(e.board_latency),
+        fmt(e.route_p50),             fmt(e.route_p99),
+        fmt(e.route_p999)};
     if (include_timing) {
       row.push_back(fmt(e.p50_us));
       row.push_back(fmt(e.p99_us));
+      row.push_back(fmt(e.p999_us));
       row.push_back(fmt(e.queries_per_second));
     }
     csv.add_row(row);
@@ -59,15 +50,16 @@ void write_epoch_csv(const std::string& path,
 }
 
 std::uint64_t telemetry_digest(std::span<const EpochSummary> epochs) {
-  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  std::uint64_t h = fnv::kOffsetBasis;
   for (const EpochSummary& e : epochs) {
-    hash_bytes(h, &e.epoch, sizeof(e.epoch));
-    std::uint64_t queries = e.queries;
-    std::uint64_t migrations = e.migrations;
-    hash_bytes(h, &queries, sizeof(queries));
-    hash_bytes(h, &migrations, sizeof(migrations));
-    hash_double(h, e.wardrop_gap);
-    hash_double(h, e.board_latency);
+    fnv::hash_u64(h, e.epoch);
+    fnv::hash_u64(h, e.queries);
+    fnv::hash_u64(h, e.migrations);
+    fnv::hash_double(h, e.wardrop_gap);
+    fnv::hash_double(h, e.board_latency);
+    fnv::hash_double(h, e.route_p50);
+    fnv::hash_double(h, e.route_p99);
+    fnv::hash_double(h, e.route_p999);
   }
   return h;
 }

@@ -2,12 +2,18 @@
 //
 // Every epoch produces one EpochSummary. The fields split into two
 // classes: *deterministic* outcomes of the dynamics (queries, migrations,
-// Wardrop gap, board latency — functions of seed and configuration only)
-// and *wall-clock* figures (query latency quantiles, throughput) that
-// vary run to run. The CSV writer can restrict itself to the
-// deterministic columns so replay runs diff byte-for-byte regardless of
-// worker-thread count, and the digest pins those columns for golden
-// tests.
+// Wardrop gap, board latency, and the route-latency quantiles extracted
+// from the epoch's merged LogHistogram — functions of seed and
+// configuration only) and *wall-clock* figures (query service-time
+// quantiles, throughput) that vary run to run. The CSV writer can
+// restrict itself to the deterministic columns so replay runs diff
+// byte-for-byte regardless of worker-thread count, and the digest pins
+// those columns for golden tests.
+//
+// Latency distributions are log-bucket histograms (util/log_histogram.h),
+// not sampled vectors: per-shard recordings merge exactly into per-epoch
+// and per-run distributions, and quantiles are extracted from counts —
+// mergeable across shards, epochs, and (in the sweep engine) whole cells.
 #pragma once
 
 #include <cstddef>
@@ -29,9 +35,19 @@ struct EpochSummary {
   double wardrop_gap = 0.0;     // gap of the folded flow at the boundary
   double board_latency = 0.0;   // flow-weighted avg latency on the board
 
-  // Wall-clock figures; zeroed when latency recording is off.
-  double p50_us = 0.0;  // per-query service latency quantiles
+  // Route-latency quantiles: the board latency of the path each query's
+  // client is routed on after its decision, over the epoch's merged
+  // per-shard histograms. Deterministic (board values, not wall clock);
+  // zero when the epoch served no queries.
+  double route_p50 = 0.0;
+  double route_p99 = 0.0;
+  double route_p999 = 0.0;
+
+  // Wall-clock figures; zeroed when latency recording is off. Quantiles
+  // come from the epoch's merged service-time histogram.
+  double p50_us = 0.0;
   double p99_us = 0.0;
+  double p999_us = 0.0;
   double queries_per_second = 0.0;
 };
 
@@ -42,8 +58,9 @@ void write_epoch_csv(const std::string& path,
                      bool include_timing);
 
 /// FNV-1a digest over the deterministic fields of every epoch (bit
-/// patterns of the doubles, not their decimal rendering). The CI smoke
-/// test pins this value for a fixed configuration.
+/// patterns of the doubles, not their decimal rendering), including the
+/// route-latency quantiles. The CI smoke test pins this value for a fixed
+/// configuration.
 std::uint64_t telemetry_digest(std::span<const EpochSummary> epochs);
 
 }  // namespace staleflow

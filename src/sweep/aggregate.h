@@ -1,24 +1,30 @@
 // Aggregation of sweep results: scenario x policy group summaries, the
-// paper-style summary table, and CSV export.
+// paper-style summary table, CSV export, and the FNV digest golden tests
+// pin.
 //
 // CSV output is part of the determinism contract: cells are emitted in
 // canonical order with fixed maximum-precision number formatting and no
 // timing columns, so two sweeps with the same spec and seed produce
-// byte-identical files regardless of thread count.
+// byte-identical files regardless of thread count. Service-cell latency
+// quantiles come from each cell's merged LogHistogram (exact, mergeable),
+// and groups pool those histograms across cells — the capacity-planning
+// aggregation path.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "sweep/runner.h"
+#include "util/log_histogram.h"
 #include "util/statistics.h"
 #include "util/table.h"
 
 namespace staleflow {
 
 /// Accumulated metrics of all cells sharing a scenario x policy pair
-/// (periods and replicas pooled).
+/// (periods, workloads, shard counts and replicas pooled).
 struct GroupSummary {
   std::string scenario;
   std::string policy;
@@ -31,6 +37,12 @@ struct GroupSummary {
   RunningStats final_potential;    // over ok cells
   RunningStats time_to_converge;   // over converged cells only
   RunningStats oscillation;        // step amplitude over ok cells
+
+  // Service cells only (zero / empty otherwise).
+  std::size_t queries = 0;
+  std::size_t migrations = 0;
+  RunningStats migration_rate;  // per-cell rates over ok service cells
+  LogHistogram latency;         // cells' route-latency histograms, merged
 };
 
 /// Groups cells by scenario x policy, in order of first appearance (which
@@ -46,6 +58,12 @@ void write_cells_csv(const std::string& path, const SweepResult& result);
 /// Writes one row per scenario x policy group.
 void write_summary_csv(const std::string& path,
                        std::span<const GroupSummary> groups);
+
+/// FNV-1a digest over every cell's deterministic outcome (strings as
+/// bytes, doubles as bit patterns — not their decimal rendering).
+/// Thread-count independent by the sweep determinism contract; golden
+/// tests and the CI smoke pin it for fixed specs.
+std::uint64_t cells_digest(const SweepResult& result);
 
 /// Round-trip double formatting (17 significant digits) used by the CSVs;
 /// exposed for tests asserting byte-identical output.

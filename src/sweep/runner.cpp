@@ -15,6 +15,8 @@
 #include "equilibrium/metrics.h"
 #include "equilibrium/potential.h"
 #include "net/flow.h"
+#include "service/route_server.h"
+#include "service/workload.h"
 #include "util/thread_pool.h"
 
 namespace staleflow {
@@ -131,6 +133,52 @@ void run_agent(const Instance& instance, const Policy& policy,
   analyse_tail(recorder, out);
 }
 
+void run_service(const Instance& instance, const Policy& policy,
+                 const ExperimentSpec& spec, Rng& sim_rng, CellResult& out) {
+  const WorkloadPtr workload = make_workload(out.cell.workload);
+
+  RouteServerOptions options;
+  options.update_period = out.cell.update_period;
+  options.epochs = static_cast<std::size_t>(
+      std::max(1.0, std::round(spec.horizon / out.cell.update_period)));
+  options.num_clients = spec.num_clients;
+  options.shards = out.cell.shards;
+  // One worker per cell: the sweep's thread pool is the parallelism, and
+  // the service determinism contract makes the outcome independent of the
+  // in-cell thread count anyway.
+  options.threads = 1;
+  options.seed = sim_rng();
+  options.record_latency = false;  // replay mode: fully deterministic
+
+  RouteServer server(instance, policy, *workload);
+  const RouteServerResult result =
+      server.run(FlowVector::uniform(instance), options);
+
+  out.phases = result.epochs.size();
+  out.final_time =
+      out.cell.update_period * static_cast<double>(result.epochs.size());
+  out.final_gap = result.final_gap;
+  out.final_potential = potential(instance, result.final_flow.values());
+  out.converged = spec.stop_gap > 0.0 && out.final_gap <= spec.stop_gap;
+  if (out.converged) {
+    // First epoch boundary at which the folded flow reached the gap.
+    for (const EpochSummary& epoch : result.epochs) {
+      if (epoch.wardrop_gap <= spec.stop_gap) {
+        out.time_to_converge = epoch.end_time;
+        break;
+      }
+    }
+  }
+  out.queries = result.total_queries;
+  out.migrations = result.total_migrations;
+  out.migration_rate =
+      result.total_queries > 0
+          ? static_cast<double>(result.total_migrations) /
+                static_cast<double>(result.total_queries)
+          : 0.0;
+  out.latency = result.route_latency;
+}
+
 CellResult run_cell(const Scenario& scenario, const PolicySpec& policy_spec,
                     const ExperimentSpec& spec, CellSpec cell, Rng rng) {
   CellResult out;
@@ -157,6 +205,9 @@ CellResult run_cell(const Scenario& scenario, const PolicySpec& policy_spec,
         break;
       case SimulatorKind::kAgent:
         run_agent(instance, policy, spec, sim_rng, out);
+        break;
+      case SimulatorKind::kService:
+        run_service(instance, policy, spec, sim_rng, out);
         break;
     }
   } catch (const std::exception& e) {

@@ -16,6 +16,7 @@
 
 #include "sweep/scenario.h"
 #include "sweep/spec.h"
+#include "util/log_histogram.h"
 
 namespace staleflow {
 
@@ -45,6 +46,15 @@ struct CellResult {
   double oscillation_amplitude = 0.0;  // max step between consecutive phases
   bool settled = false;
   bool period_two = false;
+
+  // Service outcome (simulator == kService only; defaults elsewhere).
+  std::size_t queries = 0;
+  std::size_t migrations = 0;
+  double migration_rate = 0.0;  // migrations / queries over the whole run
+  /// Deterministic per-query route-latency distribution of the cell
+  /// (board latency of the served path), mergeable across cells — all
+  /// cells share the default LogHistogram configuration.
+  LogHistogram latency;
 };
 
 /// A finished sweep: per-cell results in canonical cell order.

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "service/workload.h"
+
 namespace staleflow {
 namespace {
 
@@ -101,9 +103,10 @@ SimulatorKind parse_simulator_kind(const std::string& name) {
   if (name == "fluid") return SimulatorKind::kFluid;
   if (name == "round") return SimulatorKind::kRound;
   if (name == "agent") return SimulatorKind::kAgent;
+  if (name == "service") return SimulatorKind::kService;
   throw std::invalid_argument(
       "parse_simulator_kind: unknown simulator '" + name +
-      "' (have: fluid, round, agent)");
+      "' (have: fluid, round, agent, service)");
 }
 
 std::string to_string(SimulatorKind kind) {
@@ -111,13 +114,18 @@ std::string to_string(SimulatorKind kind) {
     case SimulatorKind::kFluid: return "fluid";
     case SimulatorKind::kRound: return "round";
     case SimulatorKind::kAgent: return "agent";
+    case SimulatorKind::kService: return "service";
   }
   throw std::logic_error("to_string: unknown SimulatorKind");
 }
 
 std::size_t cell_count(const ExperimentSpec& spec) {
-  return spec.scenarios.size() * spec.policies.size() *
-         spec.update_periods.size() * spec.replicas;
+  std::size_t count = spec.scenarios.size() * spec.policies.size() *
+                      spec.update_periods.size() * spec.replicas;
+  if (spec.simulator == SimulatorKind::kService) {
+    count *= spec.workloads.size() * spec.shard_counts.size();
+  }
+  return count;
 }
 
 std::vector<CellSpec> expand(const ExperimentSpec& spec,
@@ -166,19 +174,80 @@ std::vector<CellSpec> expand(const ExperimentSpec& spec,
     registry.at(name);  // throws std::out_of_range on unknown names
   }
 
+  const bool service = spec.simulator == SimulatorKind::kService;
+  if (!service && (!spec.workloads.empty() || !spec.shard_counts.empty())) {
+    throw std::invalid_argument(
+        "expand: workload/shard axes require the service simulator "
+        "(--simulator service)");
+  }
+  if (service) {
+    if (spec.workloads.empty()) {
+      throw std::invalid_argument(
+          "expand: the service simulator needs at least one workload "
+          "(e.g. poisson:<rate>, closed-loop:<n>)");
+    }
+    if (spec.shard_counts.empty()) {
+      throw std::invalid_argument(
+          "expand: the service simulator needs at least one shard count");
+    }
+    for (std::size_t i = 0; i < spec.workloads.size(); ++i) {
+      make_workload(spec.workloads[i]);  // typos fail here, not mid-sweep
+      for (std::size_t j = i + 1; j < spec.workloads.size(); ++j) {
+        if (spec.workloads[i] == spec.workloads[j]) {
+          throw std::invalid_argument("expand: duplicate workload '" +
+                                      spec.workloads[i] + "'");
+        }
+      }
+    }
+    for (std::size_t i = 0; i < spec.shard_counts.size(); ++i) {
+      if (spec.shard_counts[i] == 0) {
+        throw std::invalid_argument(
+            "expand: shard counts must be >= 1 (a cell cannot serve over "
+            "zero shards)");
+      }
+      if (spec.shard_counts[i] > spec.num_clients) {
+        throw std::invalid_argument(
+            "expand: shard counts must be <= num_clients");
+      }
+      for (std::size_t j = i + 1; j < spec.shard_counts.size(); ++j) {
+        if (spec.shard_counts[i] == spec.shard_counts[j]) {
+          throw std::invalid_argument("expand: duplicate shard count");
+        }
+      }
+    }
+    if (spec.num_clients == 0) {
+      throw std::invalid_argument("expand: num_clients must be >= 1");
+    }
+  }
+
+  // The service axes collapse to a single sentinel iteration for the
+  // other simulators, keeping one expansion loop (and one canonical
+  // order) for every simulator kind.
+  const std::vector<std::string> workloads =
+      service ? spec.workloads : std::vector<std::string>{""};
+  const std::vector<std::size_t> shard_counts =
+      service ? spec.shard_counts : std::vector<std::size_t>{0};
+
   std::vector<CellSpec> cells;
   cells.reserve(cell_count(spec));
   for (const std::string& scenario : spec.scenarios) {
     for (const PolicySpec& policy : spec.policies) {
       for (const double period : spec.update_periods) {
-        for (std::size_t replica = 0; replica < spec.replicas; ++replica) {
-          CellSpec cell;
-          cell.index = cells.size();
-          cell.scenario = scenario;
-          cell.policy = policy.name;
-          cell.update_period = period;
-          cell.replica = replica;
-          cells.push_back(std::move(cell));
+        for (const std::string& workload : workloads) {
+          for (const std::size_t shards : shard_counts) {
+            for (std::size_t replica = 0; replica < spec.replicas;
+                 ++replica) {
+              CellSpec cell;
+              cell.index = cells.size();
+              cell.scenario = scenario;
+              cell.policy = policy.name;
+              cell.update_period = period;
+              cell.replica = replica;
+              cell.workload = workload;
+              cell.shards = shards;
+              cells.push_back(std::move(cell));
+            }
+          }
         }
       }
     }

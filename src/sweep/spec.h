@@ -1,9 +1,10 @@
 // Declarative experiment specification and its expansion into cells.
 //
 // An ExperimentSpec names WHAT to run — scenarios x policies x staleness
-// periods x seed replicas, under one of the three simulators — and
-// expand() turns it into the flat, deterministically ordered list of cells
-// the runner executes. Cell order is part of the determinism contract:
+// periods x seed replicas, under one of the four simulators (with the
+// service simulator adding workload x shard-count axes) — and expand()
+// turns it into the flat, deterministically ordered list of cells the
+// runner executes. Cell order is part of the determinism contract:
 // per-cell RNG streams are derived by walking this order, so results never
 // depend on thread count or scheduling.
 #pragma once
@@ -42,17 +43,20 @@ PolicySpec named_policy(const std::string& spec);
 
 /// Which simulator executes a cell.
 enum class SimulatorKind {
-  kFluid,  // fluid-limit ODE (Eq. (3)); the paper's main object
-  kRound,  // synchronous-rounds expected-flow map
-  kAgent   // finite-population stochastic (Gillespie) simulator
+  kFluid,   // fluid-limit ODE (Eq. (3)); the paper's main object
+  kRound,   // synchronous-rounds expected-flow map
+  kAgent,   // finite-population stochastic (Gillespie) simulator
+  kService  // the online RouteServer epoch pipeline (src/service/)
 };
 
-/// Parses "fluid" / "round" / "agent"; throws std::invalid_argument.
+/// Parses "fluid" / "round" / "agent" / "service"; throws
+/// std::invalid_argument listing the catalogue.
 SimulatorKind parse_simulator_kind(const std::string& name);
 std::string to_string(SimulatorKind kind);
 
 /// The full declarative sweep: the cartesian product
-/// scenarios x policies x update_periods x replicas.
+/// scenarios x policies x update_periods x replicas — times
+/// workloads x shard_counts when the simulator is kService.
 struct ExperimentSpec {
   std::vector<std::string> scenarios;  // ScenarioRegistry names
   std::vector<PolicySpec> policies;
@@ -61,7 +65,7 @@ struct ExperimentSpec {
   std::uint64_t base_seed = 1;         // root of every cell's RNG stream
 
   SimulatorKind simulator = SimulatorKind::kFluid;
-  double horizon = 50.0;     // simulated time (fluid/agent)
+  double horizon = 50.0;     // simulated time (fluid/agent/service)
   double stop_gap = 1e-6;    // convergence threshold (0 disables early stop)
 
   // Round-simulator knobs (used when simulator == kRound). The period T is
@@ -71,6 +75,17 @@ struct ExperimentSpec {
 
   // Agent-simulator knob (used when simulator == kAgent).
   std::size_t num_agents = 10'000;
+
+  // Service-simulator axes and knobs (simulator == kService only; expand()
+  // rejects them under any other simulator so a mis-addressed axis fails
+  // loudly instead of being silently ignored). Each cell serves
+  // max(1, round(horizon / T)) epochs of its workload over `shard_counts`
+  // logical shards, single-threaded within the cell — the sweep's own
+  // thread pool supplies the parallelism, and shard outcomes are
+  // thread-count independent by the service determinism contract anyway.
+  std::vector<std::string> workloads;     // make_workload() specs (axis)
+  std::vector<std::size_t> shard_counts;  // logical shards (axis, all > 0)
+  std::size_t num_clients = 2'000;        // virtual client fleet per cell
 };
 
 /// One executable cell of the sweep grid.
@@ -80,15 +95,22 @@ struct CellSpec {
   std::string policy;
   double update_period = 0.0;
   std::size_t replica = 0;
+
+  // Service axes; empty / 0 for non-service cells.
+  std::string workload;
+  std::size_t shards = 0;
 };
 
 /// Number of cells the spec expands to.
 std::size_t cell_count(const ExperimentSpec& spec);
 
 /// Expands the cartesian product in the canonical order: scenario-major,
-/// then policy, then period, then replica. Validates the spec (non-empty
-/// axes, positive periods, resolvable scenario names) and throws
-/// std::invalid_argument / std::out_of_range on violations.
+/// then policy, then period, then workload, then shard count, then
+/// replica (the service axes collapse to one iteration for the other
+/// simulators). Validates the spec (non-empty axes, positive periods,
+/// resolvable scenario names, parseable workloads, non-zero shard counts,
+/// service axes only under kService) and throws std::invalid_argument /
+/// std::out_of_range on violations.
 std::vector<CellSpec> expand(const ExperimentSpec& spec,
                              const ScenarioRegistry& registry);
 

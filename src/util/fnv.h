@@ -1,0 +1,41 @@
+// FNV-1a hashing helpers shared by the deterministic digests (service
+// telemetry, sweep cells). Doubles hash by bit pattern, never by decimal
+// rendering, so a digest pins the exact instruction-level outcome of a
+// run; strings hash length-prefixed so field boundaries cannot alias.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace staleflow::fnv {
+
+inline constexpr std::uint64_t kOffsetBasis = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t kPrime = 0x100000001B3ULL;
+
+inline void hash_bytes(std::uint64_t& h, const void* data,
+                       std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kPrime;
+  }
+}
+
+inline void hash_u64(std::uint64_t& h, std::uint64_t value) noexcept {
+  hash_bytes(h, &value, sizeof(value));
+}
+
+inline void hash_double(std::uint64_t& h, double value) noexcept {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  hash_u64(h, bits);
+}
+
+inline void hash_string(std::uint64_t& h, const std::string& value) noexcept {
+  hash_u64(h, value.size());
+  hash_bytes(h, value.data(), value.size());
+}
+
+}  // namespace staleflow::fnv

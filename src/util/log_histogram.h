@@ -1,0 +1,125 @@
+// Fixed-bucket logarithmic latency histograms (HdrHistogram-style, no
+// dependencies).
+//
+// A LogHistogram records non-negative doubles into buckets whose
+// boundaries are spaced logarithmically: each power-of-two octave is cut
+// into 2^sub_bucket_bits linear sub-buckets, so the relative bucket width
+// is at most 2^-sub_bucket_bits everywhere in the tracked range. Bucket
+// indices are computed by integer arithmetic on the IEEE-754 bit pattern
+// (positive doubles order like their bits), never through log()/exp(), so
+// bucketing is exact, platform-stable and byte-reproducible — the
+// property the service digest and the sweep CSV contract rely on.
+//
+// Histograms with the same configuration merge by adding counts; merging
+// is commutative and associative, which is what lets per-shard recordings
+// combine into per-epoch distributions, epochs into runs, and sweep cells
+// into capacity-table rows without ever storing raw samples. Quantiles
+// are extracted exactly from the counts: the returned value is the
+// midpoint of the bucket holding the requested rank (clamped to the
+// recorded min/max, so quantile(0) and quantile(1) are the exact
+// extremes), hence within one bucket width of the true sorted-sample
+// quantile.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace staleflow {
+
+class LogHistogram {
+ public:
+  /// Tracks values in [min_value, max_value] with 2^sub_bucket_bits
+  /// linear sub-buckets per octave (default 32: <= 3.2% relative bucket
+  /// width). Values below/above the range land in dedicated underflow /
+  /// overflow buckets and are still counted (and still drive the exact
+  /// min/max). Requires 0 < min_value < max_value, both finite, and
+  /// sub_bucket_bits in [0, 20]; throws std::invalid_argument otherwise.
+  explicit LogHistogram(double min_value = 1e-9, double max_value = 1e9,
+                        unsigned sub_bucket_bits = 5);
+
+  /// Records one (or `count`) occurrences of `value`. Negative, NaN and
+  /// infinite values are rejected with std::invalid_argument (a latency
+  /// can be zero but never negative or undefined).
+  void record(double value, std::uint64_t count = 1);
+
+  /// Adds `other`'s counts into this histogram. Both must share the exact
+  /// same configuration (min, max, sub_bucket_bits); throws
+  /// std::invalid_argument on a mismatch.
+  void merge(const LogHistogram& other);
+
+  /// Drops every recorded value, keeping the configuration (no
+  /// reallocation — for per-epoch reuse in serving loops).
+  void reset() noexcept;
+
+  /// Total number of recorded values.
+  std::uint64_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  /// Exact smallest / largest recorded value. Requires count() > 0.
+  double min() const;
+  double max() const;
+
+  /// Sum of recorded values, accumulated in recording order (0 if empty).
+  double sum() const noexcept { return sum_; }
+  /// sum() / count(). Requires count() > 0.
+  double mean() const;
+
+  /// The q-quantile, q in [0, 1]. quantile(0) == min() and
+  /// quantile(1) == max() exactly (the recorded extremes, as in
+  /// sorted_quantile); an interior q returns the midpoint of the bucket
+  /// containing rank ceil(q * count), clamped to [min(), max()], hence
+  /// within one bucket width of the sorted-sample quantile. Requires
+  /// count() > 0 and q in [0, 1]; throws std::invalid_argument otherwise.
+  double quantile(double q) const;
+
+  // ---- bucket geometry (exposed for tests and exports) ----
+
+  /// Number of buckets, including the underflow (first) and overflow
+  /// (last) buckets. Pure geometry — defined whether or not anything has
+  /// been recorded (the bucket array itself is allocated lazily on first
+  /// record/merge, so unused histogram members cost nothing).
+  std::size_t bucket_count() const noexcept {
+    return static_cast<std::size_t>(hi_raw_ - lo_raw_) + 3;
+  }
+
+  /// Bucket that `value` (>= 0, finite) falls into.
+  std::size_t bucket_index(double value) const;
+
+  /// Inclusive lower bound of bucket b: the smallest value mapping to it
+  /// (0 for the underflow bucket). Requires b < bucket_count().
+  double bucket_lower(std::size_t b) const;
+
+  /// Exclusive upper bound of bucket b (+infinity for the overflow
+  /// bucket). Requires b < bucket_count().
+  double bucket_upper(std::size_t b) const;
+
+  /// Count recorded in bucket b. Requires b < bucket_count().
+  std::uint64_t bucket_value(std::size_t b) const;
+
+  double min_value() const noexcept { return min_value_; }
+  double max_value() const noexcept { return max_value_; }
+  unsigned sub_bucket_bits() const noexcept { return sub_bucket_bits_; }
+
+  /// True when both histograms have the same configuration AND the same
+  /// counts, min, max and sum — i.e. they are observationally identical.
+  friend bool operator==(const LogHistogram& a, const LogHistogram& b);
+
+ private:
+  bool same_config(const LogHistogram& other) const noexcept;
+  void ensure_counts();
+
+  double min_value_ = 0.0;
+  double max_value_ = 0.0;
+  unsigned sub_bucket_bits_ = 0;
+  std::uint64_t lo_raw_ = 0;  // raw bit-index of the first regular bucket
+  std::uint64_t hi_raw_ = 0;  // raw bit-index of the last regular bucket
+
+  std::vector<std::uint64_t> counts_;  // [underflow, regular..., overflow]
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace staleflow

@@ -74,6 +74,12 @@ double sorted_quantile(std::span<const double> sorted, double q) {
   if (q < 0.0 || q > 1.0) {
     throw std::invalid_argument("sorted_quantile: q not in [0,1]");
   }
+  // Endpoints and singletons return the sample itself, bypassing the
+  // interpolation arithmetic: `x * (1 - frac) + y * frac` is not exactly x
+  // at frac == 0 when y is infinite (0 * inf == NaN), and the extreme
+  // quantiles should round-trip the extreme samples bit-for-bit.
+  if (sorted.size() == 1 || q == 0.0) return sorted.front();
+  if (q == 1.0) return sorted.back();
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);

@@ -56,11 +56,14 @@ struct Summary {
 /// Computes a Summary. Returns a zeroed Summary for an empty input.
 Summary summarize(std::span<const double> samples);
 
-/// Linear-interpolation quantile, q in [0, 1]. Requires non-empty input.
+/// Linear-interpolation quantile, q in [0, 1]. Requires non-empty input
+/// (throws std::invalid_argument on an empty span or q outside [0, 1]).
 double quantile(std::span<const double> samples, double q);
 
 /// Same, for input that is already sorted ascending — no copy, no re-sort.
-/// Use when reading several quantiles off one sample set.
+/// Use when reading several quantiles off one sample set. Edge cases are
+/// exact: q == 0 returns the first sample, q == 1 the last, and a
+/// single-sample input returns that sample for every q.
 double sorted_quantile(std::span<const double> sorted, double q);
 
 /// Ordinary least squares fit y = a + b*x. Returns {a, b, r2}.

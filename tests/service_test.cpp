@@ -331,7 +331,17 @@ TEST(RouteServer, ClosesTheLoopTowardEquilibrium) {
     EXPECT_GE(e.migration_rate, 0.0);
     EXPECT_LE(e.migration_rate, 1.0);
     EXPECT_GE(e.board_latency, 0.0);
+    // Route-latency quantiles are populated (every query records one) and
+    // ordered.
+    EXPECT_GT(e.route_p50, 0.0);
+    EXPECT_LE(e.route_p50, e.route_p99);
+    EXPECT_LE(e.route_p99, e.route_p999);
   }
+  // The run-level histogram holds exactly one sample per query and its
+  // extremes bracket the per-epoch medians.
+  EXPECT_EQ(result.route_latency.count(), result.total_queries);
+  EXPECT_LE(result.route_latency.min(), result.epochs.front().route_p50);
+  EXPECT_GE(result.route_latency.max(), result.epochs.back().route_p50);
 }
 
 TEST(RouteServer, DeterministicAcrossThreadCounts) {
@@ -364,6 +374,11 @@ TEST(RouteServer, DeterministicAcrossThreadCounts) {
       EXPECT_EQ(result.epochs[e].queries, reference[e].queries);
       EXPECT_EQ(result.epochs[e].migrations, reference[e].migrations);
       EXPECT_EQ(result.epochs[e].wardrop_gap, reference[e].wardrop_gap);
+      // The histogram-backed route quantiles are part of the contract:
+      // bit-equal, not approximately equal.
+      EXPECT_EQ(result.epochs[e].route_p50, reference[e].route_p50);
+      EXPECT_EQ(result.epochs[e].route_p99, reference[e].route_p99);
+      EXPECT_EQ(result.epochs[e].route_p999, reference[e].route_p999);
     }
     for (std::size_t p = 0; p < reference_flow.size(); ++p) {
       EXPECT_EQ(result.final_flow.values()[p], reference_flow[p]);
@@ -413,7 +428,34 @@ TEST(RouteServer, LatencyRecordingPopulatesWallClockFields) {
   EXPECT_GT(result.wall_seconds, 0.0);
   EXPECT_GT(result.queries_per_second, 0.0);
   EXPECT_GE(result.p99_us, result.p50_us);
+  EXPECT_GE(result.p999_us, result.p99_us);
   EXPECT_GT(result.p50_us, 0.0);
+  // Quantiles come from the merged wall-clock histogram: one sample per
+  // timed query (every latency_sample_every-th of each shard).
+  EXPECT_FALSE(result.wall_latency_us.empty());
+  EXPECT_LE(result.wall_latency_us.count(), result.total_queries);
+  EXPECT_DOUBLE_EQ(result.p50_us, result.wall_latency_us.quantile(0.5));
+}
+
+TEST(RouteServer, ReplayModeLeavesWallClockFieldsZeroed) {
+  const Instance instance = braess(true);
+  const Policy policy = make_replicator_policy(instance);
+  const WorkloadPtr workload = closed_loop_workload(500);
+  RouteServer server(instance, policy, *workload);
+
+  RouteServerOptions options = small_options();  // record_latency = false
+  options.epochs = 3;
+  const RouteServerResult result =
+      server.run(FlowVector::uniform(instance), options);
+  EXPECT_TRUE(result.wall_latency_us.empty());
+  EXPECT_EQ(result.p50_us, 0.0);
+  EXPECT_EQ(result.p999_us, 0.0);
+  // ...while the deterministic route histogram is still fully populated.
+  EXPECT_EQ(result.route_latency.count(), result.total_queries);
+  for (const EpochSummary& e : result.epochs) {
+    EXPECT_EQ(e.p50_us, 0.0);
+    EXPECT_GT(e.route_p50, 0.0);
+  }
 }
 
 // ------------------------------------------- BulletinBoard boundary cases

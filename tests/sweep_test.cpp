@@ -1,6 +1,7 @@
 // Tests for the sweep subsystem: thread pool, scenario registry, grid
-// expansion, aggregation, and the 1-thread vs 4-thread determinism
-// contract.
+// expansion (including the service simulator's workload x shard axes),
+// aggregation, and the 1-thread vs 4-thread determinism contract with a
+// pinned golden digest for a service sweep.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -201,6 +202,120 @@ TEST(Expand, ValidatesTheSpec) {
   EXPECT_THROW(expand(spec, registry), std::invalid_argument);
 }
 
+// ------------------------------------------------------- service expansion
+
+ExperimentSpec service_spec() {
+  ExperimentSpec spec;
+  spec.simulator = SimulatorKind::kService;
+  spec.scenarios = {"braess"};
+  spec.policies = {named_policy("replicator")};
+  spec.update_periods = {0.1};
+  spec.workloads = {"closed-loop:2000", "poisson:20000"};
+  spec.shard_counts = {1, 4};
+  spec.num_clients = 2000;
+  spec.replicas = 2;
+  spec.horizon = 2.0;  // 20 epochs per cell
+  return spec;
+}
+
+TEST(ParseSimulatorKind, RoundTripsAllKindsAndRejectsUnknown) {
+  for (const auto kind :
+       {SimulatorKind::kFluid, SimulatorKind::kRound, SimulatorKind::kAgent,
+        SimulatorKind::kService}) {
+    EXPECT_EQ(parse_simulator_kind(to_string(kind)), kind);
+  }
+  EXPECT_THROW(parse_simulator_kind("svc"), std::invalid_argument);
+  EXPECT_THROW(parse_simulator_kind(""), std::invalid_argument);
+  EXPECT_THROW(parse_simulator_kind("SERVICE"), std::invalid_argument);
+  // The error carries the catalogue, so the CLI's usage text is useful.
+  try {
+    parse_simulator_kind("nope");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("service"), std::string::npos);
+  }
+}
+
+TEST(Expand, ServiceAxesMultiplyTheGridInCanonicalOrder) {
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+  const ExperimentSpec spec = service_spec();
+  const std::vector<CellSpec> cells = expand(spec, registry);
+
+  // 1 scenario x 1 policy x 1 period x 2 workloads x 2 shard counts x 2
+  // replicas.
+  ASSERT_EQ(cells.size(), cell_count(spec));
+  ASSERT_EQ(cells.size(), 8u);
+  // Order: workload-major over shard counts, then replicas.
+  EXPECT_EQ(cells[0].workload, "closed-loop:2000");
+  EXPECT_EQ(cells[0].shards, 1u);
+  EXPECT_EQ(cells[0].replica, 0u);
+  EXPECT_EQ(cells[1].replica, 1u);
+  EXPECT_EQ(cells[2].shards, 4u);
+  EXPECT_EQ(cells[4].workload, "poisson:20000");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+  }
+}
+
+TEST(Expand, NonServiceCellsCarryNoServiceAxes) {
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+  const std::vector<CellSpec> cells = expand(small_spec(), registry);
+  for (const CellSpec& cell : cells) {
+    EXPECT_TRUE(cell.workload.empty());
+    EXPECT_EQ(cell.shards, 0u);
+  }
+}
+
+TEST(Expand, RejectsServiceAxesUnderOtherSimulators) {
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+  // Workload or shard axes handed to fluid/round/agent are mis-addressed
+  // configuration — rejected, never silently ignored.
+  for (const auto kind : {SimulatorKind::kFluid, SimulatorKind::kRound,
+                          SimulatorKind::kAgent}) {
+    ExperimentSpec spec = small_spec();
+    spec.simulator = kind;
+    spec.workloads = {"poisson:100"};
+    EXPECT_THROW(expand(spec, registry), std::invalid_argument);
+
+    spec = small_spec();
+    spec.simulator = kind;
+    spec.shard_counts = {4};
+    EXPECT_THROW(expand(spec, registry), std::invalid_argument);
+  }
+}
+
+TEST(Expand, ValidatesTheServiceSpec) {
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+
+  ExperimentSpec spec = service_spec();
+  spec.workloads.clear();
+  EXPECT_THROW(expand(spec, registry), std::invalid_argument);
+
+  spec = service_spec();
+  spec.workloads = {"poison:500"};  // typo: unknown workload kind
+  EXPECT_THROW(expand(spec, registry), std::invalid_argument);
+
+  spec = service_spec();
+  spec.workloads.push_back(spec.workloads.front());  // duplicate
+  EXPECT_THROW(expand(spec, registry), std::invalid_argument);
+
+  spec = service_spec();
+  spec.shard_counts.clear();
+  EXPECT_THROW(expand(spec, registry), std::invalid_argument);
+
+  spec = service_spec();
+  spec.shard_counts = {0, 4};  // zero-shard cell
+  EXPECT_THROW(expand(spec, registry), std::invalid_argument);
+
+  spec = service_spec();
+  spec.shard_counts = {4, 4};  // duplicate
+  EXPECT_THROW(expand(spec, registry), std::invalid_argument);
+
+  spec = service_spec();
+  spec.shard_counts = {spec.num_clients + 1};  // more shards than clients
+  EXPECT_THROW(expand(spec, registry), std::invalid_argument);
+}
+
 // ------------------------------------------------------------------- runner
 
 TEST(SweepRunner, RunsEveryCellAndConvergesOnEasyInstances) {
@@ -267,6 +382,45 @@ TEST(SweepRunner, RoundAndAgentSimulatorsRun) {
   EXPECT_GT(agents.cells[0].phases, 0u);
 }
 
+TEST(SweepRunner, ServiceCellsServeTheWorkloadAndFillServiceMetrics) {
+  const ExperimentSpec spec = service_spec();
+  const SweepRunner runner;
+  const SweepResult result = runner.run(spec, 2);
+
+  ASSERT_EQ(result.cells.size(), 8u);
+  EXPECT_EQ(result.simulator, SimulatorKind::kService);
+  for (const CellResult& cell : result.cells) {
+    ASSERT_TRUE(cell.ok) << cell.error;
+    // horizon 2.0 / T 0.1 = 20 epochs.
+    EXPECT_EQ(cell.phases, 20u);
+    EXPECT_DOUBLE_EQ(cell.final_time, 2.0);
+    EXPECT_GT(cell.queries, 0u);
+    EXPECT_LE(cell.migrations, cell.queries);
+    EXPECT_GE(cell.migration_rate, 0.0);
+    EXPECT_LE(cell.migration_rate, 1.0);
+    EXPECT_GE(cell.final_gap, 0.0);
+    // Every query recorded one route latency: the histogram is the full
+    // per-query distribution, not a sample.
+    EXPECT_EQ(cell.latency.count(), cell.queries);
+    EXPECT_GT(cell.latency.quantile(0.5), 0.0);
+    EXPECT_LE(cell.latency.quantile(0.5), cell.latency.quantile(0.99));
+    EXPECT_LE(cell.latency.quantile(0.99), cell.latency.quantile(0.999));
+  }
+  // The closed-loop cells serve exactly queries_per_epoch x epochs.
+  EXPECT_EQ(result.cells[0].queries, 2000u * 20u);
+
+  // Groups pool the per-cell histograms; the merged count is the total
+  // over the group's cells.
+  const std::vector<GroupSummary> groups = summarise(result);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].queries,
+            groups[0].latency.count());
+  std::size_t total_queries = 0;
+  for (const CellResult& cell : result.cells) total_queries += cell.queries;
+  EXPECT_EQ(groups[0].queries, total_queries);
+  EXPECT_FALSE(groups[0].migration_rate.empty());
+}
+
 // --------------------------------------------------------------- determinism
 
 /// The determinism contract: a sweep is bit-identical for 1 vs 4 threads.
@@ -322,6 +476,64 @@ TEST(SweepRunner, CsvOutputIsByteIdenticalAcrossThreadCounts) {
   EXPECT_EQ(one, four);
   std::remove(path_one.c_str());
   std::remove(path_four.c_str());
+}
+
+/// The same contract for the service simulator: a sweep of RouteServer
+/// cells (the most state-heavy simulator) is bit-identical at 1 vs 4
+/// worker threads, down to the merged latency histograms and the CSV
+/// bytes.
+TEST(SweepRunner, ServiceSweepIsByteIdenticalAcrossThreadCounts) {
+  const ExperimentSpec spec = service_spec();
+  const SweepRunner runner;
+  const SweepResult one = runner.run(spec, 1);
+  const SweepResult four = runner.run(spec, 4);
+
+  ASSERT_EQ(one.cells.size(), four.cells.size());
+  for (std::size_t i = 0; i < one.cells.size(); ++i) {
+    const CellResult& a = one.cells[i];
+    const CellResult& b = four.cells[i];
+    EXPECT_TRUE(a.ok) << a.error;
+    EXPECT_EQ(a.queries, b.queries) << i;
+    EXPECT_EQ(a.migrations, b.migrations) << i;
+    EXPECT_EQ(a.final_gap, b.final_gap) << i;
+    EXPECT_EQ(a.final_potential, b.final_potential) << i;
+    // Histogram equality is exact: same counts, same extremes, same sum.
+    EXPECT_TRUE(a.latency == b.latency) << i;
+  }
+  EXPECT_EQ(cells_digest(one), cells_digest(four));
+
+  const std::string path_one = "sweep_service_cells_1.csv";
+  const std::string path_four = "sweep_service_cells_4.csv";
+  write_cells_csv(path_one, one);
+  write_cells_csv(path_four, four);
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  const std::string csv_one = slurp(path_one);
+  EXPECT_FALSE(csv_one.empty());
+  EXPECT_EQ(csv_one, slurp(path_four));
+  std::remove(path_one.c_str());
+  std::remove(path_four.c_str());
+}
+
+/// Golden digest for one fixed service sweep cell. The configuration is
+/// libm-free end to end (closed-loop arrivals, braess' affine latencies),
+/// so the digest is platform-stable; a change here means the service
+/// dynamics, the histogram bucketing or the RNG stream layout moved —
+/// all of which are breaking changes to the replay contract.
+TEST(SweepRunner, ServiceCellGoldenDigest) {
+  ExperimentSpec spec = service_spec();
+  spec.workloads = {"closed-loop:2000"};
+  spec.shard_counts = {4};
+  spec.replicas = 1;
+  const SweepRunner runner;
+  const SweepResult result = runner.run(spec, 2);
+  ASSERT_EQ(result.cells.size(), 1u);
+  ASSERT_TRUE(result.cells[0].ok) << result.cells[0].error;
+  EXPECT_EQ(cells_digest(result), 0xD6C593C767E90487ULL);
 }
 
 // -------------------------------------------------------------- aggregation

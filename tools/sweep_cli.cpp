@@ -3,18 +3,24 @@
 // Usage:
 //   sweep_cli run [--scenarios a,b,...] [--policies p,q,...]
 //                 [--periods 0.05,0.1,...] [--replicas <n>] [--seed <s>]
-//                 [--simulator fluid|round|agent] [--horizon <t>]
-//                 [--stop-gap <g>] [--agents <n>] [--threads <k>]
+//                 [--simulator fluid|round|agent|service] [--horizon <t>]
+//                 [--stop-gap <g>] [--agents <n>]
+//                 [--workloads w1,w2,...] [--shards 1,8,...]
+//                 [--clients <n>] [--threads <k>]
 //                 [--cells-csv <path>] [--summary-csv <path>] [--quiet]
 //   sweep_cli list
 //
-// `list` prints the scenario catalogue and policy grammar. `run` expands
-// the cartesian product scenarios x policies x periods x replicas,
-// executes it on a thread pool and prints a scenario x policy summary
-// table plus throughput. Unknown scenario/policy names are rejected up
-// front with the valid catalogue; `--threads 0` means hardware
-// concurrency. Results (and the CSVs) are bit-identical for any
-// --threads value.
+// `list` prints the scenario catalogue plus the policy and workload
+// grammars. `run` expands the cartesian product scenarios x policies x
+// periods x replicas — times workloads x shard counts under
+// `--simulator service`, which drives a full RouteServer epoch pipeline
+// per cell for capacity planning — executes it on a thread pool and
+// prints a scenario x policy summary table, throughput and the
+// deterministic cell digest. Unknown scenario/policy/workload names and
+// mis-addressed axes (service axes without --simulator service, zero
+// shard counts) are usage errors: exit 2 with the catalogue in hand.
+// `--threads 0` means hardware concurrency. Results (and the CSVs) are
+// bit-identical for any --threads value.
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
@@ -30,19 +36,28 @@
 namespace staleflow {
 namespace {
 
+constexpr const char* kPolicyGrammar =
+    "policies: replicator | uniform-linear | alpha:<a> | logit:<c> |\n"
+    "          naive | relative-slack[:<s>] | safe\n";
+constexpr const char* kWorkloadGrammar =
+    "workloads (service simulator): poisson:<rate> |"
+    " bursty:<on>,<off>,<on_epochs>,<off_epochs> |\n"
+    "          diurnal:<base>,<amplitude>,<day> | closed-loop:<n>\n";
+
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr <<
       "usage:\n"
       "  sweep_cli run [--scenarios a,b,...] [--policies p,q,...]\n"
       "                [--periods 0.05,0.1,...] [--replicas <n>]\n"
-      "                [--seed <s>] [--simulator fluid|round|agent]\n"
+      "                [--seed <s>] [--simulator fluid|round|agent|service]\n"
       "                [--horizon <t>] [--stop-gap <g>] [--agents <n>]\n"
-      "                [--threads <k>] [--cells-csv <path>]\n"
-      "                [--summary-csv <path>] [--quiet]\n"
+      "                [--workloads w1,w2,...] [--shards 1,8,...]\n"
+      "                [--clients <n>] [--threads <k>]\n"
+      "                [--cells-csv <path>] [--summary-csv <path>]\n"
+      "                [--quiet]\n"
       "  sweep_cli list\n"
-      "policies: replicator | uniform-linear | alpha:<a> | logit:<c> |\n"
-      "          naive | relative-slack[:<s>] | safe\n";
+      << kPolicyGrammar << kWorkloadGrammar;
   std::exit(2);
 }
 
@@ -53,8 +68,7 @@ int do_list() {
     table.add_row({name, registry.at(name).description});
   }
   table.print(std::cout);
-  std::cout << "\npolicies: replicator | uniform-linear | alpha:<a> | "
-               "logit:<c> | naive |\n          relative-slack[:<s>] | safe\n";
+  std::cout << '\n' << kPolicyGrammar << kWorkloadGrammar;
   return 0;
 }
 
@@ -86,13 +100,28 @@ int do_run(const std::map<std::string, std::string>& flags) {
     } else if (key == "seed") {
       spec.base_seed = cli::parse_count(value, "--seed");
     } else if (key == "simulator") {
-      spec.simulator = parse_simulator_kind(value);
+      // Unknown kinds are usage errors (exit 2, catalogue printed), not
+      // plain runtime failures.
+      try {
+        spec.simulator = parse_simulator_kind(value);
+      } catch (const std::invalid_argument& e) {
+        throw cli::UsageError(e.what());
+      }
     } else if (key == "horizon") {
       spec.horizon = cli::parse_number(value, "--horizon");
     } else if (key == "stop-gap") {
       spec.stop_gap = cli::parse_number(value, "--stop-gap");
     } else if (key == "agents") {
       spec.num_agents = cli::parse_count(value, "--agents");
+    } else if (key == "workloads") {
+      spec.workloads = cli::split_list(value);
+    } else if (key == "shards") {
+      spec.shard_counts.clear();
+      for (const std::string& item : cli::split_list(value)) {
+        spec.shard_counts.push_back(cli::parse_count(item, "--shards"));
+      }
+    } else if (key == "clients") {
+      spec.num_clients = cli::parse_count(value, "--clients");
     } else if (key == "threads") {
       threads = cli::parse_count(value, "--threads");
     } else if (key == "cells-csv") {
@@ -104,6 +133,16 @@ int do_run(const std::map<std::string, std::string>& flags) {
     } else {
       usage("unknown flag --" + key);
     }
+  }
+
+  // A service sweep with no explicit axes gets a small default
+  // capacity-planning grid: open-loop load below and around saturation,
+  // serial vs sharded serving.
+  if (spec.simulator == SimulatorKind::kService) {
+    if (spec.workloads.empty()) {
+      spec.workloads = {"poisson:10000", "poisson:40000"};
+    }
+    if (spec.shard_counts.empty()) spec.shard_counts = {1, 8};
   }
 
   const SweepRunner runner;
@@ -120,6 +159,14 @@ int do_run(const std::map<std::string, std::string>& flags) {
       usage(e.what());
     }
   }
+  // Same for the whole spec: a mis-addressed axis (workloads under a
+  // non-service simulator, a zero shard count, a bad workload spec) is a
+  // usage error, not a mid-sweep surprise.
+  try {
+    expand(spec, runner.registry());
+  } catch (const std::invalid_argument& e) {
+    usage(e.what());
+  }
 
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -128,8 +175,12 @@ int do_run(const std::map<std::string, std::string>& flags) {
   if (!quiet) {
     std::cout << "sweep: " << spec.scenarios.size() << " scenarios x "
               << spec.policies.size() << " policies x "
-              << spec.update_periods.size() << " periods x " << spec.replicas
-              << " replicas = " << total << " cells ("
+              << spec.update_periods.size() << " periods x ";
+    if (spec.simulator == SimulatorKind::kService) {
+      std::cout << spec.workloads.size() << " workloads x "
+                << spec.shard_counts.size() << " shard counts x ";
+    }
+    std::cout << spec.replicas << " replicas = " << total << " cells ("
               << to_string(spec.simulator) << ", threads=" << threads
               << ")\n";
   }
@@ -162,6 +213,10 @@ int do_run(const std::map<std::string, std::string>& flags) {
               << fmt(result.wall_seconds, 2) << " s ("
               << fmt(result.cells_per_second(), 1) << " cells/s)\n";
   }
+  // Deterministic digest of every cell's outcome — what the CI smoke and
+  // golden tests pin (thread-count independent by contract).
+  std::cout << "digest=" << std::hex << cells_digest(result) << std::dec
+            << "\n";
 
   if (!cells_csv.empty()) {
     write_cells_csv(cells_csv, result);
