@@ -1,12 +1,20 @@
-// bench_service_throughput — queries/sec scaling of the route service.
+// bench_service_throughput — queries/sec scaling of the route service on
+// the execution layer.
 //
-// Serves a fixed closed-loop workload (so every configuration answers the
-// same number of queries) on 1..N worker threads and reports throughput,
-// latency quantiles, speedup over single-threaded and parallel
-// efficiency. Alongside the human-readable table it writes
-// BENCH_service.json, the machine-readable perf-trajectory record future
-// PRs diff against. The dynamics outcome (digest) is asserted identical
-// across thread counts — the determinism contract under load.
+// Serves two fixed workloads on 1..N worker threads and reports
+// throughput, latency quantiles, speedup over single-threaded and
+// parallel efficiency:
+//   - closed-loop: the PR-2/PR-3 baseline shape (uniform batches, no
+//     sub-batch splitting at the default threshold) — comparable against
+//     the historical BENCH_service.json trajectory;
+//   - bursty: skewed on/off load with the sub-batch split threshold
+//     forced low, exercising deterministic work-splitting and the
+//     pipelined epoch snapshot build — the configuration the execution
+//     layer exists for.
+// Alongside the human-readable tables it writes BENCH_service.json, the
+// machine-readable perf-trajectory record future PRs diff against. The
+// dynamics outcome (digest) is asserted identical across thread counts
+// for every workload — the determinism contract under load.
 //
 // Usage: bench_service_throughput [max_threads] [json_path]
 #include <cstdlib>
@@ -31,6 +39,12 @@ struct ScalingPoint {
   double efficiency = 0.0;
 };
 
+struct WorkloadRun {
+  std::string name;
+  std::size_t sub_batch_queries = 0;
+  std::vector<ScalingPoint> points;
+};
+
 int run_main(int argc, char** argv) {
   std::size_t max_threads = 8;
   std::string json_path = "BENCH_service.json";
@@ -49,13 +63,11 @@ int run_main(int argc, char** argv) {
   }
 
   // Fixed configuration: a 32-link instance keeps the per-query CDF search
-  // nontrivial, the closed loop keeps the query count identical across
-  // thread counts.
+  // nontrivial; both workloads answer the same queries at every thread
+  // count (closed loop by construction, bursty by the replay contract).
   Rng scenario_rng(7);
   const Instance instance = random_parallel_links(32, scenario_rng);
   const Policy policy = make_replicator_policy(instance);
-  const std::size_t queries_per_epoch = 200'000;
-  const WorkloadPtr workload = closed_loop_workload(queries_per_epoch);
 
   RouteServerOptions options;
   options.update_period = 0.05;
@@ -65,46 +77,60 @@ int run_main(int argc, char** argv) {
   options.seed = 42;
 
   std::cout << "service throughput: " << instance.describe() << "\n  "
-            << policy.name() << ", " << workload->name() << " x "
-            << options.epochs << " epochs, " << options.num_clients
-            << " clients, " << options.shards << " shards (hardware: "
-            << std::thread::hardware_concurrency() << " cores)\n\n";
+            << policy.name() << " x " << options.epochs << " epochs, "
+            << options.num_clients << " clients, " << options.shards
+            << " shards (hardware: " << std::thread::hardware_concurrency()
+            << " cores)\n";
 
-  std::vector<ScalingPoint> points;
-  std::uint64_t reference_digest = 0;
-  Table table({"threads", "Mq/s", "p50 us", "p99 us", "speedup", "eff"});
+  // The two measured shapes. The bursty peaks offer 4e6 * 0.05 = 200k
+  // queries (6250 per shard), so the forced 2048-query threshold splits
+  // every peak shard into ~4 sub-batches; the closed-loop run keeps the
+  // default threshold (no splitting) as the historical baseline.
+  std::vector<WorkloadRun> runs;
+  runs.push_back({"closed-loop:200000", 16384, {}});
+  runs.push_back({"bursty:4000000,200000,3,2", 2048, {}});
 
-  for (std::size_t threads = 1; threads <= max_threads; threads *= 2) {
-    options.threads = threads;
-    RouteServer server(instance, policy, *workload);
-    const RouteServerResult result =
-        server.run(FlowVector::uniform(instance), options);
+  for (WorkloadRun& run : runs) {
+    const WorkloadPtr workload = make_workload(run.name);
+    options.sub_batch_queries = run.sub_batch_queries;
 
-    const std::uint64_t digest = telemetry_digest(result.epochs);
-    if (threads == 1) {
-      reference_digest = digest;
-    } else if (digest != reference_digest) {
-      std::cerr << "FAIL: digest differs at " << threads
-                << " threads — determinism contract broken\n";
-      return 1;
+    std::cout << "\n  workload " << run.name << " (sub-batch "
+              << run.sub_batch_queries << ")\n\n";
+    Table table({"threads", "Mq/s", "p50 us", "p99 us", "speedup", "eff"});
+    std::uint64_t reference_digest = 0;
+
+    for (std::size_t threads = 1; threads <= max_threads; threads *= 2) {
+      options.threads = threads;
+      RouteServer server(instance, policy, *workload);
+      const RouteServerResult result =
+          server.run(FlowVector::uniform(instance), options);
+
+      const std::uint64_t digest = telemetry_digest(result.epochs);
+      if (threads == 1) {
+        reference_digest = digest;
+      } else if (digest != reference_digest) {
+        std::cerr << "FAIL: digest differs at " << threads
+                  << " threads — determinism contract broken\n";
+        return 1;
+      }
+
+      ScalingPoint point;
+      point.threads = threads;
+      point.qps = result.queries_per_second;
+      point.p50_us = result.p50_us;
+      point.p99_us = result.p99_us;
+      point.wall_seconds = result.wall_seconds;
+      point.speedup =
+          run.points.empty() ? 1.0 : point.qps / run.points.front().qps;
+      point.efficiency = point.speedup / static_cast<double>(threads);
+      run.points.push_back(point);
+
+      table.add_row({std::to_string(threads), fmt(point.qps / 1e6, 3),
+                     fmt(point.p50_us, 2), fmt(point.p99_us, 2),
+                     fmt(point.speedup, 2), fmt(point.efficiency, 2)});
     }
-
-    ScalingPoint point;
-    point.threads = threads;
-    point.qps = result.queries_per_second;
-    point.p50_us = result.p50_us;
-    point.p99_us = result.p99_us;
-    point.wall_seconds = result.wall_seconds;
-    point.speedup = points.empty() ? 1.0 : point.qps / points.front().qps;
-    point.efficiency = point.speedup / static_cast<double>(threads);
-    points.push_back(point);
-
-    table.add_row({std::to_string(threads), fmt(point.qps / 1e6, 3),
-                   fmt(point.p50_us, 2), fmt(point.p99_us, 2),
-                   fmt(point.speedup, 2), fmt(point.efficiency, 2)});
+    table.print(std::cout);
   }
-
-  table.print(std::cout);
 
   std::ofstream json(json_path);
   if (!json) {
@@ -116,21 +142,27 @@ int run_main(int argc, char** argv) {
        << "  \"config\": {\n"
        << "    \"scenario\": \"random-links-32\",\n"
        << "    \"policy\": \"" << policy.name() << "\",\n"
-       << "    \"workload\": \"" << workload->name() << "\",\n"
        << "    \"epochs\": " << options.epochs << ",\n"
        << "    \"clients\": " << options.num_clients << ",\n"
        << "    \"shards\": " << options.shards << ",\n"
        << "    \"hardware_threads\": " << std::thread::hardware_concurrency()
        << "\n  },\n"
-       << "  \"results\": [\n";
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const ScalingPoint& p = points[i];
-    json << "    {\"threads\": " << p.threads << ", \"qps\": " << p.qps
-         << ", \"p50_us\": " << p.p50_us << ", \"p99_us\": " << p.p99_us
-         << ", \"wall_seconds\": " << p.wall_seconds
-         << ", \"speedup\": " << p.speedup
-         << ", \"efficiency\": " << p.efficiency << "}"
-         << (i + 1 < points.size() ? "," : "") << "\n";
+       << "  \"workloads\": [\n";
+  for (std::size_t w = 0; w < runs.size(); ++w) {
+    const WorkloadRun& run = runs[w];
+    json << "    {\"workload\": \"" << run.name
+         << "\", \"sub_batch_queries\": " << run.sub_batch_queries
+         << ", \"results\": [\n";
+    for (std::size_t i = 0; i < run.points.size(); ++i) {
+      const ScalingPoint& p = run.points[i];
+      json << "      {\"threads\": " << p.threads << ", \"qps\": " << p.qps
+           << ", \"p50_us\": " << p.p50_us << ", \"p99_us\": " << p.p99_us
+           << ", \"wall_seconds\": " << p.wall_seconds
+           << ", \"speedup\": " << p.speedup
+           << ", \"efficiency\": " << p.efficiency << "}"
+           << (i + 1 < run.points.size() ? "," : "") << "\n";
+    }
+    json << "    ]}" << (w + 1 < runs.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
   std::cout << "\nwrote " << json_path << "\n";

@@ -1,0 +1,135 @@
+// The deterministic execution layer: one Executor, one ThreadPool, any
+// number of cooperating subsystems.
+//
+// Everything parallel in staleflow follows the same discipline — work is
+// cut into tasks that share no mutable state, anything random or
+// order-sensitive is derived *before* dispatch, and reductions walk a
+// canonical order — so the only thing a subsystem needs from the runtime
+// is "run these tasks, some after others, and tell me when my batch is
+// done". Executor is that interface. It wraps a single ThreadPool that
+// the sweep runner and the route server share (a kService sweep cell uses
+// inner parallelism on the same pool instead of colliding nested pools),
+// runs everything inline in deterministic order when threads == 1, and
+// guarantees that the values computed are identical either way.
+//
+// TaskGraph adds dependencies: nodes may only depend on earlier nodes, so
+// insertion order is a topological order, which is exactly the order the
+// inline mode executes — the parallel schedule can only reorder work that
+// is independent by construction. This is how the route server pipelines
+// an epoch: serve nodes feed a fold node, which feeds the next snapshot's
+// board post + per-commodity CDF nodes in parallel with the telemetry
+// summary node.
+//
+// sub_batch_count / sub_range are the deterministic work-splitting
+// helpers: split points are derived from batch sizes alone (never from
+// thread count or scheduling), so a skewed batch parallelizes while
+// 1-vs-N-thread runs stay byte-identical.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace staleflow {
+
+/// A one-shot dependency graph of tasks. Build with add(), hand to
+/// Executor::run(). Nodes may only depend on nodes added before them
+/// (enforced), so the graph is acyclic by construction and node order is
+/// a valid serial schedule.
+class TaskGraph {
+ public:
+  using NodeId = std::size_t;
+
+  /// Adds a node that runs `fn` once every node in `deps` has finished.
+  /// Throws std::invalid_argument if fn is null or any dep is not an
+  /// earlier node's id.
+  NodeId add(std::function<void()> fn, std::span<const NodeId> deps = {});
+  NodeId add(std::function<void()> fn, std::initializer_list<NodeId> deps);
+
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+ private:
+  friend class Executor;
+
+  struct Node {
+    std::function<void()> fn;
+    std::vector<NodeId> dependents;  // nodes waiting on this one
+    std::size_t dependency_count = 0;
+  };
+
+  void run_inline();
+  void run_on(ThreadPool& pool);
+  void submit_node(ThreadPool& pool, const ThreadPool::CompletionToken& token,
+                   NodeId id);
+
+  std::vector<Node> nodes_;
+
+  // Per-run scheduling state (run_on only).
+  std::mutex mutex_;
+  std::vector<std::size_t> remaining_;  // unfinished deps per node
+  std::vector<bool> submitted_;
+  bool cancelled_ = false;
+};
+
+/// Executes batches and task graphs over one worker pool.
+///
+/// threads == 1 (the default) is inline mode: no pool, every task runs on
+/// the calling thread in submission/insertion order — the deterministic
+/// reference schedule. threads == 0 picks hardware concurrency. With
+/// threads == T > 1 the executor owns T-1 workers and the calling thread
+/// helps while waiting, so T threads make progress — and a task may
+/// itself call back into the executor (nested parallel_for / run) without
+/// deadlock or oversubscription, which is how sweep cells and the route
+/// server share the pool.
+class Executor {
+ public:
+  explicit Executor(std::size_t threads = 1);
+
+  /// Total threads that make progress on this executor's work (>= 1).
+  std::size_t threads() const noexcept { return threads_; }
+  bool inline_mode() const noexcept { return pool_ == nullptr; }
+
+  /// Runs fn(i) for i in [0, count) and waits; rethrows the first
+  /// exception any call raised.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Executes every node of the graph, respecting dependencies, and
+  /// waits. Failure is fail-fast: the first node exception is rethrown
+  /// and every node that has not yet started — downstream of the failure
+  /// or not — is skipped, so which independent nodes ran is
+  /// scheduling-dependent after an error (inline mode skips everything
+  /// after the throwing node). Don't hang cleanup side effects on graph
+  /// nodes. A graph may be run again after run() returns (scheduling
+  /// state is rebuilt per run).
+  void run(TaskGraph& graph);
+
+ private:
+  std::size_t threads_;
+  std::unique_ptr<ThreadPool> pool_;  // null in inline mode
+};
+
+/// Number of sub-batches a batch of `items` splits into: ceil(items /
+/// target), clamped to [1, max_chunks]. Depends only on the batch size —
+/// never on thread count — so the split is part of the deterministic
+/// replay contract. target == 0 means "never split". max_chunks must be
+/// >= 1.
+std::size_t sub_batch_count(std::size_t items, std::size_t target,
+                            std::size_t max_chunks);
+
+/// Half-open index range of chunk `chunk` when [0, total) is cut into
+/// `chunks` balanced contiguous pieces (sizes differ by at most one, the
+/// first total % chunks pieces are the larger ones). Requires chunks >= 1
+/// and chunk < chunks.
+struct SubRange {
+  std::size_t begin = 0;
+  std::size_t count = 0;
+};
+SubRange sub_range(std::size_t total, std::size_t chunks, std::size_t chunk);
+
+}  // namespace staleflow

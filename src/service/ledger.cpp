@@ -1,5 +1,6 @@
 #include "service/ledger.h"
 
+#include <cassert>
 #include <stdexcept>
 
 namespace staleflow {
@@ -8,20 +9,28 @@ namespace {
 constexpr std::size_t kDoublesPerLine = 64 / sizeof(double);
 }
 
-FlowLedger::FlowLedger(std::size_t path_count, std::size_t shards)
+FlowLedger::FlowLedger(std::size_t path_count, std::size_t slots)
     : path_count_(path_count),
       stride_((path_count + kDoublesPerLine - 1) / kDoublesPerLine *
               kDoublesPerLine),
-      counters_(shards) {
-  if (shards == 0) {
-    throw std::invalid_argument("FlowLedger: need at least one shard");
+      counters_(slots) {
+  if (slots == 0) {
+    throw std::invalid_argument("FlowLedger: need at least one slot");
   }
-  delta_.assign(shards * stride_, 0.0);
+  delta_.assign(slots * stride_, 0.0);
 }
 
-FlowLedger::Totals FlowLedger::fold_into(std::span<double> flow) noexcept {
+void FlowLedger::ensure_slots(std::size_t slots) {
+  if (slots <= counters_.size()) return;
+  counters_.resize(slots);
+  delta_.resize(slots * stride_, 0.0);
+}
+
+FlowLedger::Totals FlowLedger::fold_into(std::span<double> flow,
+                                         std::size_t active_slots) noexcept {
+  assert(active_slots <= counters_.size());
   Totals totals;
-  for (std::size_t s = 0; s < counters_.size(); ++s) {
+  for (std::size_t s = 0; s < active_slots; ++s) {
     double* block = delta_.data() + s * stride_;
     for (std::size_t p = 0; p < path_count_; ++p) {
       flow[p] += block[p];

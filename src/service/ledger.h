@@ -1,12 +1,13 @@
 // Sharded flow accounting for the query pipeline.
 //
-// Workers never touch a shared flow vector on the hot path: every shard
-// accumulates its own flow deltas and query counters in private,
-// cache-line-separated storage, and the epoch thread folds all shards into
-// the master flow at the phase boundary — the folded flow is what the next
-// bulletin-board post() sees, closing the served-traffic -> next-board
-// loop. Folding walks shards in index order, so the result is independent
-// of how shards were scheduled onto threads.
+// Workers never touch a shared flow vector on the hot path: every serving
+// slot (one logical shard, or one sub-batch of a shard once the executor
+// splits skewed batches) accumulates its own flow deltas and query
+// counters in private, cache-line-separated storage, and the epoch thread
+// folds all slots into the master flow at the phase boundary — the folded
+// flow is what the next bulletin-board post() sees, closing the
+// served-traffic -> next-board loop. Folding walks slots in index order,
+// so the result is independent of how slots were scheduled onto threads.
 #pragma once
 
 #include <cstddef>
@@ -18,19 +19,26 @@ namespace staleflow {
 
 class FlowLedger {
  public:
-  /// `path_count` entries per shard; each shard's delta block is padded to
-  /// a cache-line multiple so concurrent shards never false-share.
-  FlowLedger(std::size_t path_count, std::size_t shards);
+  /// `path_count` entries per slot; each slot's delta block is padded to
+  /// a cache-line multiple so concurrent slots never false-share.
+  FlowLedger(std::size_t path_count, std::size_t slots);
 
-  std::size_t shards() const noexcept { return counters_.size(); }
+  std::size_t slots() const noexcept { return counters_.size(); }
 
-  /// Records that `delta` flow moved onto `path` in shard `s`. Safe to
-  /// call concurrently for distinct shards.
+  /// Grows the ledger to at least `slots` zeroed slots (no-op when already
+  /// large enough). NOT thread-safe: call between epochs, never while
+  /// serving tasks are writing. The epoch sub-batch plan sizes the ledger
+  /// here, so the slot count follows the high-water mark instead of
+  /// reallocating every epoch.
+  void ensure_slots(std::size_t slots);
+
+  /// Records that `delta` flow moved onto `path` in slot `s`. Safe to
+  /// call concurrently for distinct slots.
   void add(std::size_t s, std::size_t path, double delta) noexcept {
     delta_[s * stride_ + path] += delta;
   }
 
-  /// Counts one answered query (and optionally one migration) in shard `s`.
+  /// Counts one answered query (and optionally one migration) in slot `s`.
   void count_query(std::size_t s, bool migrated) noexcept {
     ++counters_[s].queries;
     counters_[s].migrations += migrated ? 1 : 0;
@@ -41,14 +49,21 @@ class FlowLedger {
     std::size_t migrations = 0;
   };
 
-  /// Folds every shard's deltas into `flow` (shard-index order), returns
-  /// the summed counters, and resets the ledger for the next epoch.
-  Totals fold_into(std::span<double> flow) noexcept;
+  /// Folds the first `active_slots` slots' deltas into `flow` (slot-index
+  /// order — the canonical fold the determinism contract fixes), returns
+  /// the summed counters, and resets those slots for the next epoch.
+  /// Requires active_slots <= slots().
+  Totals fold_into(std::span<double> flow, std::size_t active_slots) noexcept;
+
+  /// Folds every slot.
+  Totals fold_into(std::span<double> flow) noexcept {
+    return fold_into(flow, counters_.size());
+  }
 
  private:
   std::size_t path_count_;
   std::size_t stride_;  // path_count_ rounded up to a cache-line multiple
-  std::vector<double> delta_;  // shards * stride_
+  std::vector<double> delta_;  // slots * stride_
 
   struct alignas(64) Counters {
     std::uint64_t queries = 0;

@@ -8,22 +8,27 @@
 
 #include "agents/population.h"
 #include "equilibrium/metrics.h"
+#include "exec/executor.h"
 #include "service/ledger.h"
 #include "util/rng.h"
-#include "util/thread_pool.h"
 
 namespace staleflow {
 namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// Everything one logical shard needs for an epoch: its own Rng stream,
-/// its arrival quota and its latency histograms. Shards never touch each
-/// other's context; the alignment keeps neighbouring contexts off the
-/// same cache line (the rng state is written on every query).
-struct alignas(64) ShardContext {
-  Rng rng{0};
+/// Everything one serving task needs for an epoch: which shard it belongs
+/// to, its contiguous slice of that shard's client list, its arrival
+/// quota, its own Rng stream and its latency histograms. Sub-batches
+/// never touch each other's context; the alignment keeps neighbouring
+/// contexts off the same cache line (the rng state is written on every
+/// query).
+struct alignas(64) SubBatchContext {
+  std::size_t shard = 0;
+  std::size_t client_begin = 0;  // offset into the shard's client list
+  std::size_t client_count = 0;
   std::size_t arrivals = 0;
+  Rng rng{0};
   LogHistogram route_hist;  // board latency of the served path (exact)
   LogHistogram wall_hist;   // per-query service time in us (wall clock)
 };
@@ -58,6 +63,10 @@ RouteServerResult RouteServer::run(const FlowVector& initial,
         "RouteServer::run: num_clients must fit RouteQuery::client "
         "(uint32)");
   }
+  if (options.sub_batch_queries == 0) {
+    throw std::invalid_argument(
+        "RouteServer::run: sub_batch_queries must be >= 1");
+  }
   if (!is_feasible(*instance_, initial.values(), 1e-7)) {
     throw std::invalid_argument("RouteServer::run: infeasible start");
   }
@@ -86,31 +95,35 @@ RouteServerResult RouteServer::run(const FlowVector& initial,
                        (s < options.num_clients % shards ? 1 : 0);
   }
 
-  std::vector<ShardContext> ctx(shards);
-  std::unique_ptr<ThreadPool> pool;
-  if (options.threads != 1) {
-    pool = std::make_unique<ThreadPool>(options.threads);
+  // The execution layer: borrowed from the caller (shared-pool mode, e.g.
+  // inside a sweep) or owned for this run.
+  std::unique_ptr<Executor> owned_executor;
+  Executor* exec = options.executor;
+  if (exec == nullptr) {
+    owned_executor = std::make_unique<Executor>(options.threads);
+    exec = owned_executor.get();
   }
 
-  const auto serve_shard = [&](std::size_t s) {
-    ShardContext& shard = ctx[s];
-    const std::size_t population = shard_clients[s];
+  std::vector<SubBatchContext> ctx;  // grows to the per-epoch high-water
+  const auto serve_sub_batch = [&](std::size_t b) {
+    SubBatchContext& sub = ctx[b];
+    const std::size_t s = sub.shard;
     // The RCU read path: pin this epoch's board for the whole batch.
     const SnapshotPtr snap = store_.acquire();
     const BulletinBoard& board = snap->board();
-    for (std::size_t q = 0; q < shard.arrivals; ++q) {
+    for (std::size_t q = 0; q < sub.arrivals; ++q) {
       const bool timed = options.record_latency &&
                          q % options.latency_sample_every == 0;
       const Clock::time_point begin =
           timed ? Clock::now() : Clock::time_point{};
 
       const RouteQuery query{static_cast<std::uint32_t>(
-          s + shards * shard.rng.below(population))};
+          s + shards * (sub.client_begin + sub.rng.below(sub.client_count)))};
       const CommodityId c = clients.commodity_of(query.client);
       const Commodity& commodity = instance_->commodity(c);
 
       // Step (1): sample a candidate from the precomputed CDF.
-      const std::size_t sampled = sample_from_cdf(snap->cdf(c), shard.rng);
+      const std::size_t sampled = sample_from_cdf(snap->cdf(c), sub.rng);
 
       // Step (2): migrate with probability mu(l_P, l_Q).
       const std::size_t current = clients.local_path(query.client);
@@ -123,24 +136,24 @@ RouteServerResult RouteServer::run(const FlowVector& initial,
             board.path_latency()[commodity.paths[sampled].index()];
         const double mu =
             policy_->migration().probability(l_current, l_sampled);
-        if (shard.rng.bernoulli(mu)) {
+        if (sub.rng.bernoulli(mu)) {
           migrated = true;
           served_path = sampled;
           const double moved = clients.flow_of(query.client);
-          ledger.add(s, commodity.paths[current].index(), -moved);
-          ledger.add(s, commodity.paths[sampled].index(), +moved);
+          ledger.add(b, commodity.paths[current].index(), -moved);
+          ledger.add(b, commodity.paths[sampled].index(), +moved);
           clients.reassign(query.client, sampled);
         }
       }
-      ledger.count_query(s, migrated);
+      ledger.count_query(b, migrated);
 
       // The latency this query's client experiences on the board it was
       // routed against — a deterministic board value, not wall clock.
-      shard.route_hist.record(
+      sub.route_hist.record(
           board.path_latency()[commodity.paths[served_path].index()]);
 
       if (timed) {
-        shard.wall_hist.record(1e6 * seconds_between(begin, Clock::now()));
+        sub.wall_hist.record(1e6 * seconds_between(begin, Clock::now()));
       }
     }
   };
@@ -154,80 +167,132 @@ RouteServerResult RouteServer::run(const FlowVector& initial,
   const Clock::time_point run_begin = Clock::now();
   for (std::uint64_t e = 0; e < options.epochs; ++e) {
     // Derive this epoch's streams in canonical order: one for the
-    // workload, then one per shard. Depends only on (seed, e, s).
+    // workload, then one per sub-batch in (shard, sub-batch) order.
+    // Depends only on (seed, e) and the batch sizes — never on threads.
     Rng epoch_rng = master.split();
     Rng arrivals_rng = epoch_rng.split();
-    const std::size_t total = workload_->arrivals(
-        e, static_cast<double>(e) * T, T, arrivals_rng);
-    for (std::size_t s = 0; s < shards; ++s) {
-      ctx[s].rng = epoch_rng.split();
-      ctx[s].arrivals = total / shards + (s < total % shards ? 1 : 0);
-      ctx[s].route_hist.reset();
-      ctx[s].wall_hist.reset();
+    LoadFeedback feedback;
+    if (!result.epochs.empty()) {
+      feedback.has_previous = true;
+      feedback.route_p50 = result.epochs.back().route_p50;
     }
+    const std::size_t total = workload_->arrivals(
+        e, static_cast<double>(e) * T, T, feedback, arrivals_rng);
+
+    // The deterministic sub-batch plan: a shard whose batch exceeds the
+    // target splits into balanced sub-batches over disjoint client
+    // slices. One sub-batch per shard minimum keeps the stream layout
+    // aligned with the unsplit (PR-2/PR-3) dynamics when nothing splits.
+    std::size_t planned = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::size_t batch = total / shards + (s < total % shards ? 1 : 0);
+      const std::size_t pieces = sub_batch_count(
+          batch, options.sub_batch_queries, shard_clients[s]);
+      if (ctx.size() < planned + pieces) ctx.resize(planned + pieces);
+      for (std::size_t piece = 0; piece < pieces; ++piece) {
+        SubBatchContext& sub = ctx[planned + piece];
+        const SubRange slice = sub_range(shard_clients[s], pieces, piece);
+        sub.shard = s;
+        sub.client_begin = slice.begin;
+        sub.client_count = slice.count;
+        sub.arrivals = sub_range(batch, pieces, piece).count;
+        sub.rng = epoch_rng.split();
+        sub.route_hist.reset();
+        sub.wall_hist.reset();
+      }
+      planned += pieces;
+    }
+    const std::size_t batches = planned;
+    ledger.ensure_slots(batches);
+
+    // The epoch task graph: serve -> fold -> {next snapshot build,
+    // telemetry summary}. The snapshot's board post and per-commodity CDF
+    // nodes overlap the summary tail; everything after fold reads the
+    // folded flow, nothing writes shared state concurrently.
+    const SnapshotPtr served = store_.acquire();
+    FlowLedger::Totals totals;
+    std::shared_ptr<BoardSnapshot> next;
+    EpochSummary summary;
+
+    TaskGraph graph;
+    std::vector<TaskGraph::NodeId> serve_nodes;
+    serve_nodes.reserve(batches);
+    for (std::size_t b = 0; b < batches; ++b) {
+      serve_nodes.push_back(graph.add([&serve_sub_batch, b] {
+        serve_sub_batch(b);
+      }));
+    }
+    const TaskGraph::NodeId fold = graph.add(
+        [&] { totals = ledger.fold_into(flow, batches); },
+        std::span<const TaskGraph::NodeId>(serve_nodes));
+    const TaskGraph::NodeId post = graph.add(
+        [&] {
+          next = std::make_shared<BoardSnapshot>(
+              BoardSnapshot::DeferCdf{}, *instance_, *policy_, e + 1,
+              static_cast<double>(e + 1) * T, flow);
+        },
+        {fold});
+    for (std::size_t c = 0; c < instance_->commodity_count(); ++c) {
+      graph.add([&next, c] { next->build_cdf(CommodityId{c}); }, {post});
+    }
+    graph.add(
+        [&] {
+          summary.epoch = e;
+          summary.start_time = static_cast<double>(e) * T;
+          summary.end_time = static_cast<double>(e + 1) * T;
+          summary.queries = totals.queries;
+          summary.migrations = totals.migrations;
+          summary.migration_rate =
+              totals.queries > 0 ? static_cast<double>(totals.migrations) /
+                                       static_cast<double>(totals.queries)
+                                 : 0.0;
+          summary.wardrop_gap = wardrop_gap(*instance_, flow);
+          double board_latency = 0.0;
+          double board_volume = 0.0;
+          for (std::size_t p = 0; p < instance_->path_count(); ++p) {
+            board_latency += served->board().path_flow()[p] *
+                             served->board().path_latency()[p];
+            board_volume += served->board().path_flow()[p];
+          }
+          summary.board_latency =
+              board_volume > 0.0 ? board_latency / board_volume : 0.0;
+
+          // Merge per-sub-batch histograms in plan order (the canonical
+          // order the determinism contract fixes) into this epoch's
+          // distribution.
+          epoch_route.reset();
+          for (std::size_t b = 0; b < batches; ++b) {
+            epoch_route.merge(ctx[b].route_hist);
+          }
+          if (!epoch_route.empty()) {
+            summary.route_p50 = epoch_route.quantile(0.5);
+            summary.route_p99 = epoch_route.quantile(0.99);
+            summary.route_p999 = epoch_route.quantile(0.999);
+          }
+          if (options.record_latency) {
+            epoch_wall.reset();
+            for (std::size_t b = 0; b < batches; ++b) {
+              epoch_wall.merge(ctx[b].wall_hist);
+            }
+            if (!epoch_wall.empty()) {
+              summary.p50_us = epoch_wall.quantile(0.5);
+              summary.p99_us = epoch_wall.quantile(0.99);
+              summary.p999_us = epoch_wall.quantile(0.999);
+            }
+          }
+        },
+        {fold});
 
     const Clock::time_point epoch_begin = Clock::now();
-    if (pool == nullptr) {
-      for (std::size_t s = 0; s < shards; ++s) serve_shard(s);
-    } else {
-      for (std::size_t s = 0; s < shards; ++s) {
-        pool->submit([&serve_shard, s] { serve_shard(s); });
-      }
-      pool->wait_idle();
-    }
+    exec->run(graph);
     const double epoch_seconds =
         seconds_between(epoch_begin, Clock::now());
 
-    // Phase boundary: fold served traffic into the master flow and
-    // publish the next board from it.
-    const SnapshotPtr served = store_.acquire();
-    const FlowLedger::Totals totals = ledger.fold_into(flow);
-
-    EpochSummary summary;
-    summary.epoch = e;
-    summary.start_time = static_cast<double>(e) * T;
-    summary.end_time = static_cast<double>(e + 1) * T;
-    summary.queries = totals.queries;
-    summary.migrations = totals.migrations;
-    summary.migration_rate =
-        totals.queries > 0 ? static_cast<double>(totals.migrations) /
-                                 static_cast<double>(totals.queries)
-                           : 0.0;
-    summary.wardrop_gap = wardrop_gap(*instance_, flow);
-    double board_latency = 0.0;
-    double board_volume = 0.0;
-    for (std::size_t p = 0; p < instance_->path_count(); ++p) {
-      board_latency +=
-          served->board().path_flow()[p] * served->board().path_latency()[p];
-      board_volume += served->board().path_flow()[p];
-    }
-    summary.board_latency =
-        board_volume > 0.0 ? board_latency / board_volume : 0.0;
-
-    // Merge per-shard histograms in shard order (the canonical order the
-    // determinism contract fixes) into this epoch's distribution, then
-    // fold the epoch into the run-level distribution.
-    epoch_route.reset();
-    for (const ShardContext& shard : ctx) {
-      epoch_route.merge(shard.route_hist);
-    }
-    if (!epoch_route.empty()) {
-      summary.route_p50 = epoch_route.quantile(0.5);
-      summary.route_p99 = epoch_route.quantile(0.99);
-      summary.route_p999 = epoch_route.quantile(0.999);
-    }
+    // Phase boundary: the folded flow is published as the next board; the
+    // fold tail (summary) and the snapshot build already ran inside the
+    // graph.
     result.route_latency.merge(epoch_route);
-
     if (options.record_latency) {
-      epoch_wall.reset();
-      for (const ShardContext& shard : ctx) {
-        epoch_wall.merge(shard.wall_hist);
-      }
-      if (!epoch_wall.empty()) {
-        summary.p50_us = epoch_wall.quantile(0.5);
-        summary.p99_us = epoch_wall.quantile(0.99);
-        summary.p999_us = epoch_wall.quantile(0.999);
-      }
       result.wall_latency_us.merge(epoch_wall);
       summary.queries_per_second =
           epoch_seconds > 0.0
@@ -240,8 +305,7 @@ RouteServerResult RouteServer::run(const FlowVector& initial,
     result.epochs.push_back(summary);
     if (observer) observer(summary);
 
-    store_.publish(std::make_shared<BoardSnapshot>(
-        *instance_, *policy_, e + 1, static_cast<double>(e + 1) * T, flow));
+    store_.publish(std::move(next));
   }
 
   result.final_gap = result.epochs.back().wardrop_gap;

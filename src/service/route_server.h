@@ -12,12 +12,24 @@
 //
 // Determinism contract (mirrors the sweep engine): clients are
 // partitioned over a FIXED number of logical shards (client % shards);
-// each epoch derives one Rng per shard by walking shard order with
-// Rng::split(); queries of a shard are served sequentially from its own
-// stream; shards share no mutable state (the ledger is per-shard, clients
-// of distinct shards are disjoint); folding walks shard order. Every
-// dynamics outcome is therefore bit-identical for any worker-thread
-// count — only the wall-clock telemetry differs.
+// each epoch the execution layer pre-computes a deterministic sub-batch
+// plan — every shard's query batch splits into ceil(arrivals /
+// sub_batch_queries) sub-batches (clamped to the shard's client count),
+// each owning a contiguous slice of the shard's client list — and derives
+// one Rng per sub-batch by walking (shard, sub-batch) order with
+// Rng::split(). Split points depend only on batch sizes, NEVER on thread
+// count or scheduling; sub-batches share no mutable state (per-sub-batch
+// ledger slots, disjoint client slices); folding and histogram merging
+// walk the canonical plan order. Every dynamics outcome is therefore
+// bit-identical for any worker-thread count — only the wall-clock
+// telemetry differs. With the default sub_batch_queries, batches below
+// the split threshold reproduce the PR-2/PR-3 per-shard dynamics exactly.
+//
+// Epochs are pipelined as a task graph (src/exec/): serve nodes feed a
+// fold node, which feeds BOTH the next snapshot's build (board post, then
+// one CDF node per commodity) and the telemetry summary node, so the
+// snapshot build overlaps the summary tail instead of serializing after
+// it.
 #pragma once
 
 #include <cstddef>
@@ -34,6 +46,8 @@
 #include "util/log_histogram.h"
 
 namespace staleflow {
+
+class Executor;
 
 /// One routing request: client `client` asks which path to use next.
 struct RouteQuery {
@@ -55,8 +69,23 @@ struct RouteServerOptions {
   /// `threads`. Must satisfy 1 <= shards <= num_clients.
   std::size_t shards = 16;
 
-  /// Worker threads serving shards; 0 = hardware concurrency, 1 = inline.
+  /// Worker threads serving sub-batches; 0 = hardware concurrency, 1 =
+  /// inline. Ignored when `executor` is set.
   std::size_t threads = 1;
+
+  /// Borrowed execution layer to serve on (e.g. the sweep runner's, so a
+  /// kService sweep cell parallelizes on the shared pool instead of
+  /// spawning a nested one). nullptr = the server builds its own from
+  /// `threads`. Never owned; must outlive run().
+  Executor* executor = nullptr;
+
+  /// Maximum queries one serving task handles: a shard whose epoch batch
+  /// exceeds this splits into ceil(batch / sub_batch_queries) sub-batches
+  /// (clamped to the shard's client count). Part of the determinism
+  /// contract — the split depends on this value and the batch size only,
+  /// never on threads — so changing it changes the dynamics digest, like
+  /// changing `shards`. Must be >= 1.
+  std::size_t sub_batch_queries = 16384;
 
   std::uint64_t seed = 1;
 

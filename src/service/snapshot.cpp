@@ -2,15 +2,29 @@
 
 namespace staleflow {
 
+BoardSnapshot::BoardSnapshot(DeferCdf, const Instance& instance,
+                             const Policy& policy, std::uint64_t epoch,
+                             double now, std::span<const double> path_flow)
+    : instance_(&instance),
+      policy_(&policy),
+      epoch_(epoch),
+      board_(instance),
+      cdf_(instance.commodity_count()) {
+  board_.post(now, path_flow);
+}
+
 BoardSnapshot::BoardSnapshot(const Instance& instance, const Policy& policy,
                              std::uint64_t epoch, double now,
                              std::span<const double> path_flow)
-    : epoch_(epoch), board_(instance), cdf_(instance.commodity_count()) {
-  board_.post(now, path_flow);
+    : BoardSnapshot(DeferCdf{}, instance, policy, epoch, now, path_flow) {
   for (std::size_t c = 0; c < instance.commodity_count(); ++c) {
-    sampling_cdf(policy, instance, instance.commodity(CommodityId{c}),
-                 board_.path_flow(), board_.path_latency(), cdf_[c]);
+    build_cdf(CommodityId{c});
   }
+}
+
+void BoardSnapshot::build_cdf(CommodityId c) {
+  sampling_cdf(*policy_, *instance_, instance_->commodity(c),
+               board_.path_flow(), board_.path_latency(), cdf_[c.index()]);
 }
 
 }  // namespace staleflow

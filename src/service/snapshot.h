@@ -22,14 +22,31 @@
 namespace staleflow {
 
 /// One immutable, epoch-stamped board. Safe to read from any number of
-/// threads once constructed.
+/// threads once fully constructed (i.e. after every CDF is built).
 class BoardSnapshot {
  public:
+  /// Tag selecting the two-phase build used by the pipelined epoch loop.
+  struct DeferCdf {};
+
   /// Posts `path_flow` at time `now` and precomputes the sampling CDF of
   /// `policy` for every commodity.
   BoardSnapshot(const Instance& instance, const Policy& policy,
                 std::uint64_t epoch, double now,
                 std::span<const double> path_flow);
+
+  /// Two-phase build for the execution layer: posts the board and sizes
+  /// the CDF table but leaves every commodity's CDF empty. The owner must
+  /// call build_cdf() for every commodity before publishing — distinct
+  /// commodities may be built concurrently (they write disjoint rows),
+  /// which is how the epoch task graph parallelizes the snapshot build.
+  BoardSnapshot(DeferCdf, const Instance& instance, const Policy& policy,
+                std::uint64_t epoch, double now,
+                std::span<const double> path_flow);
+
+  /// Fills commodity `c`'s sampling CDF from the posted board. Safe to
+  /// call concurrently for distinct commodities; must not race readers
+  /// (call before the snapshot is published).
+  void build_cdf(CommodityId c);
 
   std::uint64_t epoch() const noexcept { return epoch_; }
   const BulletinBoard& board() const noexcept { return board_; }
@@ -41,6 +58,8 @@ class BoardSnapshot {
   }
 
  private:
+  const Instance* instance_;
+  const Policy* policy_;
   std::uint64_t epoch_;
   BulletinBoard board_;
   std::vector<std::vector<double>> cdf_;  // by commodity

@@ -15,7 +15,7 @@ class PoissonWorkload final : public WorkloadGenerator {
   explicit PoissonWorkload(double rate) : rate_(rate) {}
 
   std::size_t arrivals(std::uint64_t, double, double period,
-                       Rng& rng) const override {
+                       const LoadFeedback&, Rng& rng) const override {
     return poisson_draw(rate_ * period, rng);
   }
 
@@ -39,7 +39,7 @@ class BurstyWorkload final : public WorkloadGenerator {
         off_epochs_(off_epochs) {}
 
   std::size_t arrivals(std::uint64_t epoch, double, double period,
-                       Rng& rng) const override {
+                       const LoadFeedback&, Rng& rng) const override {
     const std::uint64_t cycle = epoch % (on_epochs_ + off_epochs_);
     const double rate = cycle < on_epochs_ ? rate_on_ : rate_off_;
     return poisson_draw(rate * period, rng);
@@ -65,7 +65,7 @@ class DiurnalWorkload final : public WorkloadGenerator {
       : base_(base_rate), amplitude_(amplitude), day_(day_length) {}
 
   std::size_t arrivals(std::uint64_t, double start, double period,
-                       Rng& rng) const override {
+                       const LoadFeedback&, Rng& rng) const override {
     // Rate at the epoch midpoint; epochs are short against a day.
     const double t = start + 0.5 * period;
     const double rate =
@@ -91,7 +91,8 @@ class ClosedLoopWorkload final : public WorkloadGenerator {
   explicit ClosedLoopWorkload(std::size_t queries_per_epoch)
       : queries_(queries_per_epoch) {}
 
-  std::size_t arrivals(std::uint64_t, double, double, Rng&) const override {
+  std::size_t arrivals(std::uint64_t, double, double, const LoadFeedback&,
+                       Rng&) const override {
     return queries_;
   }
 
@@ -105,12 +106,41 @@ class ClosedLoopWorkload final : public WorkloadGenerator {
   std::size_t queries_;
 };
 
+class ClosedLoopLatencyWorkload final : public WorkloadGenerator {
+ public:
+  ClosedLoopLatencyWorkload(std::size_t clients, double think_time)
+      : clients_(clients), think_(think_time) {}
+
+  std::size_t arrivals(std::uint64_t, double, double period,
+                       const LoadFeedback& feedback, Rng&) const override {
+    // One client cycle = think + the latency the service actually served
+    // last epoch; the fleet fits clients * period / cycle queries into
+    // the epoch. Deterministic: route_p50 is a board value, not wall
+    // clock, so the whole feedback loop replays bit-for-bit.
+    const double cycle =
+        think_ + (feedback.has_previous ? feedback.route_p50 : 0.0);
+    return static_cast<std::size_t>(static_cast<double>(clients_) * period /
+                                    cycle);
+  }
+
+  std::string name() const override {
+    std::ostringstream out;
+    out << "closed-loop-lat:" << clients_ << ',' << think_;
+    return out.str();
+  }
+
+ private:
+  std::size_t clients_;
+  double think_;
+};
+
 [[noreturn]] void bad_workload(const std::string& spec,
                                const std::string& why) {
   throw std::invalid_argument(
       "make_workload: " + why + " in '" + spec +
       "' (have: poisson:<rate>, bursty:<on>,<off>,<on_epochs>,<off_epochs>, "
-      "diurnal:<base>,<amplitude>,<day>, closed-loop:<n>)");
+      "diurnal:<base>,<amplitude>,<day>, closed-loop:<n>, "
+      "closed-loop-lat:<clients>,<think>)");
 }
 
 double integral_or_die(const std::string& spec, double value,
@@ -192,6 +222,16 @@ WorkloadPtr closed_loop_workload(std::size_t queries_per_epoch) {
   return std::make_unique<ClosedLoopWorkload>(queries_per_epoch);
 }
 
+WorkloadPtr closed_loop_latency_workload(std::size_t clients,
+                                         double think_time) {
+  if (!(think_time > 0.0)) {
+    throw std::invalid_argument(
+        "closed_loop_latency_workload: think_time must be > 0 (the first "
+        "epoch has no served latency to pace on)");
+  }
+  return std::make_unique<ClosedLoopLatencyWorkload>(clients, think_time);
+}
+
 WorkloadPtr make_workload(const std::string& spec) {
   const std::size_t colon = spec.find(':');
   const std::string head = spec.substr(0, colon);
@@ -222,6 +262,13 @@ WorkloadPtr make_workload(const std::string& spec) {
     if (p[0] < 0.0) bad_workload(spec, "negative count");
     integral_or_die(spec, p[0], "queries per epoch");
     return closed_loop_workload(static_cast<std::size_t>(p[0]));
+  }
+  if (head == "closed-loop-lat") {
+    const std::vector<double> p = parse_numbers(spec, tail, 2);
+    if (p[0] < 0.0) bad_workload(spec, "negative client count");
+    integral_or_die(spec, p[0], "clients");
+    if (!(p[1] > 0.0)) bad_workload(spec, "think time must be > 0");
+    return closed_loop_latency_workload(static_cast<std::size_t>(p[0]), p[1]);
   }
   bad_workload(spec, "unknown workload '" + head + "'");
 }

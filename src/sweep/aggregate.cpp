@@ -169,6 +169,29 @@ void write_summary_csv(const std::string& path,
   csv.close();
 }
 
+void write_hist_csv(const std::string& path, const SweepResult& result) {
+  CsvWriter csv(path, {"index", "scenario", "policy", "update_period",
+                       "replica", "workload", "shards", "bucket", "lower",
+                       "upper", "count", "cumulative"});
+  for (const CellResult& cell : result.cells) {
+    if (cell.latency.empty()) continue;
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < cell.latency.bucket_count(); ++b) {
+      const std::uint64_t count = cell.latency.bucket_value(b);
+      if (count == 0) continue;  // occupied buckets only: CDFs, not zeros
+      cumulative += count;
+      csv.add_row({fmt_int((long long)cell.cell.index), cell.cell.scenario,
+                   cell.cell.policy, fmt_exact(cell.cell.update_period),
+                   fmt_int((long long)cell.cell.replica), cell.cell.workload,
+                   fmt_int((long long)cell.cell.shards),
+                   fmt_int((long long)b), fmt_exact(cell.latency.bucket_lower(b)),
+                   fmt_exact(cell.latency.bucket_upper(b)),
+                   fmt_int((long long)count), fmt_int((long long)cumulative)});
+    }
+  }
+  csv.close();
+}
+
 std::uint64_t cells_digest(const SweepResult& result) {
   std::uint64_t h = fnv::kOffsetBasis;
   for (const CellResult& cell : result.cells) {

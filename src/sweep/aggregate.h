@@ -59,6 +59,15 @@ void write_cells_csv(const std::string& path, const SweepResult& result);
 void write_summary_csv(const std::string& path,
                        std::span<const GroupSummary> groups);
 
+/// Writes every occupied latency-histogram bucket of every service cell:
+/// one row per (cell, bucket) with the bucket bounds, its count and the
+/// cumulative count up to and including it — everything a notebook needs
+/// to draw the full latency CDF of each cell (not just three quantiles).
+/// Cells without latency data (non-service simulators, zero queries) are
+/// skipped. Deterministic: canonical cell order, exact bucket geometry,
+/// round-trip number formatting.
+void write_hist_csv(const std::string& path, const SweepResult& result);
+
 /// FNV-1a digest over every cell's deterministic outcome (strings as
 /// bytes, doubles as bit patterns — not their decimal rendering).
 /// Thread-count independent by the sweep determinism contract; golden

@@ -15,9 +15,9 @@
 #include "equilibrium/metrics.h"
 #include "equilibrium/potential.h"
 #include "net/flow.h"
+#include "exec/executor.h"
 #include "service/route_server.h"
 #include "service/workload.h"
-#include "util/thread_pool.h"
 
 namespace staleflow {
 namespace {
@@ -134,7 +134,8 @@ void run_agent(const Instance& instance, const Policy& policy,
 }
 
 void run_service(const Instance& instance, const Policy& policy,
-                 const ExperimentSpec& spec, Rng& sim_rng, CellResult& out) {
+                 const ExperimentSpec& spec, Rng& sim_rng,
+                 Executor& executor, CellResult& out) {
   const WorkloadPtr workload = make_workload(out.cell.workload);
 
   RouteServerOptions options;
@@ -143,10 +144,12 @@ void run_service(const Instance& instance, const Policy& policy,
       std::max(1.0, std::round(spec.horizon / out.cell.update_period)));
   options.num_clients = spec.num_clients;
   options.shards = out.cell.shards;
-  // One worker per cell: the sweep's thread pool is the parallelism, and
-  // the service determinism contract makes the outcome independent of the
-  // in-cell thread count anyway.
-  options.threads = 1;
+  // The cell serves on the sweep's own executor: in-cell sub-batch and
+  // snapshot-build tasks interleave with other cells on the one shared
+  // pool (no nested pools, no oversubscription), and the service
+  // determinism contract keeps the outcome independent of who runs what.
+  options.executor = &executor;
+  options.sub_batch_queries = spec.sub_batch_queries;
   options.seed = sim_rng();
   options.record_latency = false;  // replay mode: fully deterministic
 
@@ -180,7 +183,8 @@ void run_service(const Instance& instance, const Policy& policy,
 }
 
 CellResult run_cell(const Scenario& scenario, const PolicySpec& policy_spec,
-                    const ExperimentSpec& spec, CellSpec cell, Rng rng) {
+                    const ExperimentSpec& spec, Executor& executor,
+                    CellSpec cell, Rng rng) {
   CellResult out;
   out.cell = std::move(cell);
   try {
@@ -207,7 +211,7 @@ CellResult run_cell(const Scenario& scenario, const PolicySpec& policy_spec,
         run_agent(instance, policy, spec, sim_rng, out);
         break;
       case SimulatorKind::kService:
-        run_service(instance, policy, spec, sim_rng, out);
+        run_service(instance, policy, spec, sim_rng, executor, out);
         break;
     }
   } catch (const std::exception& e) {
@@ -225,6 +229,12 @@ SweepRunner::SweepRunner(ScenarioRegistry registry)
     : registry_(std::move(registry)) {}
 
 SweepResult SweepRunner::run(const ExperimentSpec& spec, std::size_t threads,
+                             const SweepProgress& progress) const {
+  Executor executor(threads);
+  return run(spec, executor, progress);
+}
+
+SweepResult SweepRunner::run(const ExperimentSpec& spec, Executor& executor,
                              const SweepProgress& progress) const {
   const std::vector<CellSpec> cells = expand(spec, registry_);
 
@@ -251,11 +261,11 @@ SweepResult SweepRunner::run(const ExperimentSpec& spec, std::size_t threads,
   std::mutex progress_mutex;
 
   const auto start = std::chrono::steady_clock::now();
-  parallel_for(cells.size(), threads, [&](std::size_t i) {
+  executor.parallel_for(cells.size(), [&](std::size_t i) {
     const CellSpec& cell = cells[i];
     result.cells[i] = run_cell(registry_.at(cell.scenario),
-                               *policies.at(cell.policy), spec, cell,
-                               streams[i]);
+                               *policies.at(cell.policy), spec, executor,
+                               cell, streams[i]);
     if (progress) {
       // Count under the same lock as the callback so completion counts
       // arrive in order (the final (total, total) call really is last).

@@ -1,12 +1,15 @@
-// The sweep executor: expands an ExperimentSpec and runs its cells on a
-// thread pool.
+// The sweep executor: expands an ExperimentSpec and runs its cells on the
+// shared execution layer (src/exec/).
 //
 // Determinism contract: every cell gets its own Rng stream, derived by
 // walking the canonical cell order with Rng::split() *before* any cell is
 // dispatched. Cells share nothing mutable (the simulators are const and
 // keep all run state local), so the result vector is bit-identical for any
 // thread count — `sweep --threads 1` and `--threads 64` produce the same
-// CSV byte for byte.
+// CSV byte for byte. kService cells hand the sweep's own Executor down to
+// their RouteServer, so in-cell parallelism (sub-batch serving, pipelined
+// snapshot builds) runs on the same pool as the cell grid instead of
+// spawning nested pools — one pool, no oversubscription, same bits.
 #pragma once
 
 #include <cstddef>
@@ -14,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/executor.h"
 #include "sweep/scenario.h"
 #include "sweep/spec.h"
 #include "util/log_histogram.h"
@@ -88,6 +92,12 @@ class SweepRunner {
   /// recorded as ok = false rather than aborting the sweep. Throws on an
   /// invalid spec (see expand()).
   SweepResult run(const ExperimentSpec& spec, std::size_t threads = 1,
+                  const SweepProgress& progress = nullptr) const;
+
+  /// Same, on a caller-owned Executor — the shared-pool form: cells run
+  /// as executor tasks, and kService cells reuse the same executor for
+  /// their in-cell parallelism.
+  SweepResult run(const ExperimentSpec& spec, Executor& executor,
                   const SweepProgress& progress = nullptr) const;
 
  private:

@@ -218,6 +218,11 @@ std::vector<CellSpec> expand(const ExperimentSpec& spec,
     if (spec.num_clients == 0) {
       throw std::invalid_argument("expand: num_clients must be >= 1");
     }
+    if (spec.sub_batch_queries == 0) {
+      throw std::invalid_argument(
+          "expand: sub_batch_queries must be >= 1 (it is a dynamics "
+          "parameter, not a parallelism knob)");
+    }
   }
 
   // The service axes collapse to a single sentinel iteration for the

@@ -80,12 +80,17 @@ struct ExperimentSpec {
   // rejects them under any other simulator so a mis-addressed axis fails
   // loudly instead of being silently ignored). Each cell serves
   // max(1, round(horizon / T)) epochs of its workload over `shard_counts`
-  // logical shards, single-threaded within the cell — the sweep's own
-  // thread pool supplies the parallelism, and shard outcomes are
-  // thread-count independent by the service determinism contract anyway.
+  // logical shards on the sweep's shared Executor — in-cell sub-batch and
+  // snapshot-build tasks interleave with other cells on the one pool, and
+  // cell outcomes are thread-count independent by the service determinism
+  // contract.
   std::vector<std::string> workloads;     // make_workload() specs (axis)
   std::vector<std::size_t> shard_counts;  // logical shards (axis, all > 0)
   std::size_t num_clients = 2'000;        // virtual client fleet per cell
+  // Serving sub-batch split threshold handed to every cell's RouteServer
+  // (see RouteServerOptions::sub_batch_queries). Part of the dynamics
+  // configuration, like shard_counts — not a parallelism knob.
+  std::size_t sub_batch_queries = 16'384;
 };
 
 /// One executable cell of the sweep grid.

@@ -1,9 +1,21 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <stdexcept>
 #include <utility>
 
 namespace staleflow {
+
+/// Shared state of one batch: how many of its tasks are still queued or
+/// running, and the first exception any of them raised. Guarded by the
+/// pool mutex (tokens are cheap; a dedicated mutex per token would buy
+/// nothing — every transition already happens under the pool lock).
+class ThreadPool::Completion {
+ public:
+  std::size_t pending = 0;
+  std::exception_ptr error;
+};
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -22,14 +34,73 @@ ThreadPool::~ThreadPool() {
   }
   work_available_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  if (first_error_) {
+    // The error was never collected by wait_idle(); swallowing it here
+    // would hide a real failure behind a clean exit.
+    try {
+      std::rethrow_exception(first_error_);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "ThreadPool: task failed with uncollected exception: %s\n",
+                   e.what());
+    } catch (...) {
+      std::fprintf(stderr,
+                   "ThreadPool: task failed with uncollected exception\n");
+    }
+    std::terminate();
+  }
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+ThreadPool::CompletionToken ThreadPool::make_token() {
+  return std::make_shared<Completion>();
+}
+
+void ThreadPool::submit(std::function<void()> task,
+                        const CompletionToken& token) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    if (token) ++token->pending;
+    queue_.push_back(Entry{std::move(task), token});
   }
-  work_available_.notify_one();
+  work_available_.notify_all();
+}
+
+void ThreadPool::wait(const CompletionToken& token) {
+  if (token == nullptr) {
+    throw std::invalid_argument("ThreadPool::wait: null completion token");
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (token->pending == 0) break;
+    // Help with our own batch first: pop the oldest queued task of this
+    // token and run it here. Tasks of other tokens are left to the
+    // workers (and to their own waiters) — running an arbitrary task
+    // while it may itself block on us is how nested pools deadlock.
+    auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Entry& e) {
+      return e.token == token;
+    });
+    if (it != queue_.end()) {
+      Entry entry = std::move(*it);
+      queue_.erase(it);
+      ++active_;
+      lock.unlock();
+      run_entry(std::move(entry));
+      lock.lock();
+      continue;
+    }
+    // Nothing of ours queued: the rest of the batch is running on other
+    // threads. Sleep until a completion (or new work of ours) shows up.
+    work_available_.wait(lock, [&] {
+      return token->pending == 0 ||
+             std::any_of(queue_.begin(), queue_.end(),
+                         [&](const Entry& e) { return e.token == token; });
+    });
+  }
+  if (token->error) {
+    const std::exception_ptr error = std::exchange(token->error, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::wait_idle() {
@@ -42,29 +113,47 @@ void ThreadPool::wait_idle() {
   }
 }
 
+void ThreadPool::run_entry(Entry entry) {
+  std::exception_ptr error;
+  try {
+    entry.task();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  finish(entry.token, error);
+}
+
+void ThreadPool::finish(const CompletionToken& token,
+                        std::exception_ptr error) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    --active_;
+    if (token) {
+      if (error && !token->error) token->error = error;
+      --token->pending;
+    } else if (error && !first_error_) {
+      first_error_ = error;
+    }
+    if (queue_.empty() && active_ == 0) idle_.notify_all();
+  }
+  // Completions wake both idle workers and helping waiters; the predicate
+  // re-check keeps the broadcast cheap to tolerate.
+  work_available_.notify_all();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Entry entry;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(lock,
                            [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
+      entry = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
     }
-    try {
-      task();
-    } catch (...) {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
-    }
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      --active_;
-      if (queue_.empty() && active_ == 0) idle_.notify_all();
-    }
+    run_entry(std::move(entry));
   }
 }
 
@@ -78,10 +167,11 @@ void parallel_for(std::size_t count, std::size_t threads,
     return;
   }
   ThreadPool pool(std::min(threads, count == 0 ? std::size_t{1} : count));
+  const ThreadPool::CompletionToken token = pool.make_token();
   for (std::size_t i = 0; i < count; ++i) {
-    pool.submit([&fn, i] { fn(i); });
+    pool.submit([&fn, i] { fn(i); }, token);
   }
-  pool.wait_idle();
+  pool.wait(token);
 }
 
 }  // namespace staleflow

@@ -1,11 +1,19 @@
-// A fixed-size worker pool with a FIFO work queue.
+// A fixed-size worker pool with a FIFO work queue and completion tokens.
 //
-// The sweep engine executes thousands of independent simulation cells; this
-// pool is the single place multi-threading lives so everything above it
-// (sweep runner, benches, tools) stays free of raw thread management.
-// Determinism discipline: tasks must never share mutable state and must not
-// draw from a shared RNG — anything random is derived *before* submission
-// (see SweepRunner), so results are independent of scheduling order.
+// This pool is the single place multi-threading lives: the execution layer
+// (src/exec/) builds its Executor/TaskGraph on top of it, and everything
+// above that (sweep runner, route server, benches, tools) stays free of
+// raw thread management. Determinism discipline: tasks must never share
+// mutable state and must not draw from a shared RNG — anything random is
+// derived *before* submission (see SweepRunner / RouteServer), so results
+// are independent of scheduling order.
+//
+// Completion tokens group tasks so a caller can wait for its own batch
+// instead of whole-pool idleness. wait(token) *helps*: while the token is
+// pending, the waiting thread drains queued tasks of that token itself.
+// That makes nested submission safe — a task running on a worker may
+// submit sub-tasks to the same pool and wait for them without deadlock,
+// which is how sweep cells use inner parallelism on the shared pool.
 #pragma once
 
 #include <condition_variable>
@@ -13,6 +21,7 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -21,16 +30,27 @@ namespace staleflow {
 
 /// Fixed pool of worker threads draining a FIFO queue of tasks.
 ///
-/// submit() is thread-safe. If a task throws, the first exception is
-/// captured and rethrown from wait_idle() (or swallowed by the destructor
-/// if wait_idle() is never called); subsequent tasks still run.
+/// submit() is thread-safe. Errors follow two contracts:
+///  - token-tracked tasks: the first exception of the batch is captured in
+///    the token and rethrown from wait(token);
+///  - untracked tasks: the first exception is captured and rethrown from
+///    wait_idle(). If it is never consumed, the destructor does NOT
+///    swallow it: it reports the error on stderr and terminates — losing
+///    a task failure silently is never an acceptable outcome.
 class ThreadPool {
  public:
+  /// Completion state of one batch of tasks. Opaque: create with
+  /// make_token(), pass to submit(), settle with wait().
+  class Completion;
+  using CompletionToken = std::shared_ptr<Completion>;
+
   /// Spawns `threads` workers; 0 picks std::thread::hardware_concurrency()
   /// (at least 1).
   explicit ThreadPool(std::size_t threads = 0);
 
-  /// Drains the queue, then joins all workers.
+  /// Drains the queue, then joins all workers. Terminates (after printing
+  /// the message) if an untracked task failed and wait_idle() never
+  /// collected the exception.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -38,19 +58,39 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
+  /// A fresh, empty completion token.
+  CompletionToken make_token();
+
   /// Enqueues a task. Tasks are picked up FIFO by whichever worker frees
-  /// up first; completion order is unspecified.
-  void submit(std::function<void()> task);
+  /// up first; completion order is unspecified. A non-null `token` ties
+  /// the task to that batch for wait().
+  void submit(std::function<void()> task,
+              const CompletionToken& token = nullptr);
+
+  /// Blocks until every task submitted under `token` has finished, then
+  /// rethrows the first exception any of them raised. While waiting, runs
+  /// queued tasks of the same token on the calling thread (safe to call
+  /// from inside a pool task — the nested batch drains without consuming
+  /// an extra worker).
+  void wait(const CompletionToken& token);
 
   /// Blocks until the queue is empty and every worker is idle, then
-  /// rethrows the first exception any task raised since the last call.
+  /// rethrows the first exception any untracked task raised since the
+  /// last call.
   void wait_idle();
 
  private:
+  struct Entry {
+    std::function<void()> task;
+    CompletionToken token;
+  };
+
   void worker_loop();
+  void run_entry(Entry entry);
+  void finish(const CompletionToken& token, std::exception_ptr error);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Entry> queue_;
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;

@@ -1,0 +1,313 @@
+// Tests for the deterministic execution layer (src/exec/) and the
+// completion-token ThreadPool underneath it: sub-batch splitting
+// arithmetic, task-graph dependency order, exception propagation, nested
+// submission on a shared pool, the destructor's no-silent-swallow
+// contract, and the end-to-end property the layer exists for — route
+// service dynamics that are byte-identical across 1/2/8 worker threads
+// with sub-batch splitting and epoch pipelining forced on.
+//
+// Runs under `ctest -L exec` in the sanitizer CI job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "net/generators.h"
+#include "service/service.h"
+#include "sweep/sweep.h"
+#include "exec/exec.h"
+#include "util/thread_pool.h"
+
+namespace staleflow {
+namespace {
+
+// ----------------------------------------------------------- splitting
+
+TEST(SubBatchSplit, CountDependsOnBatchSizeOnly) {
+  // target 0 = never split; small batches never split; ceil division
+  // above the target; clamped to max_chunks (one client per chunk floor).
+  EXPECT_EQ(sub_batch_count(0, 100, 8), 1u);
+  EXPECT_EQ(sub_batch_count(100, 100, 8), 1u);
+  EXPECT_EQ(sub_batch_count(101, 100, 8), 2u);
+  EXPECT_EQ(sub_batch_count(1000, 100, 8), 8u);  // clamped from 10
+  EXPECT_EQ(sub_batch_count(1000, 0, 8), 1u);
+  EXPECT_THROW(sub_batch_count(10, 4, 0), std::invalid_argument);
+}
+
+TEST(SubBatchSplit, RangesPartitionExactlyAndBalanced) {
+  for (const std::size_t total : {0u, 1u, 7u, 64u, 1000u}) {
+    for (const std::size_t chunks : {1u, 2u, 3u, 7u, 16u}) {
+      std::size_t covered = 0;
+      std::size_t smallest = total + 1;
+      std::size_t largest = 0;
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const SubRange range = sub_range(total, chunks, c);
+        EXPECT_EQ(range.begin, covered) << total << "/" << chunks;
+        covered += range.count;
+        smallest = std::min(smallest, range.count);
+        largest = std::max(largest, range.count);
+      }
+      EXPECT_EQ(covered, total);
+      EXPECT_LE(largest - smallest, 1u) << total << "/" << chunks;
+    }
+  }
+  EXPECT_THROW(sub_range(10, 0, 0), std::invalid_argument);
+  EXPECT_THROW(sub_range(10, 2, 2), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- TaskGraph
+
+TEST(TaskGraph, RejectsNullTasksAndForwardDependencies) {
+  TaskGraph graph;
+  EXPECT_THROW(graph.add(nullptr), std::invalid_argument);
+  const TaskGraph::NodeId first = graph.add([] {});
+  EXPECT_THROW(graph.add([] {}, {first + 1}), std::invalid_argument);
+  EXPECT_THROW(graph.add([] {}, {first + 7}), std::invalid_argument);
+}
+
+TEST(TaskGraph, DependenciesCompleteBeforeDependents) {
+  // A diamond lattice: layer k depends on two nodes of layer k-1. Every
+  // node asserts its dependencies' done flags, so any ordering violation
+  // fails deterministically — run wide to give the scheduler chances.
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    Executor executor(threads);
+    constexpr std::size_t kLayers = 6;
+    constexpr std::size_t kWidth = 8;
+    TaskGraph graph;
+    std::vector<std::vector<TaskGraph::NodeId>> ids(kLayers);
+    std::vector<std::atomic<bool>> done(kLayers * kWidth);
+    for (auto& flag : done) flag = false;
+    for (std::size_t layer = 0; layer < kLayers; ++layer) {
+      for (std::size_t i = 0; i < kWidth; ++i) {
+        const auto fn = [&done, layer, i] {
+          if (layer > 0) {
+            const std::size_t left = (layer - 1) * kWidth + i;
+            const std::size_t right = (layer - 1) * kWidth + (i + 1) % kWidth;
+            ASSERT_TRUE(done[left].load());
+            ASSERT_TRUE(done[right].load());
+          }
+          done[layer * kWidth + i] = true;
+        };
+        if (layer == 0) {
+          ids[layer].push_back(graph.add(fn));
+        } else {
+          ids[layer].push_back(graph.add(
+              fn, {ids[layer - 1][i], ids[layer - 1][(i + 1) % kWidth]}));
+        }
+      }
+    }
+    executor.run(graph);
+    for (const auto& flag : done) EXPECT_TRUE(flag.load());
+  }
+}
+
+TEST(TaskGraph, ExceptionPropagatesAndSkipsDownstream) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    Executor executor(threads);
+    TaskGraph graph;
+    std::atomic<bool> downstream_ran{false};
+    const TaskGraph::NodeId boom =
+        graph.add([] { throw std::runtime_error("node exploded"); });
+    graph.add([&downstream_ran] { downstream_ran = true; }, {boom});
+    try {
+      executor.run(graph);
+      FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "node exploded");
+    }
+    EXPECT_FALSE(downstream_ran.load());
+  }
+}
+
+// ------------------------------------------------------------ Executor
+
+TEST(Executor, ParallelForCoversRangeAtAnyWidth) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{3},
+                                    std::size_t{8}}) {
+    Executor executor(threads);
+    EXPECT_EQ(executor.threads(), threads);
+    EXPECT_EQ(executor.inline_mode(), threads == 1);
+    std::vector<int> hits(257, 0);
+    executor.parallel_for(hits.size(),
+                          [&hits](std::size_t i) { hits[i] += 1; });
+    for (const int hit : hits) EXPECT_EQ(hit, 1);
+  }
+}
+
+TEST(Executor, ParallelForPropagatesExceptions) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    Executor executor(threads);
+    EXPECT_THROW(executor.parallel_for(16,
+                                       [](std::size_t i) {
+                                         if (i == 5) {
+                                           throw std::runtime_error("i=5");
+                                         }
+                                       }),
+                 std::runtime_error);
+  }
+}
+
+TEST(Executor, NestedParallelismSharesThePoolWithoutDeadlock) {
+  // Every outer task fans out an inner parallel_for on the SAME executor
+  // and waits for it — the sweep-cell-inside-the-sweep shape. With 2
+  // threads total this deadlocks unless waiters help drain their own
+  // batches.
+  Executor executor(2);
+  std::atomic<int> total{0};
+  executor.parallel_for(8, [&](std::size_t) {
+    executor.parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+// ---------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTokens, WaitSettlesOnlyItsOwnBatch) {
+  ThreadPool pool(2);
+  const ThreadPool::CompletionToken a = pool.make_token();
+  const ThreadPool::CompletionToken b = pool.make_token();
+  std::atomic<int> a_done{0};
+  std::atomic<int> b_done{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&a_done] { a_done.fetch_add(1); }, a);
+    pool.submit([&b_done] { b_done.fetch_add(1); }, b);
+  }
+  pool.wait(a);
+  EXPECT_EQ(a_done.load(), 16);
+  pool.wait(b);
+  EXPECT_EQ(b_done.load(), 16);
+  // An empty token settles immediately; a null token is a usage error.
+  pool.wait(pool.make_token());
+  EXPECT_THROW(pool.wait(nullptr), std::invalid_argument);
+}
+
+TEST(ThreadPoolTokens, BatchErrorsGoToTheBatchWaiter) {
+  ThreadPool pool(2);
+  const ThreadPool::CompletionToken token = pool.make_token();
+  pool.submit([] { throw std::runtime_error("batch boom"); }, token);
+  EXPECT_THROW(pool.wait(token), std::runtime_error);
+  // Consumed by the batch waiter: wait_idle has nothing to rethrow and
+  // the destructor has nothing to terminate over.
+  pool.wait_idle();
+}
+
+TEST(ThreadPoolTokens, NestedSubmissionDrainsOnOneWorker) {
+  // A task on the pool's only worker submits sub-tasks to the same pool
+  // and waits: helping must run them on the waiting thread.
+  ThreadPool pool(1);
+  const ThreadPool::CompletionToken outer = pool.make_token();
+  std::atomic<int> inner_done{0};
+  pool.submit(
+      [&pool, &inner_done] {
+        const ThreadPool::CompletionToken inner = pool.make_token();
+        for (int i = 0; i < 8; ++i) {
+          pool.submit([&inner_done] { inner_done.fetch_add(1); }, inner);
+        }
+        pool.wait(inner);
+      },
+      outer);
+  pool.wait(outer);
+  EXPECT_EQ(inner_done.load(), 8);
+}
+
+TEST(ThreadPoolDeathTest, DestructorTerminatesOnUncollectedException) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);
+        pool.submit([] { throw std::runtime_error("lost failure"); });
+        // No wait_idle(): the destructor must refuse to swallow it.
+      },
+      "uncollected exception.*lost failure");
+}
+
+// ------------------------------------------- end-to-end byte identity
+
+/// The property the execution layer exists for: with sub-batch splitting
+/// forced (tiny split threshold, skewed bursty load) and epochs
+/// pipelined, the route service dynamics are byte-identical across 1, 2
+/// and 8 worker threads.
+TEST(ExecDeterminism, RouteServerByteIdenticalUnderForcedSplits) {
+  const Instance instance = uniform_parallel_links(8, 0.5, 1.0);
+  const Policy policy = make_replicator_policy(instance);
+  const WorkloadPtr workload = make_workload("bursty:30000,2000,3,2");
+
+  RouteServerOptions options;
+  options.update_period = 0.1;
+  options.epochs = 15;
+  options.num_clients = 1000;
+  options.shards = 4;
+  options.sub_batch_queries = 128;  // force many sub-batches per shard
+  options.seed = 23;
+  options.record_latency = false;
+
+  std::vector<EpochSummary> reference;
+  std::vector<double> reference_flow;
+  LogHistogram reference_hist;
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    options.threads = threads;
+    RouteServer server(instance, policy, *workload);
+    const RouteServerResult result =
+        server.run(FlowVector::uniform(instance), options);
+    if (threads == 1) {
+      reference = result.epochs;
+      reference_flow.assign(result.final_flow.values().begin(),
+                            result.final_flow.values().end());
+      reference_hist = result.route_latency;
+      // The forced split actually split: more sub-batch streams than
+      // shards means the bursty peaks exceeded the threshold.
+      EXPECT_GT(result.total_queries, 4u * 128u);
+      continue;
+    }
+    EXPECT_EQ(telemetry_digest(result.epochs), telemetry_digest(reference))
+        << threads;
+    ASSERT_EQ(result.epochs.size(), reference.size());
+    for (std::size_t e = 0; e < reference.size(); ++e) {
+      EXPECT_EQ(result.epochs[e].queries, reference[e].queries);
+      EXPECT_EQ(result.epochs[e].migrations, reference[e].migrations);
+      EXPECT_EQ(result.epochs[e].wardrop_gap, reference[e].wardrop_gap);
+      EXPECT_EQ(result.epochs[e].route_p50, reference[e].route_p50);
+      EXPECT_EQ(result.epochs[e].route_p999, reference[e].route_p999);
+    }
+    for (std::size_t p = 0; p < reference_flow.size(); ++p) {
+      EXPECT_EQ(result.final_flow.values()[p], reference_flow[p]);
+    }
+    // Histogram equality is exact: same counts, extremes and sum.
+    EXPECT_TRUE(result.route_latency == reference_hist) << threads;
+  }
+}
+
+/// Same property one layer up: a service sweep whose cells parallelize
+/// internally on the shared executor (forced splits) stays bit-identical
+/// across sweep thread counts, digest included.
+TEST(ExecDeterminism, ServiceSweepSharedPoolByteIdentical) {
+  ExperimentSpec spec;
+  spec.simulator = SimulatorKind::kService;
+  spec.scenarios = {"braess"};
+  spec.policies = {named_policy("replicator")};
+  spec.update_periods = {0.1};
+  spec.workloads = {"bursty:20000,1000,2,2", "closed-loop:1500"};
+  spec.shard_counts = {1, 4};
+  spec.num_clients = 1500;
+  spec.sub_batch_queries = 200;  // in-cell parallelism on the shared pool
+  spec.replicas = 1;
+  spec.horizon = 1.5;
+
+  const SweepRunner runner;
+  const SweepResult one = runner.run(spec, 1);
+  const SweepResult four = runner.run(spec, 4);
+  ASSERT_EQ(one.cells.size(), four.cells.size());
+  for (std::size_t i = 0; i < one.cells.size(); ++i) {
+    ASSERT_TRUE(one.cells[i].ok) << one.cells[i].error;
+    EXPECT_EQ(one.cells[i].queries, four.cells[i].queries) << i;
+    EXPECT_EQ(one.cells[i].final_gap, four.cells[i].final_gap) << i;
+    EXPECT_TRUE(one.cells[i].latency == four.cells[i].latency) << i;
+  }
+  EXPECT_EQ(cells_digest(one), cells_digest(four));
+}
+
+}  // namespace
+}  // namespace staleflow

@@ -177,10 +177,11 @@ TEST(Workload, PoissonIsDeterministicWithMeanNearRate) {
   const WorkloadPtr workload = poisson_workload(1000.0);
   Rng rng_a(5);
   Rng rng_b(5);
+  const LoadFeedback none;
   double total = 0.0;
   for (std::uint64_t e = 0; e < 200; ++e) {
-    const std::size_t a = workload->arrivals(e, 0.0, 0.1, rng_a);
-    EXPECT_EQ(a, workload->arrivals(e, 0.0, 0.1, rng_b));
+    const std::size_t a = workload->arrivals(e, 0.0, 0.1, none, rng_a);
+    EXPECT_EQ(a, workload->arrivals(e, 0.0, 0.1, none, rng_b));
     total += static_cast<double>(a);
   }
   // Mean 100 per epoch; the average over 200 epochs concentrates.
@@ -203,8 +204,9 @@ TEST(Workload, PoissonDrawSmallAndLargeMeans) {
 TEST(Workload, BurstyAlternatesRates) {
   const WorkloadPtr workload = bursty_workload(10000.0, 0.0, 2, 3);
   Rng rng(1);
+  const LoadFeedback none;
   for (std::uint64_t e = 0; e < 10; ++e) {
-    const std::size_t n = workload->arrivals(e, 0.0, 1.0, rng);
+    const std::size_t n = workload->arrivals(e, 0.0, 1.0, none, rng);
     if (e % 5 < 2) {
       EXPECT_GT(n, 0u) << "epoch " << e;
     } else {
@@ -216,18 +218,39 @@ TEST(Workload, BurstyAlternatesRates) {
 TEST(Workload, DiurnalPeaksMidDay) {
   const WorkloadPtr workload = diurnal_workload(1000.0, 0.9, 4.0);
   Rng rng(3);
+  const LoadFeedback none;
   // Peak of sin at t = day/4 = 1.0; trough at t = 3.0.
-  const std::size_t peak = workload->arrivals(0, 0.95, 0.1, rng);
-  const std::size_t trough = workload->arrivals(0, 2.95, 0.1, rng);
+  const std::size_t peak = workload->arrivals(0, 0.95, 0.1, none, rng);
+  const std::size_t trough = workload->arrivals(0, 2.95, 0.1, none, rng);
   EXPECT_GT(peak, trough);
 }
 
 TEST(Workload, ClosedLoopIsConstant) {
   const WorkloadPtr workload = closed_loop_workload(123);
   Rng rng(1);
+  const LoadFeedback none;
   for (std::uint64_t e = 0; e < 5; ++e) {
-    EXPECT_EQ(workload->arrivals(e, 0.0, 0.1, rng), 123u);
+    EXPECT_EQ(workload->arrivals(e, 0.0, 0.1, none, rng), 123u);
   }
+}
+
+TEST(Workload, ClosedLoopLatencyShedsLoadUnderCongestion) {
+  // 1000 clients, base think time 0.5: the first epoch (no served
+  // latency yet) offers 1000 * 0.1 / 0.5 = 200 queries; a served median
+  // of 0.5 halves the rate; rising latency sheds further load. No rng
+  // draws — the feedback loop is fully deterministic.
+  const WorkloadPtr workload = closed_loop_latency_workload(1000, 0.5);
+  Rng rng(1);
+  LoadFeedback feedback;
+  EXPECT_EQ(workload->arrivals(0, 0.0, 0.1, feedback, rng), 200u);
+  feedback.has_previous = true;
+  feedback.route_p50 = 0.5;
+  EXPECT_EQ(workload->arrivals(1, 0.1, 0.1, feedback, rng), 100u);
+  feedback.route_p50 = 1.5;
+  EXPECT_EQ(workload->arrivals(2, 0.2, 0.1, feedback, rng), 50u);
+  EXPECT_EQ(workload->name(), "closed-loop-lat:1000,0.5");
+  EXPECT_THROW(closed_loop_latency_workload(1000, 0.0),
+               std::invalid_argument);
 }
 
 TEST(Workload, MakeWorkloadParsesAndRejects) {
@@ -236,11 +259,16 @@ TEST(Workload, MakeWorkloadParsesAndRejects) {
   EXPECT_EQ(make_workload("diurnal:100,0.5,24")->name(),
             "diurnal:100,0.5,24");
   EXPECT_EQ(make_workload("closed-loop:42")->name(), "closed-loop:42");
+  EXPECT_EQ(make_workload("closed-loop-lat:500,0.2")->name(),
+            "closed-loop-lat:500,0.2");
   EXPECT_THROW(make_workload("poison:500"), std::invalid_argument);
   EXPECT_THROW(make_workload("poisson"), std::invalid_argument);
   EXPECT_THROW(make_workload("poisson:-3"), std::invalid_argument);
   EXPECT_THROW(make_workload("bursty:1,2,3"), std::invalid_argument);
   EXPECT_THROW(make_workload("closed-loop:nope"), std::invalid_argument);
+  EXPECT_THROW(make_workload("closed-loop-lat:500"), std::invalid_argument);
+  EXPECT_THROW(make_workload("closed-loop-lat:500,0"),
+               std::invalid_argument);
 }
 
 // ---------------------------------------------------------------- RouteServer
@@ -288,6 +316,40 @@ TEST(RouteServer, RejectsBadOptionsAtTheServiceBoundary) {
   options = small_options();
   FlowVector infeasible(instance);  // all-zero: violates demands
   EXPECT_THROW(server.run(infeasible, options), std::invalid_argument);
+}
+
+TEST(RouteServer, LatencyFeedbackClosesTheLoopDeterministically) {
+  // The served p50 rises above zero immediately, so from epoch 1 on the
+  // latency-fed fleet offers strictly less than its uncongested rate —
+  // and the whole trajectory replays bit-for-bit.
+  const Instance instance = braess(true);
+  const Policy policy = make_replicator_policy(instance);
+  const WorkloadPtr workload = closed_loop_latency_workload(4000, 0.1);
+  RouteServerOptions options = small_options();
+  options.epochs = 10;
+
+  std::vector<std::size_t> reference;
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    RouteServer server(instance, policy, *workload);
+    const RouteServerResult result =
+        server.run(FlowVector::uniform(instance), options);
+    ASSERT_EQ(result.epochs.size(), 10u);
+    // Epoch 0 pays no latency: 4000 * 0.1 / 0.1 = 4000 queries.
+    EXPECT_EQ(result.epochs[0].queries, 4000u);
+    for (std::size_t e = 1; e < result.epochs.size(); ++e) {
+      EXPECT_LT(result.epochs[e].queries, 4000u) << e;
+      EXPECT_GT(result.epochs[e].queries, 0u) << e;
+    }
+    if (repeat == 0) {
+      for (const EpochSummary& epoch : result.epochs) {
+        reference.push_back(epoch.queries);
+      }
+    } else {
+      for (std::size_t e = 0; e < result.epochs.size(); ++e) {
+        EXPECT_EQ(result.epochs[e].queries, reference[e]) << e;
+      }
+    }
+  }
 }
 
 TEST(RouteServer, ServesEveryArrivalAndConservesFlow) {

@@ -536,6 +536,52 @@ TEST(SweepRunner, ServiceCellGoldenDigest) {
   EXPECT_EQ(cells_digest(result), 0xD6C593C767E90487ULL);
 }
 
+TEST(WriteHistCsv, DumpsCumulativeBucketCountsPerServiceCell) {
+  ExperimentSpec spec = service_spec();
+  spec.workloads = {"closed-loop:2000"};
+  spec.shard_counts = {4};
+  spec.replicas = 1;
+  spec.horizon = 1.0;  // 10 epochs -> 20000 queries
+  const SweepRunner runner;
+  const SweepResult result = runner.run(spec, 1);
+  ASSERT_EQ(result.cells.size(), 1u);
+  ASSERT_TRUE(result.cells[0].ok) << result.cells[0].error;
+
+  const std::string path = "sweep_test_hist.csv";
+  write_hist_csv(path, result);
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line,
+            "index,scenario,policy,update_period,replica,workload,shards,"
+            "bucket,lower,upper,count,cumulative");
+  // Every row is an occupied bucket of cell 0; counts sum to the cell's
+  // query total and the cumulative column is their running sum.
+  std::size_t rows = 0;
+  long long sum = 0;
+  long long last_cumulative = 0;
+  while (std::getline(in, line)) {
+    ++rows;
+    std::vector<std::string> fields;
+    std::istringstream split(line);
+    std::string field;
+    while (std::getline(split, field, ',')) fields.push_back(field);
+    ASSERT_EQ(fields.size(), 12u);
+    EXPECT_EQ(fields[0], "0");
+    const long long count = std::stoll(fields[10]);
+    EXPECT_GT(count, 0);  // occupied buckets only
+    sum += count;
+    last_cumulative = std::stoll(fields[11]);
+    EXPECT_EQ(last_cumulative, sum);
+    // The bucket bounds bracket a positive latency.
+    EXPECT_GT(std::stod(fields[9]), std::stod(fields[8]));
+  }
+  EXPECT_GT(rows, 1u);
+  EXPECT_EQ(static_cast<std::size_t>(last_cumulative),
+            result.cells[0].queries);
+  std::remove(path.c_str());
+}
+
 // -------------------------------------------------------------- aggregation
 
 TEST(Summarise, GroupsByScenarioAndPolicy) {

@@ -3,7 +3,8 @@
 // Usage:
 //   route_server_cli run [--scenario <name>] [--policy <spec>]
 //                        [--period <T>] [--epochs <n>] [--clients <n>]
-//                        [--workload <spec>] [--shards <k>] [--threads <k>]
+//                        [--workload <spec>] [--shards <k>]
+//                        [--sub-batch <q>] [--threads <k>]
 //                        [--seed <s>] [--deterministic] [--csv <path>]
 //                        [--report-every <n>] [--quiet]
 //   route_server_cli list
@@ -32,7 +33,8 @@ constexpr const char* kPolicyGrammar =
     "          naive | relative-slack[:<s>] | safe\n";
 constexpr const char* kWorkloadGrammar =
     "workloads: poisson:<rate> | bursty:<on>,<off>,<on_epochs>,<off_epochs>"
-    " |\n           diurnal:<base>,<amplitude>,<day> | closed-loop:<n>\n";
+    " |\n           diurnal:<base>,<amplitude>,<day> | closed-loop:<n> |\n"
+    "           closed-loop-lat:<clients>,<think>\n";
 
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
@@ -41,7 +43,7 @@ constexpr const char* kWorkloadGrammar =
       "  route_server_cli run [--scenario <name>] [--policy <spec>]\n"
       "                       [--period <T>] [--epochs <n>] [--clients <n>]\n"
       "                       [--workload <spec>] [--shards <k>]\n"
-      "                       [--threads <k>] [--seed <s>]\n"
+      "                       [--sub-batch <q>] [--threads <k>] [--seed <s>]\n"
       "                       [--deterministic] [--csv <path>]\n"
       "                       [--report-every <n>] [--quiet]\n"
       "  route_server_cli list\n"
@@ -85,6 +87,8 @@ int do_run(const std::map<std::string, std::string>& flags) {
       options.num_clients = cli::parse_count(value, "--clients");
     } else if (key == "shards") {
       options.shards = cli::parse_count(value, "--shards");
+    } else if (key == "sub-batch") {
+      options.sub_batch_queries = cli::parse_count(value, "--sub-batch");
     } else if (key == "threads") {
       options.threads = cli::parse_count(value, "--threads");
     } else if (key == "seed") {

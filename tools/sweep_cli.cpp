@@ -6,8 +6,9 @@
 //                 [--simulator fluid|round|agent|service] [--horizon <t>]
 //                 [--stop-gap <g>] [--agents <n>]
 //                 [--workloads w1,w2,...] [--shards 1,8,...]
-//                 [--clients <n>] [--threads <k>]
-//                 [--cells-csv <path>] [--summary-csv <path>] [--quiet]
+//                 [--clients <n>] [--sub-batch <q>] [--threads <k>]
+//                 [--cells-csv <path>] [--summary-csv <path>]
+//                 [--hist-out <path>] [--quiet]
 //   sweep_cli list
 //
 // `list` prints the scenario catalogue plus the policy and workload
@@ -42,7 +43,8 @@ constexpr const char* kPolicyGrammar =
 constexpr const char* kWorkloadGrammar =
     "workloads (service simulator): poisson:<rate> |"
     " bursty:<on>,<off>,<on_epochs>,<off_epochs> |\n"
-    "          diurnal:<base>,<amplitude>,<day> | closed-loop:<n>\n";
+    "          diurnal:<base>,<amplitude>,<day> | closed-loop:<n> |"
+    " closed-loop-lat:<clients>,<think>\n";
 
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
@@ -53,9 +55,9 @@ constexpr const char* kWorkloadGrammar =
       "                [--seed <s>] [--simulator fluid|round|agent|service]\n"
       "                [--horizon <t>] [--stop-gap <g>] [--agents <n>]\n"
       "                [--workloads w1,w2,...] [--shards 1,8,...]\n"
-      "                [--clients <n>] [--threads <k>]\n"
+      "                [--clients <n>] [--sub-batch <q>] [--threads <k>]\n"
       "                [--cells-csv <path>] [--summary-csv <path>]\n"
-      "                [--quiet]\n"
+      "                [--hist-out <path>] [--quiet]\n"
       "  sweep_cli list\n"
       << kPolicyGrammar << kWorkloadGrammar;
   std::exit(2);
@@ -82,7 +84,7 @@ int do_run(const std::map<std::string, std::string>& flags) {
   spec.replicas = 3;
 
   std::size_t threads = 1;
-  std::string cells_csv, summary_csv;
+  std::string cells_csv, summary_csv, hist_csv;
   bool quiet = false;
 
   for (const auto& [key, value] : flags) {
@@ -122,12 +124,16 @@ int do_run(const std::map<std::string, std::string>& flags) {
       }
     } else if (key == "clients") {
       spec.num_clients = cli::parse_count(value, "--clients");
+    } else if (key == "sub-batch") {
+      spec.sub_batch_queries = cli::parse_count(value, "--sub-batch");
     } else if (key == "threads") {
       threads = cli::parse_count(value, "--threads");
     } else if (key == "cells-csv") {
       cells_csv = value;
     } else if (key == "summary-csv") {
       summary_csv = value;
+    } else if (key == "hist-out") {
+      hist_csv = value;
     } else if (key == "quiet") {
       quiet = true;
     } else {
@@ -225,6 +231,10 @@ int do_run(const std::map<std::string, std::string>& flags) {
   if (!summary_csv.empty()) {
     write_summary_csv(summary_csv, groups);
     if (!quiet) std::cout << "wrote " << summary_csv << "\n";
+  }
+  if (!hist_csv.empty()) {
+    write_hist_csv(hist_csv, result);
+    if (!quiet) std::cout << "wrote " << hist_csv << "\n";
   }
   return errors == 0 ? 0 : 1;
 }
