@@ -1,0 +1,175 @@
+// bench_multi_tenant — co-tenancy scaling of the multi-tenant registry.
+//
+// Hosts fleets of identical closed-loop tenants (distinct seeds) on one
+// shared executor and measures, for every tenant count x thread count:
+// aggregate epochs/sec, aggregate queries/sec, wall seconds and the
+// worst per-tenant deterministic route p99 — the host's capacity table
+// for co-scheduled serving. Per-tenant digests are asserted identical
+// across thread counts (the isolation contract under load), and the
+// machine-readable BENCH_tenant.json perf-trajectory record (including
+// hardware_threads — scaling columns are only meaningful on multicore
+// hosts) is written for future PRs to diff against.
+//
+// Usage: bench_multi_tenant [max_threads] [json_path]
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "staleflow/staleflow.h"
+
+namespace staleflow {
+namespace {
+
+struct Point {
+  std::size_t tenants = 0;
+  std::size_t threads = 0;
+  std::size_t rounds = 0;
+  double wall_seconds = 0.0;
+  double epochs_per_sec = 0.0;
+  double qps = 0.0;
+  double worst_route_p99 = 0.0;  // deterministic, max over tenants
+};
+
+int run_main(int argc, char** argv) {
+  std::size_t max_threads = 8;
+  std::string json_path = "BENCH_tenant.json";
+  if (argc > 1) {
+    const int parsed = std::atoi(argv[1]);
+    if (parsed < 0 || parsed > 1024) {
+      std::cerr << "usage: bench_multi_tenant [max_threads 0..1024] "
+                   "[json_path]\n";
+      return 2;
+    }
+    max_threads = static_cast<std::size_t>(parsed);
+  }
+  if (argc > 2) json_path = argv[2];
+  if (max_threads == 0) {
+    max_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+
+  // Fixed per-tenant configuration: braess keeps the dynamics libm-free
+  // (digests platform-stable) and off-equilibrium (migrations happen).
+  const Instance instance = braess(true);
+  const Policy policy = make_replicator_policy(instance);
+  const WorkloadPtr workload = make_workload("closed-loop:20000");
+
+  RouteServerOptions base;
+  base.update_period = 0.05;
+  base.epochs = 12;
+  base.num_clients = 5'000;
+  base.shards = 8;
+  base.record_latency = false;  // the measured figures are wall-level
+
+  const std::vector<std::size_t> tenant_counts = {1, 2, 4, 8};
+
+  std::cout << "multi-tenant scaling: " << instance.describe() << "\n  "
+            << policy.name() << " x " << workload->name() << ", "
+            << base.epochs << " epochs, " << base.num_clients
+            << " clients, " << base.shards << " shards per tenant"
+            << " (hardware: " << std::thread::hardware_concurrency()
+            << " cores)\n\n";
+
+  Table table({"tenants", "threads", "rounds", "wall s", "epochs/s",
+               "Mq/s", "worst p99"});
+  std::vector<Point> points;
+
+  for (const std::size_t tenants : tenant_counts) {
+    // Per-tenant digests pinned at 1 thread, checked at every other
+    // thread count: co-tenancy scaling must not touch a single byte of
+    // any tenant's telemetry.
+    std::map<std::string, std::uint64_t> reference_digests;
+
+    for (std::size_t threads = 1; threads <= max_threads; threads *= 2) {
+      TenantRegistry registry;
+      for (std::size_t t = 0; t < tenants; ++t) {
+        TenantOptions options;
+        options.server = base;
+        options.server.seed = 100 + t;
+        registry.add("t" + std::to_string(t), instance, policy, *workload,
+                     options);
+      }
+      Executor executor(threads);
+      const MultiTenantResult result = registry.run(executor);
+
+      Point point;
+      point.tenants = tenants;
+      point.threads = threads;
+      point.rounds = result.rounds;
+      point.wall_seconds = result.wall_seconds;
+      point.epochs_per_sec =
+          result.wall_seconds > 0.0
+              ? static_cast<double>(result.total_epochs()) /
+                    result.wall_seconds
+              : 0.0;
+      point.qps = result.wall_seconds > 0.0
+                      ? static_cast<double>(result.total_queries()) /
+                            result.wall_seconds
+                      : 0.0;
+      for (const TenantResult& tenant : result.tenants) {
+        point.worst_route_p99 =
+            std::max(point.worst_route_p99,
+                     tenant.server.route_latency.empty()
+                         ? 0.0
+                         : tenant.server.route_latency.quantile(0.99));
+        const std::uint64_t digest =
+            telemetry_digest(tenant.server.epochs);
+        auto [it, inserted] =
+            reference_digests.emplace(tenant.name, digest);
+        if (!inserted && it->second != digest) {
+          std::cerr << "FAIL: tenant " << tenant.name
+                    << " digest differs at " << threads
+                    << " threads — isolation contract broken\n";
+          return 1;
+        }
+      }
+      points.push_back(point);
+
+      table.add_row({std::to_string(tenants), std::to_string(threads),
+                     std::to_string(point.rounds),
+                     fmt(point.wall_seconds, 3),
+                     fmt(point.epochs_per_sec, 1), fmt(point.qps / 1e6, 3),
+                     fmt(point.worst_route_p99, 4)});
+    }
+  }
+  table.print(std::cout);
+
+  std::ofstream json(json_path);
+  if (!json) {
+    std::cerr << "cannot open " << json_path << "\n";
+    return 1;
+  }
+  json << "{\n"
+       << "  \"bench\": \"multi_tenant\",\n"
+       << "  \"config\": {\n"
+       << "    \"scenario\": \"braess\",\n"
+       << "    \"policy\": \"" << policy.name() << "\",\n"
+       << "    \"workload\": \"" << workload->name() << "\",\n"
+       << "    \"epochs_per_tenant\": " << base.epochs << ",\n"
+       << "    \"clients_per_tenant\": " << base.num_clients << ",\n"
+       << "    \"shards_per_tenant\": " << base.shards << ",\n"
+       << "    \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << "\n  },\n"
+       << "  \"results\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    json << "    {\"tenants\": " << p.tenants << ", \"threads\": "
+         << p.threads << ", \"rounds\": " << p.rounds
+         << ", \"wall_seconds\": " << p.wall_seconds
+         << ", \"epochs_per_sec\": " << p.epochs_per_sec
+         << ", \"qps\": " << p.qps
+         << ", \"worst_route_p99\": " << p.worst_route_p99 << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "\nwrote " << json_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace staleflow
+
+int main(int argc, char** argv) { return staleflow::run_main(argc, argv); }

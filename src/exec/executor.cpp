@@ -168,4 +168,14 @@ SubRange sub_range(std::size_t total, std::size_t chunks, std::size_t chunk) {
   return range;
 }
 
+std::size_t auto_sub_batch_target(std::size_t total, std::size_t lanes) {
+  if (lanes == 0) {
+    throw std::invalid_argument("auto_sub_batch_target: lanes must be >= 1");
+  }
+  constexpr std::size_t kPiecesPerLane = 4;
+  constexpr std::size_t kMinTarget = 256;
+  const std::size_t pieces = kPiecesPerLane * lanes;
+  return std::max(kMinTarget, (total + pieces - 1) / pieces);
+}
+
 }  // namespace staleflow

@@ -132,4 +132,14 @@ struct SubRange {
 };
 SubRange sub_range(std::size_t total, std::size_t chunks, std::size_t chunk);
 
+/// The adaptive sub-batch target ("--sub-batch auto"): a split threshold
+/// derived from the batch's total size so the task count stays stable
+/// across load levels — each of `lanes` lanes (shards) aims for about
+/// four sub-batches, i.e. target = ceil(total / (4 * lanes)), floored at
+/// 256 queries so tiny epochs never shatter into per-query tasks. A pure
+/// function of (total, lanes) — never thread count or scheduling — so it
+/// is part of the deterministic replay contract, like a fixed target.
+/// Requires lanes >= 1.
+std::size_t auto_sub_batch_target(std::size_t total, std::size_t lanes);
+
 }  // namespace staleflow

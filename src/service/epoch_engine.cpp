@@ -1,0 +1,331 @@
+#include "service/epoch_engine.h"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "core/policy.h"
+#include "equilibrium/metrics.h"
+#include "exec/executor.h"
+#include "service/workload.h"
+#include "util/stopwatch.h"
+
+namespace staleflow {
+
+EpochEngine::EpochEngine(const Instance& instance, const Policy& policy,
+                         const WorkloadGenerator& workload,
+                         SnapshotStore& store)
+    : instance_(&instance),
+      policy_(&policy),
+      workload_(&workload),
+      store_(&store) {}
+
+void EpochEngine::begin(const FlowVector& initial,
+                        const RouteServerOptions& options) {
+  if (clients_ != nullptr) {
+    throw std::logic_error("EpochEngine::begin: already begun");
+  }
+  if (!(options.update_period > 0.0)) {
+    throw std::invalid_argument(
+        "RouteServer::run: update period must be > 0");
+  }
+  if (options.epochs == 0) {
+    throw std::invalid_argument("RouteServer::run: need at least one epoch");
+  }
+  if (options.shards == 0 || options.shards > options.num_clients) {
+    throw std::invalid_argument(
+        "RouteServer::run: shards must be in [1, num_clients]");
+  }
+  if (options.num_clients >
+      std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument(
+        "RouteServer::run: num_clients must fit RouteQuery::client "
+        "(uint32)");
+  }
+  if (!options.sub_batch_auto && options.sub_batch_queries == 0) {
+    throw std::invalid_argument(
+        "RouteServer::run: sub_batch_queries must be >= 1");
+  }
+  if (!is_feasible(*instance_, initial.values(), 1e-7)) {
+    throw std::invalid_argument("RouteServer::run: infeasible start");
+  }
+  if (options.record_latency && options.latency_sample_every == 0) {
+    throw std::invalid_argument(
+        "RouteServer::run: latency_sample_every must be >= 1");
+  }
+
+  options_ = options;
+  master_ = Rng(options.seed);
+  clients_ = std::make_unique<Population>(*instance_, options.num_clients,
+                                          initial.values());
+
+  // Master flow: starts at the client fleet's empirical flow, advanced
+  // only by ledger folds at phase boundaries.
+  flow_.assign(clients_->empirical_flow().begin(),
+               clients_->empirical_flow().end());
+  ledger_ =
+      std::make_unique<FlowLedger>(instance_->path_count(), options.shards);
+  store_->publish(std::make_shared<BoardSnapshot>(*instance_, *policy_,
+                                                  /*epoch=*/0, /*now=*/0.0,
+                                                  flow_));
+
+  // Shard s owns clients {s, s + shards, s + 2*shards, ...}.
+  shard_clients_.resize(options.shards);
+  for (std::size_t s = 0; s < options.shards; ++s) {
+    shard_clients_[s] = options.num_clients / options.shards +
+                        (s < options.num_clients % options.shards ? 1 : 0);
+  }
+  epochs_.reserve(options.epochs);
+}
+
+void EpochEngine::serve_sub_batch(std::size_t b) {
+  detail::SubBatchContext& sub = ctx_[b];
+  const std::size_t s = sub.shard;
+  const std::size_t shards = options_.shards;
+  // The RCU read path: pin this epoch's board for the whole batch.
+  const SnapshotPtr snap = store_->acquire();
+  const BulletinBoard& board = snap->board();
+  for (std::size_t q = 0; q < sub.arrivals; ++q) {
+    const bool timed = options_.record_latency &&
+                       q % options_.latency_sample_every == 0;
+    const WallClock::time_point begin =
+        timed ? WallClock::now() : WallClock::time_point{};
+
+    const RouteQuery query{static_cast<std::uint32_t>(
+        s + shards * (sub.client_begin + sub.rng.below(sub.client_count)))};
+    const CommodityId c = clients_->commodity_of(query.client);
+    const Commodity& commodity = instance_->commodity(c);
+
+    // Step (1): sample a candidate from the precomputed CDF.
+    const std::size_t sampled = sample_from_cdf(snap->cdf(c), sub.rng);
+
+    // Step (2): migrate with probability mu(l_P, l_Q).
+    const std::size_t current = clients_->local_path(query.client);
+    std::size_t served_path = current;
+    bool migrated = false;
+    if (sampled != current) {
+      const double l_current =
+          board.path_latency()[commodity.paths[current].index()];
+      const double l_sampled =
+          board.path_latency()[commodity.paths[sampled].index()];
+      const double mu =
+          policy_->migration().probability(l_current, l_sampled);
+      if (sub.rng.bernoulli(mu)) {
+        migrated = true;
+        served_path = sampled;
+        const double moved = clients_->flow_of(query.client);
+        ledger_->add(b, commodity.paths[current].index(), -moved);
+        ledger_->add(b, commodity.paths[sampled].index(), +moved);
+        clients_->reassign(query.client, sampled);
+      }
+    }
+    ledger_->count_query(b, migrated);
+
+    // The latency this query's client experiences on the board it was
+    // routed against — a deterministic board value, not wall clock.
+    sub.route_hist.record(
+        board.path_latency()[commodity.paths[served_path].index()]);
+
+    if (timed) {
+      sub.wall_hist.record(1e6 * seconds_between(begin, WallClock::now()));
+    }
+  }
+}
+
+void EpochEngine::add_epoch(TaskGraph& graph) {
+  if (clients_ == nullptr) {
+    throw std::logic_error("EpochEngine::add_epoch: begin() first");
+  }
+  if (epoch_in_flight_) {
+    throw std::logic_error(
+        "EpochEngine::add_epoch: previous epoch not finished");
+  }
+  if (done()) {
+    throw std::logic_error("EpochEngine::add_epoch: all epochs served");
+  }
+  epoch_in_flight_ = true;
+
+  const double T = options_.update_period;
+  const std::size_t shards = options_.shards;
+  const std::uint64_t e = epochs_done();
+
+  // Derive this epoch's streams in canonical order: one for the
+  // workload, then one per sub-batch in (shard, sub-batch) order.
+  // Depends only on (seed, e) and the batch sizes — never on threads.
+  Rng epoch_rng = master_.split();
+  Rng arrivals_rng = epoch_rng.split();
+  LoadFeedback feedback;
+  if (!epochs_.empty()) {
+    feedback.has_previous = true;
+    feedback.route_p50 = epochs_.back().route_p50;
+  }
+  const std::size_t total = workload_->arrivals(
+      e, static_cast<double>(e) * T, T, feedback, arrivals_rng);
+
+  // The split threshold: fixed, or (auto mode) derived from this epoch's
+  // total arrivals — either way a function of the configuration and the
+  // deterministic arrival sequence only.
+  const std::size_t target = options_.sub_batch_auto
+                                 ? auto_sub_batch_target(total, shards)
+                                 : options_.sub_batch_queries;
+
+  // The deterministic sub-batch plan: a shard whose batch exceeds the
+  // target splits into balanced sub-batches over disjoint client
+  // slices. One sub-batch per shard minimum keeps the stream layout
+  // aligned with the unsplit (PR-2/PR-3) dynamics when nothing splits.
+  std::size_t planned = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t batch = total / shards + (s < total % shards ? 1 : 0);
+    const std::size_t pieces =
+        sub_batch_count(batch, target, shard_clients_[s]);
+    if (ctx_.size() < planned + pieces) ctx_.resize(planned + pieces);
+    for (std::size_t piece = 0; piece < pieces; ++piece) {
+      detail::SubBatchContext& sub = ctx_[planned + piece];
+      const SubRange slice = sub_range(shard_clients_[s], pieces, piece);
+      sub.shard = s;
+      sub.client_begin = slice.begin;
+      sub.client_count = slice.count;
+      sub.arrivals = sub_range(batch, pieces, piece).count;
+      sub.rng = epoch_rng.split();
+      sub.route_hist.reset();
+      sub.wall_hist.reset();
+    }
+    planned += pieces;
+  }
+  batches_ = planned;
+  ledger_->ensure_slots(batches_);
+
+  // The epoch task graph: serve -> fold -> {next snapshot build,
+  // telemetry summary}. The snapshot's board post and per-commodity CDF
+  // nodes overlap the summary tail; everything after fold reads the
+  // folded flow, nothing writes shared state concurrently — and nothing
+  // outside this engine at all, so epochs of distinct engines coexist in
+  // one graph.
+  served_ = store_->acquire();
+  totals_ = FlowLedger::Totals{};
+  next_.reset();
+  summary_ = EpochSummary{};
+
+  std::vector<TaskGraph::NodeId> serve_nodes;
+  serve_nodes.reserve(batches_);
+  for (std::size_t b = 0; b < batches_; ++b) {
+    serve_nodes.push_back(graph.add([this, b] { serve_sub_batch(b); }));
+  }
+  const TaskGraph::NodeId fold = graph.add(
+      [this] { totals_ = ledger_->fold_into(flow_, batches_); },
+      std::span<const TaskGraph::NodeId>(serve_nodes));
+  const TaskGraph::NodeId post = graph.add(
+      [this, e, T] {
+        next_ = std::make_shared<BoardSnapshot>(
+            BoardSnapshot::DeferCdf{}, *instance_, *policy_, e + 1,
+            static_cast<double>(e + 1) * T, flow_);
+      },
+      {fold});
+  for (std::size_t c = 0; c < instance_->commodity_count(); ++c) {
+    graph.add([this, c] { next_->build_cdf(CommodityId{c}); }, {post});
+  }
+  graph.add(
+      [this, e, T] {
+        summary_.epoch = e;
+        summary_.start_time = static_cast<double>(e) * T;
+        summary_.end_time = static_cast<double>(e + 1) * T;
+        summary_.queries = totals_.queries;
+        summary_.migrations = totals_.migrations;
+        summary_.migration_rate =
+            totals_.queries > 0 ? static_cast<double>(totals_.migrations) /
+                                      static_cast<double>(totals_.queries)
+                                : 0.0;
+        summary_.wardrop_gap = wardrop_gap(*instance_, flow_);
+        double board_latency = 0.0;
+        double board_volume = 0.0;
+        for (std::size_t p = 0; p < instance_->path_count(); ++p) {
+          board_latency += served_->board().path_flow()[p] *
+                           served_->board().path_latency()[p];
+          board_volume += served_->board().path_flow()[p];
+        }
+        summary_.board_latency =
+            board_volume > 0.0 ? board_latency / board_volume : 0.0;
+
+        // Merge per-sub-batch histograms in plan order (the canonical
+        // order the determinism contract fixes) into this epoch's
+        // distribution.
+        epoch_route_.reset();
+        for (std::size_t b = 0; b < batches_; ++b) {
+          epoch_route_.merge(ctx_[b].route_hist);
+        }
+        if (!epoch_route_.empty()) {
+          summary_.route_p50 = epoch_route_.quantile(0.5);
+          summary_.route_p99 = epoch_route_.quantile(0.99);
+          summary_.route_p999 = epoch_route_.quantile(0.999);
+        }
+        if (options_.record_latency) {
+          epoch_wall_.reset();
+          for (std::size_t b = 0; b < batches_; ++b) {
+            epoch_wall_.merge(ctx_[b].wall_hist);
+          }
+          if (!epoch_wall_.empty()) {
+            summary_.p50_us = epoch_wall_.quantile(0.5);
+            summary_.p99_us = epoch_wall_.quantile(0.99);
+            summary_.p999_us = epoch_wall_.quantile(0.999);
+          }
+        }
+      },
+      {fold});
+}
+
+void EpochEngine::finish_epoch(double epoch_seconds,
+                               const EpochObserver& observer) {
+  if (!epoch_in_flight_) {
+    throw std::logic_error("EpochEngine::finish_epoch: no epoch in flight");
+  }
+  epoch_in_flight_ = false;
+
+  // Phase boundary: the folded flow is published as the next board; the
+  // fold tail (summary) and the snapshot build already ran inside the
+  // graph.
+  run_route_.merge(epoch_route_);
+  if (options_.record_latency) {
+    run_wall_us_.merge(epoch_wall_);
+    summary_.queries_per_second =
+        epoch_seconds > 0.0
+            ? static_cast<double>(totals_.queries) / epoch_seconds
+            : 0.0;
+  }
+
+  total_queries_ += totals_.queries;
+  total_migrations_ += totals_.migrations;
+  epochs_.push_back(summary_);
+  if (observer) observer(summary_);
+
+  store_->publish(std::move(next_));
+  served_.reset();
+}
+
+RouteServerResult EpochEngine::finish(double wall_seconds) {
+  if (clients_ == nullptr || epoch_in_flight_ || epochs_.empty()) {
+    throw std::logic_error(
+        "EpochEngine::finish: run at least one epoch to completion first");
+  }
+  RouteServerResult result{FlowVector(*instance_, std::move(flow_))};
+  result.epochs = std::move(epochs_);
+  result.total_queries = total_queries_;
+  result.total_migrations = total_migrations_;
+  result.final_gap = result.epochs.back().wardrop_gap;
+  result.route_latency = run_route_;
+  if (options_.record_latency) {
+    result.wall_latency_us = run_wall_us_;
+    result.wall_seconds = wall_seconds;
+    result.queries_per_second =
+        result.wall_seconds > 0.0
+            ? static_cast<double>(result.total_queries) / result.wall_seconds
+            : 0.0;
+    if (!result.wall_latency_us.empty()) {
+      result.p50_us = result.wall_latency_us.quantile(0.5);
+      result.p99_us = result.wall_latency_us.quantile(0.99);
+      result.p999_us = result.wall_latency_us.quantile(0.999);
+    }
+  }
+  return result;
+}
+
+}  // namespace staleflow

@@ -1,0 +1,142 @@
+// The per-epoch serving pipeline of one route-service instance, factored
+// out of RouteServer so a host can drive epochs one at a time.
+//
+// An EpochEngine owns everything one serving instance mutates — its
+// client Population, master flow, sharded FlowLedger, sub-batch contexts,
+// RNG streams and accumulating result — and borrows the SnapshotStore it
+// publishes to. The host drives the epoch cycle explicitly:
+//
+//   EpochEngine engine(instance, policy, workload, store);
+//   engine.begin(initial, options);
+//   while (!engine.done()) {
+//     TaskGraph graph;
+//     engine.add_epoch(graph);        // plan + append this epoch's nodes
+//     executor.run(graph);            // serve -> fold -> {snapshot, summary}
+//     engine.finish_epoch(seconds, observer);  // merge, record, publish
+//   }
+//   RouteServerResult result = engine.finish(wall_seconds);
+//
+// RouteServer::run is exactly this loop over one engine. TenantRegistry
+// runs MANY engines by appending several tenants' epochs to ONE combined
+// graph per scheduler round: the engines share no mutable state (each
+// node touches only its own engine), so co-scheduled tenants execute on
+// one shared Executor while every tenant's dynamics stay byte-identical
+// to a solo run — the multi-tenant isolation contract.
+//
+// Determinism: add_epoch derives this epoch's RNG streams and sub-batch
+// plan host-side, in canonical order, before any node is dispatched
+// (see route_server.h for the full contract). Nothing an engine computes
+// depends on which threads run its nodes or on what other engines' nodes
+// are interleaved with them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "agents/population.h"
+#include "net/flow.h"
+#include "service/ledger.h"
+#include "service/route_server.h"
+#include "service/snapshot.h"
+#include "util/log_histogram.h"
+#include "util/rng.h"
+
+namespace staleflow {
+
+class TaskGraph;
+
+namespace detail {
+/// Everything one serving task needs for an epoch: which shard it belongs
+/// to, its contiguous slice of that shard's client list, its arrival
+/// quota, its own Rng stream and its latency histograms. Sub-batches
+/// never touch each other's context; the alignment keeps neighbouring
+/// contexts off the same cache line (the rng state is written on every
+/// query).
+struct alignas(64) SubBatchContext {
+  std::size_t shard = 0;
+  std::size_t client_begin = 0;  // offset into the shard's client list
+  std::size_t client_count = 0;
+  std::size_t arrivals = 0;
+  Rng rng{0};
+  LogHistogram route_hist;  // board latency of the served path (exact)
+  LogHistogram wall_hist;   // per-query service time in us (wall clock)
+};
+}  // namespace detail
+
+class EpochEngine {
+ public:
+  /// The instance, policy, workload and store must outlive the engine.
+  EpochEngine(const Instance& instance, const Policy& policy,
+              const WorkloadGenerator& workload, SnapshotStore& store);
+
+  /// Validates the options (the RouteServer::run contract: positive
+  /// period, at least one epoch, shards in [1, num_clients], feasible
+  /// start, ...; `threads` and `executor` are ignored — the host supplies
+  /// execution) and publishes the epoch-0 snapshot. Must be called
+  /// exactly once, before any epoch.
+  void begin(const FlowVector& initial, const RouteServerOptions& options);
+
+  std::size_t epochs_total() const noexcept { return options_.epochs; }
+  std::size_t epochs_done() const noexcept { return epochs_.size(); }
+  bool done() const noexcept { return epochs_done() >= epochs_total(); }
+
+  /// Plans the next epoch (workload arrivals, the deterministic sub-batch
+  /// plan, one Rng stream per sub-batch in canonical order) and appends
+  /// its serve -> fold -> {board post + per-commodity CDF nodes, summary}
+  /// pipeline to `graph`. The appended nodes touch only this engine, so
+  /// several engines may append to the same graph. Exactly one epoch may
+  /// be in flight per engine: add_epoch / run / finish_epoch, in order.
+  void add_epoch(TaskGraph& graph);
+
+  /// Completes the epoch added by the last add_epoch (the graph must have
+  /// run): merges the epoch's histograms into the run result, records the
+  /// summary (calling `observer` if set), and publishes the next
+  /// snapshot. `epoch_seconds` is the wall-clock the host measured for
+  /// the epoch's graph (used for queries_per_second when latency
+  /// recording is on; a multi-tenant host passes the whole round's wall
+  /// time, so per-epoch qps then reads "queries per round-second").
+  void finish_epoch(double epoch_seconds, const EpochObserver& observer);
+
+  /// Finalizes and returns the run result (final flow and gap, wall-clock
+  /// aggregates from `wall_seconds`). The engine is spent afterwards.
+  RouteServerResult finish(double wall_seconds);
+
+ private:
+  void serve_sub_batch(std::size_t b);
+
+  const Instance* instance_;
+  const Policy* policy_;
+  const WorkloadGenerator* workload_;
+  SnapshotStore* store_;
+
+  RouteServerOptions options_;
+  Rng master_{0};
+  std::unique_ptr<Population> clients_;
+  std::vector<double> flow_;
+  std::unique_ptr<FlowLedger> ledger_;
+  std::vector<std::size_t> shard_clients_;  // clients per logical shard
+
+  std::vector<detail::SubBatchContext> ctx_;  // per-epoch high-water pool
+  std::size_t batches_ = 0;   // sub-batches planned for the epoch in flight
+  bool epoch_in_flight_ = false;
+
+  // Staging for the epoch in flight (written by graph nodes).
+  SnapshotPtr served_;
+  FlowLedger::Totals totals_;
+  std::shared_ptr<BoardSnapshot> next_;
+  EpochSummary summary_;
+  LogHistogram epoch_route_;  // this epoch's merged route latencies
+  LogHistogram epoch_wall_;   // this epoch's merged service times (us)
+
+  // Accumulating run outcome (assembled into a RouteServerResult by
+  // finish(); FlowVector has no default state, so the pieces live here).
+  std::vector<EpochSummary> epochs_;
+  std::size_t total_queries_ = 0;
+  std::size_t total_migrations_ = 0;
+  LogHistogram run_route_;
+  LogHistogram run_wall_us_;
+};
+
+}  // namespace staleflow

@@ -1,43 +1,12 @@
 #include "service/route_server.h"
 
-#include <chrono>
-#include <limits>
 #include <memory>
-#include <stdexcept>
-#include <utility>
 
-#include "agents/population.h"
-#include "equilibrium/metrics.h"
 #include "exec/executor.h"
-#include "service/ledger.h"
-#include "util/rng.h"
+#include "service/epoch_engine.h"
+#include "util/stopwatch.h"
 
 namespace staleflow {
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-/// Everything one serving task needs for an epoch: which shard it belongs
-/// to, its contiguous slice of that shard's client list, its arrival
-/// quota, its own Rng stream and its latency histograms. Sub-batches
-/// never touch each other's context; the alignment keeps neighbouring
-/// contexts off the same cache line (the rng state is written on every
-/// query).
-struct alignas(64) SubBatchContext {
-  std::size_t shard = 0;
-  std::size_t client_begin = 0;  // offset into the shard's client list
-  std::size_t client_count = 0;
-  std::size_t arrivals = 0;
-  Rng rng{0};
-  LogHistogram route_hist;  // board latency of the served path (exact)
-  LogHistogram wall_hist;   // per-query service time in us (wall clock)
-};
-
-double seconds_between(Clock::time_point begin, Clock::time_point end) {
-  return std::chrono::duration<double>(end - begin).count();
-}
-
-}  // namespace
 
 RouteServer::RouteServer(const Instance& instance, const Policy& policy,
                          const WorkloadGenerator& workload)
@@ -46,54 +15,11 @@ RouteServer::RouteServer(const Instance& instance, const Policy& policy,
 RouteServerResult RouteServer::run(const FlowVector& initial,
                                    const RouteServerOptions& options,
                                    const EpochObserver& observer) {
-  if (!(options.update_period > 0.0)) {
-    throw std::invalid_argument(
-        "RouteServer::run: update period must be > 0");
-  }
-  if (options.epochs == 0) {
-    throw std::invalid_argument("RouteServer::run: need at least one epoch");
-  }
-  if (options.shards == 0 || options.shards > options.num_clients) {
-    throw std::invalid_argument(
-        "RouteServer::run: shards must be in [1, num_clients]");
-  }
-  if (options.num_clients >
-      std::numeric_limits<std::uint32_t>::max()) {
-    throw std::invalid_argument(
-        "RouteServer::run: num_clients must fit RouteQuery::client "
-        "(uint32)");
-  }
-  if (options.sub_batch_queries == 0) {
-    throw std::invalid_argument(
-        "RouteServer::run: sub_batch_queries must be >= 1");
-  }
-  if (!is_feasible(*instance_, initial.values(), 1e-7)) {
-    throw std::invalid_argument("RouteServer::run: infeasible start");
-  }
-  if (options.record_latency && options.latency_sample_every == 0) {
-    throw std::invalid_argument(
-        "RouteServer::run: latency_sample_every must be >= 1");
-  }
-
-  const double T = options.update_period;
-  const std::size_t shards = options.shards;
-  Population clients(*instance_, options.num_clients, initial.values());
-
-  // Master flow: starts at the client fleet's empirical flow, advanced
-  // only by ledger folds at phase boundaries.
-  std::vector<double> flow(clients.empirical_flow().begin(),
-                           clients.empirical_flow().end());
-  FlowLedger ledger(instance_->path_count(), shards);
-  store_.publish(std::make_shared<BoardSnapshot>(*instance_, *policy_,
-                                                 /*epoch=*/0, /*now=*/0.0,
-                                                 flow));
-
-  // Shard s owns clients {s, s + shards, s + 2*shards, ...}.
-  std::vector<std::size_t> shard_clients(shards);
-  for (std::size_t s = 0; s < shards; ++s) {
-    shard_clients[s] = options.num_clients / shards +
-                       (s < options.num_clients % shards ? 1 : 0);
-  }
+  // The per-epoch pipeline lives in EpochEngine (shared with the
+  // multi-tenant registry); a solo run is one engine driven to exhaustion
+  // on its own (or a borrowed) executor.
+  EpochEngine engine(*instance_, *policy_, *workload_, store_);
+  engine.begin(initial, options);
 
   // The execution layer: borrowed from the caller (shared-pool mode, e.g.
   // inside a sweep) or owned for this run.
@@ -104,225 +30,16 @@ RouteServerResult RouteServer::run(const FlowVector& initial,
     exec = owned_executor.get();
   }
 
-  std::vector<SubBatchContext> ctx;  // grows to the per-epoch high-water
-  const auto serve_sub_batch = [&](std::size_t b) {
-    SubBatchContext& sub = ctx[b];
-    const std::size_t s = sub.shard;
-    // The RCU read path: pin this epoch's board for the whole batch.
-    const SnapshotPtr snap = store_.acquire();
-    const BulletinBoard& board = snap->board();
-    for (std::size_t q = 0; q < sub.arrivals; ++q) {
-      const bool timed = options.record_latency &&
-                         q % options.latency_sample_every == 0;
-      const Clock::time_point begin =
-          timed ? Clock::now() : Clock::time_point{};
-
-      const RouteQuery query{static_cast<std::uint32_t>(
-          s + shards * (sub.client_begin + sub.rng.below(sub.client_count)))};
-      const CommodityId c = clients.commodity_of(query.client);
-      const Commodity& commodity = instance_->commodity(c);
-
-      // Step (1): sample a candidate from the precomputed CDF.
-      const std::size_t sampled = sample_from_cdf(snap->cdf(c), sub.rng);
-
-      // Step (2): migrate with probability mu(l_P, l_Q).
-      const std::size_t current = clients.local_path(query.client);
-      std::size_t served_path = current;
-      bool migrated = false;
-      if (sampled != current) {
-        const double l_current =
-            board.path_latency()[commodity.paths[current].index()];
-        const double l_sampled =
-            board.path_latency()[commodity.paths[sampled].index()];
-        const double mu =
-            policy_->migration().probability(l_current, l_sampled);
-        if (sub.rng.bernoulli(mu)) {
-          migrated = true;
-          served_path = sampled;
-          const double moved = clients.flow_of(query.client);
-          ledger.add(b, commodity.paths[current].index(), -moved);
-          ledger.add(b, commodity.paths[sampled].index(), +moved);
-          clients.reassign(query.client, sampled);
-        }
-      }
-      ledger.count_query(b, migrated);
-
-      // The latency this query's client experiences on the board it was
-      // routed against — a deterministic board value, not wall clock.
-      sub.route_hist.record(
-          board.path_latency()[commodity.paths[served_path].index()]);
-
-      if (timed) {
-        sub.wall_hist.record(1e6 * seconds_between(begin, Clock::now()));
-      }
-    }
-  };
-
-  RouteServerResult result{FlowVector(*instance_)};
-  result.epochs.reserve(options.epochs);
-  LogHistogram epoch_route;    // this epoch's merged route latencies
-  LogHistogram epoch_wall;     // this epoch's merged service times (us)
-  Rng master(options.seed);
-
-  const Clock::time_point run_begin = Clock::now();
-  for (std::uint64_t e = 0; e < options.epochs; ++e) {
-    // Derive this epoch's streams in canonical order: one for the
-    // workload, then one per sub-batch in (shard, sub-batch) order.
-    // Depends only on (seed, e) and the batch sizes — never on threads.
-    Rng epoch_rng = master.split();
-    Rng arrivals_rng = epoch_rng.split();
-    LoadFeedback feedback;
-    if (!result.epochs.empty()) {
-      feedback.has_previous = true;
-      feedback.route_p50 = result.epochs.back().route_p50;
-    }
-    const std::size_t total = workload_->arrivals(
-        e, static_cast<double>(e) * T, T, feedback, arrivals_rng);
-
-    // The deterministic sub-batch plan: a shard whose batch exceeds the
-    // target splits into balanced sub-batches over disjoint client
-    // slices. One sub-batch per shard minimum keeps the stream layout
-    // aligned with the unsplit (PR-2/PR-3) dynamics when nothing splits.
-    std::size_t planned = 0;
-    for (std::size_t s = 0; s < shards; ++s) {
-      const std::size_t batch = total / shards + (s < total % shards ? 1 : 0);
-      const std::size_t pieces = sub_batch_count(
-          batch, options.sub_batch_queries, shard_clients[s]);
-      if (ctx.size() < planned + pieces) ctx.resize(planned + pieces);
-      for (std::size_t piece = 0; piece < pieces; ++piece) {
-        SubBatchContext& sub = ctx[planned + piece];
-        const SubRange slice = sub_range(shard_clients[s], pieces, piece);
-        sub.shard = s;
-        sub.client_begin = slice.begin;
-        sub.client_count = slice.count;
-        sub.arrivals = sub_range(batch, pieces, piece).count;
-        sub.rng = epoch_rng.split();
-        sub.route_hist.reset();
-        sub.wall_hist.reset();
-      }
-      planned += pieces;
-    }
-    const std::size_t batches = planned;
-    ledger.ensure_slots(batches);
-
-    // The epoch task graph: serve -> fold -> {next snapshot build,
-    // telemetry summary}. The snapshot's board post and per-commodity CDF
-    // nodes overlap the summary tail; everything after fold reads the
-    // folded flow, nothing writes shared state concurrently.
-    const SnapshotPtr served = store_.acquire();
-    FlowLedger::Totals totals;
-    std::shared_ptr<BoardSnapshot> next;
-    EpochSummary summary;
-
+  const WallClock::time_point run_begin = WallClock::now();
+  while (!engine.done()) {
     TaskGraph graph;
-    std::vector<TaskGraph::NodeId> serve_nodes;
-    serve_nodes.reserve(batches);
-    for (std::size_t b = 0; b < batches; ++b) {
-      serve_nodes.push_back(graph.add([&serve_sub_batch, b] {
-        serve_sub_batch(b);
-      }));
-    }
-    const TaskGraph::NodeId fold = graph.add(
-        [&] { totals = ledger.fold_into(flow, batches); },
-        std::span<const TaskGraph::NodeId>(serve_nodes));
-    const TaskGraph::NodeId post = graph.add(
-        [&] {
-          next = std::make_shared<BoardSnapshot>(
-              BoardSnapshot::DeferCdf{}, *instance_, *policy_, e + 1,
-              static_cast<double>(e + 1) * T, flow);
-        },
-        {fold});
-    for (std::size_t c = 0; c < instance_->commodity_count(); ++c) {
-      graph.add([&next, c] { next->build_cdf(CommodityId{c}); }, {post});
-    }
-    graph.add(
-        [&] {
-          summary.epoch = e;
-          summary.start_time = static_cast<double>(e) * T;
-          summary.end_time = static_cast<double>(e + 1) * T;
-          summary.queries = totals.queries;
-          summary.migrations = totals.migrations;
-          summary.migration_rate =
-              totals.queries > 0 ? static_cast<double>(totals.migrations) /
-                                       static_cast<double>(totals.queries)
-                                 : 0.0;
-          summary.wardrop_gap = wardrop_gap(*instance_, flow);
-          double board_latency = 0.0;
-          double board_volume = 0.0;
-          for (std::size_t p = 0; p < instance_->path_count(); ++p) {
-            board_latency += served->board().path_flow()[p] *
-                             served->board().path_latency()[p];
-            board_volume += served->board().path_flow()[p];
-          }
-          summary.board_latency =
-              board_volume > 0.0 ? board_latency / board_volume : 0.0;
-
-          // Merge per-sub-batch histograms in plan order (the canonical
-          // order the determinism contract fixes) into this epoch's
-          // distribution.
-          epoch_route.reset();
-          for (std::size_t b = 0; b < batches; ++b) {
-            epoch_route.merge(ctx[b].route_hist);
-          }
-          if (!epoch_route.empty()) {
-            summary.route_p50 = epoch_route.quantile(0.5);
-            summary.route_p99 = epoch_route.quantile(0.99);
-            summary.route_p999 = epoch_route.quantile(0.999);
-          }
-          if (options.record_latency) {
-            epoch_wall.reset();
-            for (std::size_t b = 0; b < batches; ++b) {
-              epoch_wall.merge(ctx[b].wall_hist);
-            }
-            if (!epoch_wall.empty()) {
-              summary.p50_us = epoch_wall.quantile(0.5);
-              summary.p99_us = epoch_wall.quantile(0.99);
-              summary.p999_us = epoch_wall.quantile(0.999);
-            }
-          }
-        },
-        {fold});
-
-    const Clock::time_point epoch_begin = Clock::now();
+    engine.add_epoch(graph);
+    const WallClock::time_point epoch_begin = WallClock::now();
     exec->run(graph);
-    const double epoch_seconds =
-        seconds_between(epoch_begin, Clock::now());
-
-    // Phase boundary: the folded flow is published as the next board; the
-    // fold tail (summary) and the snapshot build already ran inside the
-    // graph.
-    result.route_latency.merge(epoch_route);
-    if (options.record_latency) {
-      result.wall_latency_us.merge(epoch_wall);
-      summary.queries_per_second =
-          epoch_seconds > 0.0
-              ? static_cast<double>(totals.queries) / epoch_seconds
-              : 0.0;
-    }
-
-    result.total_queries += totals.queries;
-    result.total_migrations += totals.migrations;
-    result.epochs.push_back(summary);
-    if (observer) observer(summary);
-
-    store_.publish(std::move(next));
+    engine.finish_epoch(seconds_between(epoch_begin, WallClock::now()),
+                        observer);
   }
-
-  result.final_gap = result.epochs.back().wardrop_gap;
-  result.final_flow = FlowVector(*instance_, std::move(flow));
-  if (options.record_latency) {
-    result.wall_seconds = seconds_between(run_begin, Clock::now());
-    result.queries_per_second =
-        result.wall_seconds > 0.0
-            ? static_cast<double>(result.total_queries) / result.wall_seconds
-            : 0.0;
-    if (!result.wall_latency_us.empty()) {
-      result.p50_us = result.wall_latency_us.quantile(0.5);
-      result.p99_us = result.wall_latency_us.quantile(0.99);
-      result.p999_us = result.wall_latency_us.quantile(0.999);
-    }
-  }
-  return result;
+  return engine.finish(seconds_between(run_begin, WallClock::now()));
 }
 
 }  // namespace staleflow

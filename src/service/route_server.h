@@ -84,8 +84,17 @@ struct RouteServerOptions {
   /// (clamped to the shard's client count). Part of the determinism
   /// contract — the split depends on this value and the batch size only,
   /// never on threads — so changing it changes the dynamics digest, like
-  /// changing `shards`. Must be >= 1.
+  /// changing `shards`. Must be >= 1 (ignored when sub_batch_auto is on).
   std::size_t sub_batch_queries = 16384;
+
+  /// Adaptive split ("--sub-batch auto"): derive each epoch's split
+  /// threshold from that epoch's total arrivals via
+  /// auto_sub_batch_target(), keeping the task count stable across load
+  /// levels. Still scheduling-independent (a function of the
+  /// deterministic arrival sequence only), so 1-vs-N-thread runs stay
+  /// byte-identical — but a different dynamics configuration than any
+  /// fixed sub_batch_queries, with its own digest.
+  bool sub_batch_auto = false;
 
   std::uint64_t seed = 1;
 

@@ -5,8 +5,10 @@
 // architecture sketch.
 #pragma once
 
+#include "service/epoch_engine.h"
 #include "service/ledger.h"
 #include "service/route_server.h"
 #include "service/snapshot.h"
 #include "service/telemetry.h"
+#include "service/tenant.h"
 #include "service/workload.h"

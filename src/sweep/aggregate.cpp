@@ -100,17 +100,18 @@ std::string fmt_exact(double value) {
 void write_cells_csv(const std::string& path, const SweepResult& result) {
   CsvWriter csv(path,
                 {"index", "scenario", "policy", "update_period", "replica",
-                 "workload", "shards", "ok", "paths", "commodities",
-                 "phases", "final_time", "converged", "time_to_converge",
-                 "final_gap", "final_potential", "oscillation_amplitude",
-                 "settled", "period_two", "queries", "migrations",
-                 "migration_rate", "latency_p50", "latency_p99",
-                 "latency_p999", "error"});
+                 "workload", "shards", "tenants", "ok", "paths",
+                 "commodities", "phases", "final_time", "converged",
+                 "time_to_converge", "final_gap", "final_potential",
+                 "oscillation_amplitude", "settled", "period_two",
+                 "queries", "migrations", "migration_rate", "latency_p50",
+                 "latency_p99", "latency_p999", "error"});
   for (const CellResult& cell : result.cells) {
     csv.add_row({fmt_int((long long)cell.cell.index), cell.cell.scenario,
                  cell.cell.policy, fmt_exact(cell.cell.update_period),
                  fmt_int((long long)cell.cell.replica), cell.cell.workload,
-                 fmt_int((long long)cell.cell.shards), fmt_bool(cell.ok),
+                 fmt_int((long long)cell.cell.shards),
+                 fmt_int((long long)cell.cell.tenants), fmt_bool(cell.ok),
                  fmt_int((long long)cell.paths),
                  fmt_int((long long)cell.commodities),
                  fmt_int((long long)cell.phases), fmt_exact(cell.final_time),
@@ -171,8 +172,8 @@ void write_summary_csv(const std::string& path,
 
 void write_hist_csv(const std::string& path, const SweepResult& result) {
   CsvWriter csv(path, {"index", "scenario", "policy", "update_period",
-                       "replica", "workload", "shards", "bucket", "lower",
-                       "upper", "count", "cumulative"});
+                       "replica", "workload", "shards", "tenants", "bucket",
+                       "lower", "upper", "count", "cumulative"});
   for (const CellResult& cell : result.cells) {
     if (cell.latency.empty()) continue;
     std::uint64_t cumulative = 0;
@@ -184,6 +185,7 @@ void write_hist_csv(const std::string& path, const SweepResult& result) {
                    cell.cell.policy, fmt_exact(cell.cell.update_period),
                    fmt_int((long long)cell.cell.replica), cell.cell.workload,
                    fmt_int((long long)cell.cell.shards),
+                   fmt_int((long long)cell.cell.tenants),
                    fmt_int((long long)b), fmt_exact(cell.latency.bucket_lower(b)),
                    fmt_exact(cell.latency.bucket_upper(b)),
                    fmt_int((long long)count), fmt_int((long long)cumulative)});
@@ -202,6 +204,7 @@ std::uint64_t cells_digest(const SweepResult& result) {
     fnv::hash_u64(h, cell.cell.replica);
     fnv::hash_string(h, cell.cell.workload);
     fnv::hash_u64(h, cell.cell.shards);
+    fnv::hash_u64(h, cell.cell.tenants);
     fnv::hash_u64(h, cell.ok ? 1 : 0);
     fnv::hash_u64(h, cell.paths);
     fnv::hash_u64(h, cell.commodities);

@@ -17,6 +17,7 @@
 #include "net/flow.h"
 #include "exec/executor.h"
 #include "service/route_server.h"
+#include "service/tenant.h"
 #include "service/workload.h"
 
 namespace staleflow {
@@ -150,36 +151,94 @@ void run_service(const Instance& instance, const Policy& policy,
   // determinism contract keeps the outcome independent of who runs what.
   options.executor = &executor;
   options.sub_batch_queries = spec.sub_batch_queries;
-  options.seed = sim_rng();
+  options.sub_batch_auto = spec.sub_batch_auto;
   options.record_latency = false;  // replay mode: fully deterministic
 
-  RouteServer server(instance, policy, *workload);
-  const RouteServerResult result =
-      server.run(FlowVector::uniform(instance), options);
+  const std::size_t tenants = std::max<std::size_t>(1, out.cell.tenants);
+  if (tenants == 1) {
+    options.seed = sim_rng();
+    RouteServer server(instance, policy, *workload);
+    const RouteServerResult result =
+        server.run(FlowVector::uniform(instance), options);
 
-  out.phases = result.epochs.size();
-  out.final_time =
-      out.cell.update_period * static_cast<double>(result.epochs.size());
-  out.final_gap = result.final_gap;
-  out.final_potential = potential(instance, result.final_flow.values());
-  out.converged = spec.stop_gap > 0.0 && out.final_gap <= spec.stop_gap;
-  if (out.converged) {
-    // First epoch boundary at which the folded flow reached the gap.
-    for (const EpochSummary& epoch : result.epochs) {
-      if (epoch.wardrop_gap <= spec.stop_gap) {
-        out.time_to_converge = epoch.end_time;
-        break;
+    out.phases = result.epochs.size();
+    out.final_time =
+        out.cell.update_period * static_cast<double>(result.epochs.size());
+    out.final_gap = result.final_gap;
+    out.final_potential = potential(instance, result.final_flow.values());
+    out.converged = spec.stop_gap > 0.0 && out.final_gap <= spec.stop_gap;
+    if (out.converged) {
+      // First epoch boundary at which the folded flow reached the gap.
+      for (const EpochSummary& epoch : result.epochs) {
+        if (epoch.wardrop_gap <= spec.stop_gap) {
+          out.time_to_converge = epoch.end_time;
+          break;
+        }
       }
     }
+    out.queries = result.total_queries;
+    out.migrations = result.total_migrations;
+    out.migration_rate =
+        result.total_queries > 0
+            ? static_cast<double>(result.total_migrations) /
+                  static_cast<double>(result.total_queries)
+            : 0.0;
+    out.latency = result.route_latency;
+    return;
   }
-  out.queries = result.total_queries;
-  out.migrations = result.total_migrations;
+
+  // Co-tenancy cell: N replicas of the configuration (per-tenant seeds
+  // split from the cell stream in tenant order) multiplexed on the shared
+  // executor. The aggregate reports the host's view: queries/migrations
+  // and the latency histogram pool over tenants, the gap is the WORST
+  // tenant's, convergence means EVERY tenant converged (time = the last
+  // tenant's crossing), and the potential is the tenant mean.
+  TenantRegistry registry;
+  options.executor = nullptr;  // the registry serves on `executor` directly
+  for (std::size_t t = 0; t < tenants; ++t) {
+    TenantOptions tenant;
+    tenant.server = options;
+    tenant.server.seed = sim_rng();
+    registry.add("t" + std::to_string(t), instance, policy, *workload,
+                 tenant);
+  }
+  const MultiTenantResult multi = registry.run(executor);
+
+  out.phases = multi.total_epochs();
+  out.final_time = out.cell.update_period *
+                   static_cast<double>(
+                       multi.tenants.front().server.epochs.size());
+  out.converged = spec.stop_gap > 0.0;
+  double potential_sum = 0.0;
+  for (const TenantResult& tenant : multi.tenants) {
+    const RouteServerResult& result = tenant.server;
+    out.final_gap = std::max(out.final_gap, result.final_gap);
+    potential_sum += potential(instance, result.final_flow.values());
+    out.queries += result.total_queries;
+    out.migrations += result.total_migrations;
+    out.latency.merge(result.route_latency);
+
+    bool tenant_converged = false;
+    if (spec.stop_gap > 0.0) {
+      for (const EpochSummary& epoch : result.epochs) {
+        if (epoch.wardrop_gap <= spec.stop_gap) {
+          out.time_to_converge =
+              std::max(out.time_to_converge, epoch.end_time);
+          tenant_converged = true;
+          break;
+        }
+      }
+    }
+    out.converged = out.converged && tenant_converged &&
+                    result.final_gap <= spec.stop_gap;
+  }
+  if (!out.converged) out.time_to_converge = 0.0;
+  out.final_potential =
+      potential_sum / static_cast<double>(multi.tenants.size());
   out.migration_rate =
-      result.total_queries > 0
-          ? static_cast<double>(result.total_migrations) /
-                static_cast<double>(result.total_queries)
-          : 0.0;
-  out.latency = result.route_latency;
+      out.queries > 0 ? static_cast<double>(out.migrations) /
+                            static_cast<double>(out.queries)
+                      : 0.0;
 }
 
 CellResult run_cell(const Scenario& scenario, const PolicySpec& policy_spec,

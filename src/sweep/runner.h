@@ -52,6 +52,11 @@ struct CellResult {
   bool period_two = false;
 
   // Service outcome (simulator == kService only; defaults elsewhere).
+  // A co-tenancy cell (cell.tenants > 1) aggregates over its tenants:
+  // queries/migrations/latency pool, phases sums every tenant's epochs,
+  // final_gap is the worst tenant's, converged requires every tenant,
+  // time_to_converge is the last tenant's crossing, and final_potential
+  // is the tenant mean.
   std::size_t queries = 0;
   std::size_t migrations = 0;
   double migration_rate = 0.0;  // migrations / queries over the whole run

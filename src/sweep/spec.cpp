@@ -123,7 +123,8 @@ std::size_t cell_count(const ExperimentSpec& spec) {
   std::size_t count = spec.scenarios.size() * spec.policies.size() *
                       spec.update_periods.size() * spec.replicas;
   if (spec.simulator == SimulatorKind::kService) {
-    count *= spec.workloads.size() * spec.shard_counts.size();
+    count *= spec.workloads.size() * spec.shard_counts.size() *
+             std::max<std::size_t>(1, spec.tenant_counts.size());
   }
   return count;
 }
@@ -175,9 +176,10 @@ std::vector<CellSpec> expand(const ExperimentSpec& spec,
   }
 
   const bool service = spec.simulator == SimulatorKind::kService;
-  if (!service && (!spec.workloads.empty() || !spec.shard_counts.empty())) {
+  if (!service && (!spec.workloads.empty() || !spec.shard_counts.empty() ||
+                   !spec.tenant_counts.empty())) {
     throw std::invalid_argument(
-        "expand: workload/shard axes require the service simulator "
+        "expand: workload/shard/tenant axes require the service simulator "
         "(--simulator service)");
   }
   if (service) {
@@ -215,10 +217,22 @@ std::vector<CellSpec> expand(const ExperimentSpec& spec,
         }
       }
     }
+    for (std::size_t i = 0; i < spec.tenant_counts.size(); ++i) {
+      if (spec.tenant_counts[i] == 0) {
+        throw std::invalid_argument(
+            "expand: tenant counts must be >= 1 (a cell cannot co-schedule "
+            "zero tenants)");
+      }
+      for (std::size_t j = i + 1; j < spec.tenant_counts.size(); ++j) {
+        if (spec.tenant_counts[i] == spec.tenant_counts[j]) {
+          throw std::invalid_argument("expand: duplicate tenant count");
+        }
+      }
+    }
     if (spec.num_clients == 0) {
       throw std::invalid_argument("expand: num_clients must be >= 1");
     }
-    if (spec.sub_batch_queries == 0) {
+    if (!spec.sub_batch_auto && spec.sub_batch_queries == 0) {
       throw std::invalid_argument(
           "expand: sub_batch_queries must be >= 1 (it is a dynamics "
           "parameter, not a parallelism knob)");
@@ -227,11 +241,16 @@ std::vector<CellSpec> expand(const ExperimentSpec& spec,
 
   // The service axes collapse to a single sentinel iteration for the
   // other simulators, keeping one expansion loop (and one canonical
-  // order) for every simulator kind.
+  // order) for every simulator kind. An omitted tenant axis means plain
+  // single-tenant cells.
   const std::vector<std::string> workloads =
       service ? spec.workloads : std::vector<std::string>{""};
   const std::vector<std::size_t> shard_counts =
       service ? spec.shard_counts : std::vector<std::size_t>{0};
+  const std::vector<std::size_t> tenant_counts =
+      !service ? std::vector<std::size_t>{0}
+               : (spec.tenant_counts.empty() ? std::vector<std::size_t>{1}
+                                             : spec.tenant_counts);
 
   std::vector<CellSpec> cells;
   cells.reserve(cell_count(spec));
@@ -240,17 +259,20 @@ std::vector<CellSpec> expand(const ExperimentSpec& spec,
       for (const double period : spec.update_periods) {
         for (const std::string& workload : workloads) {
           for (const std::size_t shards : shard_counts) {
-            for (std::size_t replica = 0; replica < spec.replicas;
-                 ++replica) {
-              CellSpec cell;
-              cell.index = cells.size();
-              cell.scenario = scenario;
-              cell.policy = policy.name;
-              cell.update_period = period;
-              cell.replica = replica;
-              cell.workload = workload;
-              cell.shards = shards;
-              cells.push_back(std::move(cell));
+            for (const std::size_t tenants : tenant_counts) {
+              for (std::size_t replica = 0; replica < spec.replicas;
+                   ++replica) {
+                CellSpec cell;
+                cell.index = cells.size();
+                cell.scenario = scenario;
+                cell.policy = policy.name;
+                cell.update_period = period;
+                cell.replica = replica;
+                cell.workload = workload;
+                cell.shards = shards;
+                cell.tenants = tenants;
+                cells.push_back(std::move(cell));
+              }
             }
           }
         }

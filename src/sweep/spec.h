@@ -86,11 +86,21 @@ struct ExperimentSpec {
   // contract.
   std::vector<std::string> workloads;     // make_workload() specs (axis)
   std::vector<std::size_t> shard_counts;  // logical shards (axis, all > 0)
+  // Tenant counts (axis, all >= 1; empty = {1}): a cell with tenants = N
+  // runs N replicas of its configuration co-scheduled on the sweep's
+  // shared executor via TenantRegistry (per-tenant seeds split from the
+  // cell stream in tenant order) — capacity planning over co-tenancy.
+  // N = 1 is the plain single-server cell.
+  std::vector<std::size_t> tenant_counts;
   std::size_t num_clients = 2'000;        // virtual client fleet per cell
   // Serving sub-batch split threshold handed to every cell's RouteServer
   // (see RouteServerOptions::sub_batch_queries). Part of the dynamics
   // configuration, like shard_counts — not a parallelism knob.
   std::size_t sub_batch_queries = 16'384;
+  // Adaptive per-epoch split threshold instead of the fixed one (see
+  // RouteServerOptions::sub_batch_auto); sub_batch_queries is then
+  // ignored.
+  bool sub_batch_auto = false;
 };
 
 /// One executable cell of the sweep grid.
@@ -104,6 +114,7 @@ struct CellSpec {
   // Service axes; empty / 0 for non-service cells.
   std::string workload;
   std::size_t shards = 0;
+  std::size_t tenants = 0;  // co-scheduled tenant replicas (1 = solo cell)
 };
 
 /// Number of cells the spec expands to.
@@ -111,11 +122,12 @@ std::size_t cell_count(const ExperimentSpec& spec);
 
 /// Expands the cartesian product in the canonical order: scenario-major,
 /// then policy, then period, then workload, then shard count, then
-/// replica (the service axes collapse to one iteration for the other
-/// simulators). Validates the spec (non-empty axes, positive periods,
-/// resolvable scenario names, parseable workloads, non-zero shard counts,
-/// service axes only under kService) and throws std::invalid_argument /
-/// std::out_of_range on violations.
+/// tenant count, then replica (the service axes collapse to one
+/// iteration for the other simulators). Validates the spec (non-empty
+/// axes, positive periods, resolvable scenario names, parseable
+/// workloads, non-zero shard and tenant counts, service axes only under
+/// kService) and throws std::invalid_argument / std::out_of_range on
+/// violations.
 std::vector<CellSpec> expand(const ExperimentSpec& spec,
                              const ScenarioRegistry& registry);
 

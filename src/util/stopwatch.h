@@ -1,0 +1,17 @@
+// Wall-clock helpers shared by the serving layer (route server, epoch
+// engine, tenant registry): one monotonic clock alias and the
+// duration-in-seconds conversion every epoch/run measurement uses.
+#pragma once
+
+#include <chrono>
+
+namespace staleflow {
+
+using WallClock = std::chrono::steady_clock;
+
+inline double seconds_between(WallClock::time_point begin,
+                              WallClock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+}  // namespace staleflow

@@ -36,6 +36,25 @@ TEST(SubBatchSplit, CountDependsOnBatchSizeOnly) {
   EXPECT_THROW(sub_batch_count(10, 4, 0), std::invalid_argument);
 }
 
+TEST(SubBatchSplit, AutoTargetDependsOnLoadAndLanesOnly) {
+  // target = max(256, ceil(total / (4 * lanes))): ~4 sub-batches per lane
+  // once the load clears the floor, so the epoch task count stays stable
+  // across load levels.
+  EXPECT_EQ(auto_sub_batch_target(0, 4), 256u);       // floor
+  EXPECT_EQ(auto_sub_batch_target(4096, 4), 256u);    // exactly the floor
+  EXPECT_EQ(auto_sub_batch_target(160'000, 4), 10'000u);
+  EXPECT_EQ(auto_sub_batch_target(160'001, 4), 10'001u);  // ceil
+  EXPECT_EQ(auto_sub_batch_target(160'000, 8), 5'000u);
+  EXPECT_THROW(auto_sub_batch_target(100, 0), std::invalid_argument);
+  // The derived pieces-per-lane really is ~4 above the floor.
+  const std::size_t total = 1'000'000;
+  const std::size_t lanes = 8;
+  const std::size_t per_lane = total / lanes;
+  EXPECT_EQ(sub_batch_count(per_lane, auto_sub_batch_target(total, lanes),
+                            per_lane),
+            4u);
+}
+
 TEST(SubBatchSplit, RangesPartitionExactlyAndBalanced) {
   for (const std::size_t total : {0u, 1u, 7u, 64u, 1000u}) {
     for (const std::size_t chunks : {1u, 2u, 3u, 7u, 16u}) {
@@ -278,6 +297,74 @@ TEST(ExecDeterminism, RouteServerByteIdenticalUnderForcedSplits) {
     // Histogram equality is exact: same counts, extremes and sum.
     EXPECT_TRUE(result.route_latency == reference_hist) << threads;
   }
+}
+
+/// The ROADMAP "adaptive sub-batch target" follow-on, pinned: with
+/// --sub-batch auto the split threshold is re-derived every epoch from
+/// that epoch's total arrivals (so a bursty load splits on-peak and not
+/// off-peak), and the dynamics stay byte-identical at 1 vs 8 worker
+/// threads — the adaptive split is scheduling-independent.
+TEST(ExecDeterminism, AutoSubBatchByteIdenticalAcrossOneAndEightThreads) {
+  // Braess, NOT a symmetric parallel-link instance: the uniform start
+  // must be off-equilibrium so migrations happen and the digest can see
+  // the stream layout (a perfectly symmetric instance never migrates and
+  // its digest is split-blind).
+  const Instance instance = braess(true);
+  const Policy policy = make_replicator_policy(instance);
+  // Peaks offer 40000 * 0.1 = 4000 queries over 4 shards: 1000 per shard
+  // against an auto target of max(256, 4000/16) = 256 -> 4 sub-batches
+  // per peak shard; troughs (200 * 0.1 = 20) stay single-batch.
+  const WorkloadPtr workload = make_workload("bursty:40000,200,3,2");
+
+  RouteServerOptions options;
+  options.update_period = 0.1;
+  options.epochs = 15;
+  options.num_clients = 1000;
+  options.shards = 4;
+  options.sub_batch_auto = true;
+  options.sub_batch_queries = 0;  // must be ignored in auto mode
+  options.seed = 29;
+  options.record_latency = false;
+
+  std::vector<EpochSummary> reference;
+  std::vector<double> reference_flow;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    options.threads = threads;
+    RouteServer server(instance, policy, *workload);
+    const RouteServerResult result =
+        server.run(FlowVector::uniform(instance), options);
+    if (threads == 1) {
+      reference = result.epochs;
+      reference_flow.assign(result.final_flow.values().begin(),
+                            result.final_flow.values().end());
+      continue;
+    }
+    EXPECT_EQ(telemetry_digest(result.epochs), telemetry_digest(reference));
+    ASSERT_EQ(result.epochs.size(), reference.size());
+    for (std::size_t e = 0; e < reference.size(); ++e) {
+      EXPECT_EQ(result.epochs[e].queries, reference[e].queries);
+      EXPECT_EQ(result.epochs[e].migrations, reference[e].migrations);
+      EXPECT_EQ(result.epochs[e].wardrop_gap, reference[e].wardrop_gap);
+      EXPECT_EQ(result.epochs[e].route_p50, reference[e].route_p50);
+      EXPECT_EQ(result.epochs[e].route_p999, reference[e].route_p999);
+    }
+    for (std::size_t p = 0; p < reference_flow.size(); ++p) {
+      EXPECT_EQ(result.final_flow.values()[p], reference_flow[p]);
+    }
+  }
+
+  // Auto mode is a DIFFERENT dynamics configuration than the default
+  // fixed threshold whenever it actually splits differently — here the
+  // peaks split (auto) vs never split (default 16384), so the digests
+  // must differ; pinning that prevents auto from silently aliasing the
+  // fixed-threshold stream layout.
+  options.sub_batch_auto = false;
+  options.sub_batch_queries = 16384;
+  options.threads = 1;
+  RouteServer server(instance, policy, *workload);
+  const RouteServerResult fixed =
+      server.run(FlowVector::uniform(instance), options);
+  EXPECT_NE(telemetry_digest(fixed.epochs), telemetry_digest(reference));
 }
 
 /// Same property one layer up: a service sweep whose cells parallelize

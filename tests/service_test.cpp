@@ -520,6 +520,83 @@ TEST(RouteServer, ReplayModeLeavesWallClockFieldsZeroed) {
   }
 }
 
+// ------------------------------------------------------ --tenants grammar
+
+TEST(TenantSpecs, ParsesNamesFieldsAndInheritance) {
+  const std::vector<TenantSpec> specs = parse_tenant_specs(
+      "plain;"
+      "big:clients=5000,shards=16,epochs=40,seed=9,weight=3,period=0.05;"
+      "custom:scenario=braess,policy=alpha:0.5,workload=closed-loop:200");
+  ASSERT_EQ(specs.size(), 3u);
+
+  EXPECT_EQ(specs[0].name, "plain");  // all fields inherit
+  EXPECT_TRUE(specs[0].scenario.empty());
+  EXPECT_FALSE(specs[0].clients.has_value());
+  EXPECT_FALSE(specs[0].seed.has_value());
+  EXPECT_FALSE(specs[0].sub_batch_auto);
+
+  EXPECT_EQ(specs[1].name, "big");
+  EXPECT_EQ(specs[1].clients, 5000u);
+  EXPECT_EQ(specs[1].shards, 16u);
+  EXPECT_EQ(specs[1].epochs, 40u);
+  EXPECT_EQ(specs[1].seed, 9u);
+  EXPECT_EQ(specs[1].weight, 3u);
+  EXPECT_EQ(specs[1].period, 0.05);
+
+  EXPECT_EQ(specs[2].scenario, "braess");
+  EXPECT_EQ(specs[2].policy, "alpha:0.5");
+  EXPECT_EQ(specs[2].workload, "closed-loop:200");
+}
+
+TEST(TenantSpecs, CommaValuesContinueThePreviousField) {
+  // A workload spec's own commas must survive the field split.
+  const std::vector<TenantSpec> specs = parse_tenant_specs(
+      "bursty:workload=bursty:40000,2000,3,2,shards=8;"
+      "diurnal:workload=diurnal:1000,0.5,24");
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].workload, "bursty:40000,2000,3,2");
+  EXPECT_EQ(specs[0].shards, 8u);
+  EXPECT_EQ(specs[1].workload, "diurnal:1000,0.5,24");
+}
+
+TEST(TenantSpecs, SubBatchTakesCountOrAuto) {
+  const std::vector<TenantSpec> specs =
+      parse_tenant_specs("fixed:sub-batch=512;adaptive:sub-batch=auto");
+  EXPECT_EQ(specs[0].sub_batch, 512u);
+  EXPECT_FALSE(specs[0].sub_batch_auto);
+  EXPECT_FALSE(specs[1].sub_batch.has_value());
+  EXPECT_TRUE(specs[1].sub_batch_auto);
+}
+
+TEST(TenantSpecs, RejectsMalformedSpecs) {
+  // Zero tenants.
+  EXPECT_THROW(parse_tenant_specs(""), std::invalid_argument);
+  EXPECT_THROW(parse_tenant_specs(";;"), std::invalid_argument);
+  // Bad names.
+  EXPECT_THROW(parse_tenant_specs(":clients=5"), std::invalid_argument);
+  EXPECT_THROW(parse_tenant_specs("has space:clients=5"),
+               std::invalid_argument);
+  // Duplicate names.
+  EXPECT_THROW(parse_tenant_specs("a;b;a"), std::invalid_argument);
+  // Unknown key, missing '=', empty value, bad numbers.
+  EXPECT_THROW(parse_tenant_specs("a:bogus=1"), std::invalid_argument);
+  EXPECT_THROW(parse_tenant_specs("a:justvalue"), std::invalid_argument);
+  EXPECT_THROW(parse_tenant_specs("a:clients="), std::invalid_argument);
+  EXPECT_THROW(parse_tenant_specs("a:clients=-5"), std::invalid_argument);
+  EXPECT_THROW(parse_tenant_specs("a:clients=many"), std::invalid_argument);
+  EXPECT_THROW(parse_tenant_specs("a:period=fast"), std::invalid_argument);
+  EXPECT_THROW(parse_tenant_specs("a:sub-batch=never"),
+               std::invalid_argument);
+  // The error message lists the key catalogue (the CLI surfaces it).
+  try {
+    parse_tenant_specs("a:bogus=1");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("scenario"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("sub-batch"), std::string::npos);
+  }
+}
+
 // ------------------------------------------- BulletinBoard boundary cases
 
 TEST(BulletinBoard, EmptyBeforeFirstPost) {

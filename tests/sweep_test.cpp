@@ -11,6 +11,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "cli_common.h"
 #include "equilibrium/potential.h"
 #include "net/flow.h"
 #include "net/generators.h"
@@ -263,13 +264,38 @@ TEST(Expand, NonServiceCellsCarryNoServiceAxes) {
   for (const CellSpec& cell : cells) {
     EXPECT_TRUE(cell.workload.empty());
     EXPECT_EQ(cell.shards, 0u);
+    EXPECT_EQ(cell.tenants, 0u);
   }
+}
+
+TEST(Expand, TenantAxisMultipliesAndDefaultsToOne) {
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+
+  // Omitted axis: every service cell is a plain single-tenant cell.
+  ExperimentSpec spec = service_spec();
+  for (const CellSpec& cell : expand(spec, registry)) {
+    EXPECT_EQ(cell.tenants, 1u);
+  }
+
+  // Explicit axis: innermost but for replicas, canonical order.
+  spec.workloads = {"closed-loop:2000"};
+  spec.shard_counts = {4};
+  spec.tenant_counts = {1, 3};
+  const std::vector<CellSpec> cells = expand(spec, registry);
+  ASSERT_EQ(cells.size(), cell_count(spec));
+  ASSERT_EQ(cells.size(), 4u);  // 2 tenant counts x 2 replicas
+  EXPECT_EQ(cells[0].tenants, 1u);
+  EXPECT_EQ(cells[0].replica, 0u);
+  EXPECT_EQ(cells[1].tenants, 1u);
+  EXPECT_EQ(cells[1].replica, 1u);
+  EXPECT_EQ(cells[2].tenants, 3u);
+  EXPECT_EQ(cells[3].tenants, 3u);
 }
 
 TEST(Expand, RejectsServiceAxesUnderOtherSimulators) {
   const ScenarioRegistry registry = ScenarioRegistry::builtin();
-  // Workload or shard axes handed to fluid/round/agent are mis-addressed
-  // configuration — rejected, never silently ignored.
+  // Workload, shard or tenant axes handed to fluid/round/agent are
+  // mis-addressed configuration — rejected, never silently ignored.
   for (const auto kind : {SimulatorKind::kFluid, SimulatorKind::kRound,
                           SimulatorKind::kAgent}) {
     ExperimentSpec spec = small_spec();
@@ -280,6 +306,11 @@ TEST(Expand, RejectsServiceAxesUnderOtherSimulators) {
     spec = small_spec();
     spec.simulator = kind;
     spec.shard_counts = {4};
+    EXPECT_THROW(expand(spec, registry), std::invalid_argument);
+
+    spec = small_spec();
+    spec.simulator = kind;
+    spec.tenant_counts = {2};
     EXPECT_THROW(expand(spec, registry), std::invalid_argument);
   }
 }
@@ -314,6 +345,20 @@ TEST(Expand, ValidatesTheServiceSpec) {
   spec = service_spec();
   spec.shard_counts = {spec.num_clients + 1};  // more shards than clients
   EXPECT_THROW(expand(spec, registry), std::invalid_argument);
+
+  spec = service_spec();
+  spec.tenant_counts = {0, 2};  // zero-tenant cell
+  EXPECT_THROW(expand(spec, registry), std::invalid_argument);
+
+  spec = service_spec();
+  spec.tenant_counts = {2, 2};  // duplicate
+  EXPECT_THROW(expand(spec, registry), std::invalid_argument);
+
+  spec = service_spec();
+  spec.sub_batch_queries = 0;  // invalid fixed threshold...
+  EXPECT_THROW(expand(spec, registry), std::invalid_argument);
+  spec.sub_batch_auto = true;  // ...unless auto mode ignores it
+  EXPECT_NO_THROW(expand(spec, registry));
 }
 
 // ------------------------------------------------------------------- runner
@@ -533,7 +578,46 @@ TEST(SweepRunner, ServiceCellGoldenDigest) {
   const SweepResult result = runner.run(spec, 2);
   ASSERT_EQ(result.cells.size(), 1u);
   ASSERT_TRUE(result.cells[0].ok) << result.cells[0].error;
-  EXPECT_EQ(cells_digest(result), 0xD6C593C767E90487ULL);
+  // Re-pinned when the tenants axis joined the digest (PR 5); the cell's
+  // dynamics themselves are unchanged since PR 3.
+  EXPECT_EQ(cells_digest(result), 0x7A94820F008CC7B6ULL);
+}
+
+/// A tenants > 1 cell runs a TenantRegistry of co-scheduled replicas on
+/// the sweep's shared executor; the aggregate is deterministic across
+/// sweep thread counts and sums the per-tenant work.
+TEST(SweepRunner, TenantCellsAggregateAndStayDeterministic) {
+  ExperimentSpec spec = service_spec();
+  spec.workloads = {"closed-loop:2000"};
+  spec.shard_counts = {4};
+  spec.tenant_counts = {1, 3};
+  spec.replicas = 1;
+  spec.horizon = 1.0;  // 10 epochs per tenant
+
+  const SweepRunner runner;
+  const SweepResult one = runner.run(spec, 1);
+  const SweepResult four = runner.run(spec, 4);
+  ASSERT_EQ(one.cells.size(), 2u);
+  for (const CellResult& cell : one.cells) {
+    ASSERT_TRUE(cell.ok) << cell.error;
+  }
+
+  // The closed loop serves exactly 2000 queries per tenant-epoch, so the
+  // 3-tenant cell aggregates 3x the solo cell's work (30 epochs pooled).
+  EXPECT_EQ(one.cells[0].queries, 10u * 2000u);
+  EXPECT_EQ(one.cells[1].queries, 3u * 10u * 2000u);
+  EXPECT_EQ(one.cells[0].phases, 10u);
+  EXPECT_EQ(one.cells[1].phases, 30u);
+  EXPECT_EQ(one.cells[1].latency.count(), one.cells[1].queries);
+  EXPECT_GT(one.cells[1].final_gap, 0.0);  // worst tenant's gap
+
+  EXPECT_EQ(cells_digest(one), cells_digest(four));
+  for (std::size_t i = 0; i < one.cells.size(); ++i) {
+    EXPECT_EQ(one.cells[i].queries, four.cells[i].queries) << i;
+    EXPECT_EQ(one.cells[i].migrations, four.cells[i].migrations) << i;
+    EXPECT_EQ(one.cells[i].final_gap, four.cells[i].final_gap) << i;
+    EXPECT_TRUE(one.cells[i].latency == four.cells[i].latency) << i;
+  }
 }
 
 TEST(WriteHistCsv, DumpsCumulativeBucketCountsPerServiceCell) {
@@ -554,7 +638,7 @@ TEST(WriteHistCsv, DumpsCumulativeBucketCountsPerServiceCell) {
   ASSERT_TRUE(std::getline(in, line));
   EXPECT_EQ(line,
             "index,scenario,policy,update_period,replica,workload,shards,"
-            "bucket,lower,upper,count,cumulative");
+            "tenants,bucket,lower,upper,count,cumulative");
   // Every row is an occupied bucket of cell 0; counts sum to the cell's
   // query total and the cumulative column is their running sum.
   std::size_t rows = 0;
@@ -566,20 +650,59 @@ TEST(WriteHistCsv, DumpsCumulativeBucketCountsPerServiceCell) {
     std::istringstream split(line);
     std::string field;
     while (std::getline(split, field, ',')) fields.push_back(field);
-    ASSERT_EQ(fields.size(), 12u);
+    ASSERT_EQ(fields.size(), 13u);
     EXPECT_EQ(fields[0], "0");
-    const long long count = std::stoll(fields[10]);
+    const long long count = std::stoll(fields[11]);
     EXPECT_GT(count, 0);  // occupied buckets only
     sum += count;
-    last_cumulative = std::stoll(fields[11]);
+    last_cumulative = std::stoll(fields[12]);
     EXPECT_EQ(last_cumulative, sum);
     // The bucket bounds bracket a positive latency.
-    EXPECT_GT(std::stod(fields[9]), std::stod(fields[8]));
+    EXPECT_GT(std::stod(fields[10]), std::stod(fields[9]));
   }
   EXPECT_GT(rows, 1u);
   EXPECT_EQ(static_cast<std::size_t>(last_cumulative),
             result.cells[0].queries);
   std::remove(path.c_str());
+}
+
+// ------------------------------------------------------- cli_common helpers
+
+TEST(CliCommon, ParseFlagsPairsValuesAndBooleans) {
+  const auto flags = cli::parse_flags(
+      {"run", "--threads", "4", "--quiet", "--csv", "out.csv"}, 1,
+      {"quiet"});
+  EXPECT_EQ(flags.at("threads"), "4");
+  EXPECT_EQ(flags.at("quiet"), "1");
+  EXPECT_EQ(flags.at("csv"), "out.csv");
+  EXPECT_THROW(cli::parse_flags({"stray"}, 0, {}), cli::UsageError);
+  EXPECT_THROW(cli::parse_flags({"--threads"}, 0, {}), cli::UsageError);
+}
+
+TEST(CliCommon, SplitListHonoursDelimiter) {
+  EXPECT_EQ(cli::split_list("a,b,,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  // ';' splitting keeps comma-bearing items whole — the --tenants shape.
+  EXPECT_EQ(cli::split_list("a:w=bursty:1,2,3,4;b", ';'),
+            (std::vector<std::string>{"a:w=bursty:1,2,3,4", "b"}));
+  EXPECT_TRUE(cli::split_list("", ';').empty());
+  EXPECT_TRUE(cli::split_list(";;", ';').empty());
+}
+
+TEST(CliCommon, NumbersCountsAndCatalogues) {
+  EXPECT_EQ(cli::parse_count("42", "--n"), 42u);
+  EXPECT_THROW(cli::parse_count("-1", "--n"), cli::UsageError);
+  EXPECT_THROW(cli::parse_count("4x", "--n"), cli::UsageError);
+  EXPECT_DOUBLE_EQ(cli::parse_number("0.25", "--t"), 0.25);
+  EXPECT_THROW(cli::parse_number("fast", "--t"), cli::UsageError);
+  EXPECT_NO_THROW(cli::require_known("b", {"a", "b"}, "thing"));
+  try {
+    cli::require_known("z", {"a", "b"}, "thing");
+    FAIL() << "expected cli::UsageError";
+  } catch (const cli::UsageError& e) {
+    // The catalogue rides along in the message.
+    EXPECT_NE(std::string(e.what()).find("a b"), std::string::npos);
+  }
 }
 
 // -------------------------------------------------------------- aggregation

@@ -41,12 +41,15 @@ inline std::map<std::string, std::string> parse_flags(
   return flags;
 }
 
-/// Splits "a,b,c" into {"a","b","c"}, dropping empty items.
-inline std::vector<std::string> split_list(const std::string& text) {
+/// Splits "a,b,c" into {"a","b","c"}, dropping empty items. The
+/// delimiter is configurable ("a;b" with ';' — e.g. --tenants specs whose
+/// items themselves contain commas).
+inline std::vector<std::string> split_list(const std::string& text,
+                                           char delimiter = ',') {
   std::vector<std::string> out;
   std::istringstream stream(text);
   std::string item;
-  while (std::getline(stream, item, ',')) {
+  while (std::getline(stream, item, delimiter)) {
     if (!item.empty()) out.push_back(item);
   }
   return out;

@@ -4,18 +4,29 @@
 //   route_server_cli run [--scenario <name>] [--policy <spec>]
 //                        [--period <T>] [--epochs <n>] [--clients <n>]
 //                        [--workload <spec>] [--shards <k>]
-//                        [--sub-batch <q>] [--threads <k>]
+//                        [--sub-batch <q>|auto] [--threads <k>]
 //                        [--seed <s>] [--deterministic] [--csv <path>]
+//                        [--tenants <spec>[;<spec>...]]
 //                        [--report-every <n>] [--quiet]
 //   route_server_cli list
 //
-// `list` prints the scenario catalogue plus the policy and workload
-// grammars. `run` serves the workload for the configured number of
-// epochs, printing per-epoch telemetry and a final summary including a
-// digest of the deterministic telemetry (used by the CI golden test).
+// `list` prints the scenario catalogue plus the policy, workload and
+// tenant grammars. `run` serves the workload for the configured number
+// of epochs, printing per-epoch telemetry and a final summary including
+// a digest of the deterministic telemetry (used by the CI golden test).
 // With --deterministic, wall-clock latency recording is off and the CSV
 // holds only deterministic columns — byte-identical for any --threads.
+//
+// --tenants switches to multi-tenant mode: each ;-separated spec
+// (<name>[:key=value,...], keys scenario/policy/workload/clients/shards/
+// epochs/period/seed/weight/sub-batch) hosts one independent serving
+// instance, all multiplexed on ONE shared executor; unset keys inherit
+// the top-level flags (seed defaults to --seed + tenant position). Every
+// tenant gets its own digest[<name>]= line and, with --csv out.csv, its
+// own out.<name>.csv — per-tenant telemetry that is byte-identical to
+// the same tenant served alone, at any --threads.
 #include <cstdlib>
+#include <deque>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -35,6 +46,11 @@ constexpr const char* kWorkloadGrammar =
     "workloads: poisson:<rate> | bursty:<on>,<off>,<on_epochs>,<off_epochs>"
     " |\n           diurnal:<base>,<amplitude>,<day> | closed-loop:<n> |\n"
     "           closed-loop-lat:<clients>,<think>\n";
+constexpr const char* kTenantGrammar =
+    "tenants:   <name>[:key=value,...][;<name>...] with keys scenario,\n"
+    "           policy, workload, clients, shards, epochs, period, seed,\n"
+    "           weight, sub-batch (count or auto); unset keys inherit the\n"
+    "           top-level flags\n";
 
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
@@ -43,11 +59,12 @@ constexpr const char* kWorkloadGrammar =
       "  route_server_cli run [--scenario <name>] [--policy <spec>]\n"
       "                       [--period <T>] [--epochs <n>] [--clients <n>]\n"
       "                       [--workload <spec>] [--shards <k>]\n"
-      "                       [--sub-batch <q>] [--threads <k>] [--seed <s>]\n"
-      "                       [--deterministic] [--csv <path>]\n"
+      "                       [--sub-batch <q>|auto] [--threads <k>]\n"
+      "                       [--seed <s>] [--deterministic] [--csv <path>]\n"
+      "                       [--tenants <spec>[;<spec>...]]\n"
       "                       [--report-every <n>] [--quiet]\n"
       "  route_server_cli list\n"
-      << kPolicyGrammar << kWorkloadGrammar;
+      << kPolicyGrammar << kWorkloadGrammar << kTenantGrammar;
   std::exit(2);
 }
 
@@ -58,7 +75,148 @@ int do_list() {
     table.add_row({name, registry.at(name).description});
   }
   table.print(std::cout);
-  std::cout << '\n' << kPolicyGrammar << kWorkloadGrammar;
+  std::cout << '\n' << kPolicyGrammar << kWorkloadGrammar << kTenantGrammar;
+  return 0;
+}
+
+/// Routes std::invalid_argument from catalogue/grammar factories into
+/// UsageError (exit 2 + usage text), like bad flag values.
+template <typename Make>
+auto usage_error(const Make& make) {
+  try {
+    return make();
+  } catch (const std::invalid_argument& e) {
+    throw cli::UsageError(e.what());
+  }
+}
+
+/// "epochs.csv" + "a" -> "epochs.a.csv" (no extension: "out" -> "out.a").
+std::string tenant_csv_path(const std::string& base,
+                            const std::string& name) {
+  const std::size_t dot = base.find_last_of('.');
+  const std::size_t slash = base.find_last_of("/\\");
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return base + "." + name;
+  }
+  return base.substr(0, dot) + "." + name + base.substr(dot);
+}
+
+/// Multi-tenant mode: host every --tenants spec on one shared executor.
+int run_tenants(const std::string& tenants_flag,
+                const std::string& default_scenario,
+                const std::string& default_policy,
+                const std::string& default_workload,
+                const RouteServerOptions& defaults,
+                const std::string& csv_path, std::size_t report_every,
+                bool quiet) {
+  const std::vector<TenantSpec> specs =
+      usage_error([&] { return parse_tenant_specs(tenants_flag); });
+
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+
+  // Everything a tenant borrows must outlive the registry's run; a deque
+  // keeps addresses stable while we append.
+  struct Host {
+    Instance instance;
+    Policy policy;
+    WorkloadPtr workload;
+  };
+  std::deque<Host> hosts;
+  TenantRegistry tenants;
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const TenantSpec& spec = specs[i];
+    TenantOptions options;
+    options.server = defaults;
+    options.server.executor = nullptr;
+    if (spec.clients) options.server.num_clients = *spec.clients;
+    if (spec.shards) options.server.shards = *spec.shards;
+    if (spec.epochs) options.server.epochs = *spec.epochs;
+    if (spec.period) options.server.update_period = *spec.period;
+    options.server.seed =
+        spec.seed ? *spec.seed : defaults.seed + i;  // distinct by default
+    if (spec.sub_batch) {
+      options.server.sub_batch_queries = *spec.sub_batch;
+      options.server.sub_batch_auto = false;
+    } else if (spec.sub_batch_auto) {
+      options.server.sub_batch_auto = true;
+    }
+    if (spec.weight) options.weight = *spec.weight;
+
+    const std::string scenario =
+        spec.scenario.empty() ? default_scenario : spec.scenario;
+    cli::require_known(scenario, registry.names(), "scenario");
+    std::string workload_spec =
+        spec.workload.empty() ? default_workload : spec.workload;
+    if (workload_spec.empty()) {
+      workload_spec =
+          "poisson:" + std::to_string(options.server.num_clients);
+    }
+
+    Rng scenario_rng(options.server.seed);
+    Instance instance = registry.at(scenario).make(scenario_rng);
+    Policy policy = usage_error([&] {
+      return named_policy(spec.policy.empty() ? default_policy : spec.policy)
+          .make(instance, options.server.update_period);
+    });
+    WorkloadPtr workload =
+        usage_error([&] { return make_workload(workload_spec); });
+    hosts.push_back(
+        Host{std::move(instance), std::move(policy), std::move(workload)});
+    usage_error([&] {
+      tenants.add(spec.name, hosts.back().instance, hosts.back().policy,
+                  *hosts.back().workload, options);
+      return 0;
+    });
+  }
+
+  if (!quiet) {
+    std::cout << "route_server: " << tenants.size()
+              << " tenants on one executor (threads=" << defaults.threads
+              << (defaults.record_latency ? "" : ", deterministic")
+              << ")\n";
+  }
+
+  TenantObserver observer = nullptr;
+  if (!quiet && report_every > 0) {
+    observer = [&](std::size_t tenant, const EpochSummary& e) {
+      if (e.epoch % report_every != 0) return;
+      std::cout << "  [" << tenants.name(tenant) << "] epoch " << e.epoch
+                << ": " << e.queries << " queries, migration rate "
+                << fmt(e.migration_rate, 4) << ", gap "
+                << fmt(e.wardrop_gap, 6) << "\n";
+    };
+  }
+
+  Executor executor(defaults.threads);
+  const MultiTenantResult result = tenants.run(executor, observer);
+
+  for (const TenantResult& tenant : result.tenants) {
+    std::cout << "tenant " << tenant.name << ": "
+              << tenant.server.total_queries << " queries, "
+              << tenant.server.total_migrations << " migrations over "
+              << tenant.server.epochs.size() << " epochs; final gap "
+              << fmt(tenant.server.final_gap, 6) << "\n";
+    std::cout << "digest[" << tenant.name << "]=" << std::hex
+              << telemetry_digest(tenant.server.epochs) << std::dec << "\n";
+    if (!csv_path.empty()) {
+      const std::string path = tenant_csv_path(csv_path, tenant.name);
+      write_epoch_csv(path, tenant.server.epochs, defaults.record_latency);
+      if (!quiet) std::cout << "wrote " << path << "\n";
+    }
+  }
+  std::cout << result.total_queries() << " queries over "
+            << result.total_epochs() << " epochs in " << result.rounds
+            << " rounds";
+  if (defaults.record_latency && result.wall_seconds > 0.0) {
+    std::cout << "; " << fmt(result.wall_seconds, 2) << " s wall, "
+              << fmt(static_cast<double>(result.total_epochs()) /
+                         result.wall_seconds,
+                     1)
+              << " epochs/s aggregate";
+  }
+  std::cout << "\n";
   return 0;
 }
 
@@ -66,6 +224,8 @@ int do_run(const std::map<std::string, std::string>& flags) {
   std::string scenario_name = "braess";
   std::string policy_name = "replicator";
   std::string workload_spec;  // default derived from --clients below
+  std::string tenants_flag;
+  bool tenants_given = false;  // an EMPTY --tenants is "zero tenants"
   RouteServerOptions options;
   options.epochs = 50;
   std::string csv_path;
@@ -79,6 +239,9 @@ int do_run(const std::map<std::string, std::string>& flags) {
       policy_name = value;
     } else if (key == "workload") {
       workload_spec = value;
+    } else if (key == "tenants") {
+      tenants_flag = value;
+      tenants_given = true;
     } else if (key == "period") {
       options.update_period = cli::parse_number(value, "--period");
     } else if (key == "epochs") {
@@ -88,7 +251,11 @@ int do_run(const std::map<std::string, std::string>& flags) {
     } else if (key == "shards") {
       options.shards = cli::parse_count(value, "--shards");
     } else if (key == "sub-batch") {
-      options.sub_batch_queries = cli::parse_count(value, "--sub-batch");
+      if (value == "auto") {
+        options.sub_batch_auto = true;
+      } else {
+        options.sub_batch_queries = cli::parse_count(value, "--sub-batch");
+      }
     } else if (key == "threads") {
       options.threads = cli::parse_count(value, "--threads");
     } else if (key == "seed") {
@@ -106,6 +273,12 @@ int do_run(const std::map<std::string, std::string>& flags) {
     }
   }
 
+  if (tenants_given) {
+    return run_tenants(tenants_flag, scenario_name, policy_name,
+                       workload_spec, options, csv_path, report_every,
+                       quiet);
+  }
+
   const ScenarioRegistry registry = ScenarioRegistry::builtin();
   cli::require_known(scenario_name, registry.names(), "scenario");
 
@@ -120,14 +293,6 @@ int do_run(const std::map<std::string, std::string>& flags) {
 
   Rng scenario_rng(options.seed);
   const Instance instance = registry.at(scenario_name).make(scenario_rng);
-  // Bad specs are usage errors (exit 2 + grammar), like bad flag values.
-  const auto usage_error = [](const auto& make) {
-    try {
-      return make();
-    } catch (const std::invalid_argument& e) {
-      throw cli::UsageError(e.what());
-    }
-  };
   const Policy policy = usage_error([&] {
     return named_policy(policy_name).make(instance, options.update_period);
   });

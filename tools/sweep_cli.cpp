@@ -6,22 +6,24 @@
 //                 [--simulator fluid|round|agent|service] [--horizon <t>]
 //                 [--stop-gap <g>] [--agents <n>]
 //                 [--workloads w1,w2,...] [--shards 1,8,...]
-//                 [--clients <n>] [--sub-batch <q>] [--threads <k>]
+//                 [--tenants 1,4,...] [--clients <n>]
+//                 [--sub-batch <q>|auto] [--threads <k>]
 //                 [--cells-csv <path>] [--summary-csv <path>]
 //                 [--hist-out <path>] [--quiet]
 //   sweep_cli list
 //
 // `list` prints the scenario catalogue plus the policy and workload
 // grammars. `run` expands the cartesian product scenarios x policies x
-// periods x replicas — times workloads x shard counts under
-// `--simulator service`, which drives a full RouteServer epoch pipeline
-// per cell for capacity planning — executes it on a thread pool and
-// prints a scenario x policy summary table, throughput and the
-// deterministic cell digest. Unknown scenario/policy/workload names and
-// mis-addressed axes (service axes without --simulator service, zero
-// shard counts) are usage errors: exit 2 with the catalogue in hand.
-// `--threads 0` means hardware concurrency. Results (and the CSVs) are
-// bit-identical for any --threads value.
+// periods x replicas — times workloads x shard counts x tenant counts
+// under `--simulator service`, which drives a full RouteServer epoch
+// pipeline per cell (a TenantRegistry of co-scheduled replicas when the
+// tenant count exceeds 1) for capacity planning — executes it on a
+// thread pool and prints a scenario x policy summary table, throughput
+// and the deterministic cell digest. Unknown scenario/policy/workload
+// names and mis-addressed axes (service axes without --simulator
+// service, zero shard or tenant counts) are usage errors: exit 2 with
+// the catalogue in hand. `--threads 0` means hardware concurrency.
+// Results (and the CSVs) are bit-identical for any --threads value.
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
@@ -55,7 +57,8 @@ constexpr const char* kWorkloadGrammar =
       "                [--seed <s>] [--simulator fluid|round|agent|service]\n"
       "                [--horizon <t>] [--stop-gap <g>] [--agents <n>]\n"
       "                [--workloads w1,w2,...] [--shards 1,8,...]\n"
-      "                [--clients <n>] [--sub-batch <q>] [--threads <k>]\n"
+      "                [--tenants 1,4,...] [--clients <n>]\n"
+      "                [--sub-batch <q>|auto] [--threads <k>]\n"
       "                [--cells-csv <path>] [--summary-csv <path>]\n"
       "                [--hist-out <path>] [--quiet]\n"
       "  sweep_cli list\n"
@@ -122,10 +125,19 @@ int do_run(const std::map<std::string, std::string>& flags) {
       for (const std::string& item : cli::split_list(value)) {
         spec.shard_counts.push_back(cli::parse_count(item, "--shards"));
       }
+    } else if (key == "tenants") {
+      spec.tenant_counts.clear();
+      for (const std::string& item : cli::split_list(value)) {
+        spec.tenant_counts.push_back(cli::parse_count(item, "--tenants"));
+      }
     } else if (key == "clients") {
       spec.num_clients = cli::parse_count(value, "--clients");
     } else if (key == "sub-batch") {
-      spec.sub_batch_queries = cli::parse_count(value, "--sub-batch");
+      if (value == "auto") {
+        spec.sub_batch_auto = true;
+      } else {
+        spec.sub_batch_queries = cli::parse_count(value, "--sub-batch");
+      }
     } else if (key == "threads") {
       threads = cli::parse_count(value, "--threads");
     } else if (key == "cells-csv") {
@@ -185,6 +197,9 @@ int do_run(const std::map<std::string, std::string>& flags) {
     if (spec.simulator == SimulatorKind::kService) {
       std::cout << spec.workloads.size() << " workloads x "
                 << spec.shard_counts.size() << " shard counts x ";
+      if (!spec.tenant_counts.empty()) {
+        std::cout << spec.tenant_counts.size() << " tenant counts x ";
+      }
     }
     std::cout << spec.replicas << " replicas = " << total << " cells ("
               << to_string(spec.simulator) << ", threads=" << threads
