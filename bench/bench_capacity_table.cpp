@@ -102,8 +102,9 @@ int run_main(int argc, char** argv) {
        << "    \"update_period\": 0.1,\n"
        << "    \"epochs_per_cell\": 40,\n"
        << "    \"clients\": " << spec.num_clients << ",\n"
-       << "    \"seed\": " << spec.base_seed << "\n"
-       << "  },\n"
+       << "    \"seed\": " << spec.base_seed << ",\n"
+       << "    \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << "\n  },\n"
        << "  \"digest\": \"" << std::hex << cells_digest(result) << std::dec
        << "\",\n"
        << "  \"cells\": [\n";

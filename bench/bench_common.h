@@ -1,0 +1,73 @@
+// Shared hygiene for the BENCH_*.json perf-trajectory records.
+//
+// The scaling benches exist to be diffed PR over PR, which only works if
+// the records come from comparable hosts: a BENCH_service.json measured
+// on one core silently replacing a 16-core record would read as a
+// catastrophic regression. The guard here refuses to overwrite a
+// multicore record from a single-core host unless the caller passes
+// --force-bench-overwrite (e.g. deliberately re-baselining on a small
+// box).
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+namespace staleflow::bench {
+
+/// Strips --force-bench-overwrite from argv (the benches parse positional
+/// arguments, so the flag may appear anywhere); returns whether it was
+/// present.
+inline bool take_force_overwrite(int& argc, char** argv) {
+  bool force = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--force-bench-overwrite") {
+      force = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return force;
+}
+
+/// `hardware_threads` recorded in an existing BENCH_*.json, or 0 when the
+/// file is missing or carries no such field (legacy records).
+inline unsigned recorded_hardware_threads(const std::string& json_path) {
+  std::ifstream in(json_path);
+  if (!in) return 0;
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  const std::string key = "\"hardware_threads\":";
+  const std::size_t at = contents.find(key);
+  if (at == std::string::npos) return 0;
+  std::size_t pos = at + key.size();
+  while (pos < contents.size() && contents[pos] == ' ') ++pos;
+  unsigned value = 0;
+  while (pos < contents.size() && contents[pos] >= '0' &&
+         contents[pos] <= '9') {
+    value = value * 10 + static_cast<unsigned>(contents[pos] - '0');
+    ++pos;
+  }
+  return value;
+}
+
+/// True (and prints why) when writing `json_path` from THIS host must be
+/// refused: the existing record is multicore, this host is single-core,
+/// and --force-bench-overwrite was not given.
+inline bool refuse_single_core_overwrite(const std::string& json_path,
+                                         bool force) {
+  const unsigned current =
+      std::max(1u, std::thread::hardware_concurrency());
+  const unsigned recorded = recorded_hardware_threads(json_path);
+  if (force || current > 1 || recorded <= 1) return false;
+  std::cerr << "refusing to overwrite " << json_path << ": it records a "
+            << recorded << "-core host, this host has 1 core — the "
+            << "scaling columns would not be comparable. Pass "
+            << "--force-bench-overwrite to re-baseline anyway.\n";
+  return true;
+}
+
+}  // namespace staleflow::bench

@@ -11,6 +11,7 @@
 // hosts) is written for future PRs to diff against.
 //
 // Usage: bench_multi_tenant [max_threads] [json_path]
+//                           [--force-bench-overwrite]
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -19,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "staleflow/staleflow.h"
 
 namespace staleflow {
@@ -35,6 +37,7 @@ struct Point {
 };
 
 int run_main(int argc, char** argv) {
+  const bool force_overwrite = bench::take_force_overwrite(argc, argv);
   std::size_t max_threads = 8;
   std::string json_path = "BENCH_tenant.json";
   if (argc > 1) {
@@ -137,6 +140,9 @@ int run_main(int argc, char** argv) {
   }
   table.print(std::cout);
 
+  if (bench::refuse_single_core_overwrite(json_path, force_overwrite)) {
+    return 1;
+  }
   std::ofstream json(json_path);
   if (!json) {
     std::cerr << "cannot open " << json_path << "\n";

@@ -17,6 +17,7 @@
 // for every workload — the determinism contract under load.
 //
 // Usage: bench_service_throughput [max_threads] [json_path]
+//                                 [--force-bench-overwrite]
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -24,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "staleflow/staleflow.h"
 
 namespace staleflow {
@@ -46,6 +48,7 @@ struct WorkloadRun {
 };
 
 int run_main(int argc, char** argv) {
+  const bool force_overwrite = bench::take_force_overwrite(argc, argv);
   std::size_t max_threads = 8;
   std::string json_path = "BENCH_service.json";
   if (argc > 1) {
@@ -132,6 +135,9 @@ int run_main(int argc, char** argv) {
     table.print(std::cout);
   }
 
+  if (bench::refuse_single_core_overwrite(json_path, force_overwrite)) {
+    return 1;
+  }
   std::ofstream json(json_path);
   if (!json) {
     std::cerr << "cannot open " << json_path << "\n";

@@ -1,0 +1,39 @@
+// Scan side of the write-ahead epoch log.
+//
+// scan_wal() reads a WAL file front to back, verifying each record's
+// length and checksum, and returns every record that checks out. The
+// scan stops — without throwing — at the first record that doesn't: a
+// short tail (torn final write), an oversized or impossible length
+// field, or a checksum mismatch (flipped bit). `valid_bytes` marks the
+// end of the trusted prefix; resume truncates the file there before
+// appending. Nothing past the first bad record is ever surfaced, even
+// if later bytes happen to decode: a gap breaks the prefix property the
+// recovery contract depends on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "recovery/wal_format.h"
+
+namespace staleflow::recovery {
+
+struct WalScan {
+  std::vector<WalRecord> records;
+  /// File offset just past the last verified record (or past the magic
+  /// when no record verified). The resume truncation point.
+  std::uint64_t valid_bytes = 0;
+  /// True when bytes existed past valid_bytes that failed verification.
+  bool truncated = false;
+  /// Human-readable reason the scan stopped early; empty when the file
+  /// ended exactly at a record boundary.
+  std::string note;
+};
+
+/// Scans `path`. Throws std::runtime_error when the file cannot be
+/// opened or does not start with the WAL magic — those are not torn
+/// tails, they mean the path is not a WAL at all.
+WalScan scan_wal(const std::string& path);
+
+}  // namespace staleflow::recovery

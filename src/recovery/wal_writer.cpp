@@ -1,0 +1,73 @@
+#include "recovery/wal_writer.h"
+
+#include <filesystem>
+#include <system_error>
+
+#include "util/binio.h"
+#include "util/fnv.h"
+
+namespace staleflow::recovery {
+
+WalWriter WalWriter::create(const std::string& path) {
+  WalWriter writer;
+  writer.path_ = path;
+  writer.out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!writer.out_) {
+    throw std::runtime_error("WalWriter: cannot open '" + path +
+                             "' for writing");
+  }
+  writer.out_.write(kWalMagic, sizeof(kWalMagic));
+  writer.out_.flush();
+  if (!writer.out_) {
+    throw std::runtime_error("WalWriter: write failed on '" + path + "'");
+  }
+  return writer;
+}
+
+WalWriter WalWriter::append_to(const std::string& path,
+                               std::uint64_t valid_bytes) {
+  std::error_code ec;
+  std::filesystem::resize_file(path, valid_bytes, ec);
+  if (ec) {
+    throw std::runtime_error("WalWriter: cannot truncate '" + path +
+                             "' to its valid prefix: " + ec.message());
+  }
+  WalWriter writer;
+  writer.path_ = path;
+  writer.out_.open(path, std::ios::binary | std::ios::app);
+  if (!writer.out_) {
+    throw std::runtime_error("WalWriter: cannot open '" + path +
+                             "' for appending");
+  }
+  return writer;
+}
+
+void WalWriter::append(RecordType type, std::string_view payload) {
+  if (payload.size() > kMaxRecordPayload) {
+    throw std::runtime_error("WalWriter: record payload too large");
+  }
+  binio::Writer header;
+  header.u32(static_cast<std::uint32_t>(payload.size()));
+  header.u32(static_cast<std::uint32_t>(type));
+
+  // The checksum covers the type word and the payload — the same bytes
+  // the reader verifies before trusting a record.
+  std::uint64_t checksum = fnv::kOffsetBasis;
+  fnv::hash_bytes(checksum, header.data().data() + 4, 4);
+  fnv::hash_bytes(checksum, payload.data(), payload.size());
+
+  binio::Writer footer;
+  footer.u64(checksum);
+
+  out_.write(header.data().data(),
+             static_cast<std::streamsize>(header.data().size()));
+  out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out_.write(footer.data().data(),
+             static_cast<std::streamsize>(footer.data().size()));
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("WalWriter: write failed on '" + path_ + "'");
+  }
+}
+
+}  // namespace staleflow::recovery

@@ -1,0 +1,50 @@
+// Append side of the write-ahead epoch log.
+//
+// A WalWriter owns one open WAL file and appends checksummed records
+// (wal_format.h). Every append flushes through the stdio/iostream buffer
+// to the kernel, so a `kill -9` — the crash model the recovery tier is
+// pinned against — loses at most the record being written, never a
+// record that append() returned for. (Surviving power loss would need an
+// fsync per cut; that is a policy knob for a later PR, not a format
+// change.)
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+
+#include "recovery/wal_format.h"
+
+namespace staleflow::recovery {
+
+class WalWriter {
+ public:
+  /// Starts a fresh WAL at `path`, truncating any existing file, and
+  /// writes the file magic. Throws std::runtime_error when the path
+  /// cannot be opened for writing.
+  static WalWriter create(const std::string& path);
+
+  /// Reopens an existing WAL for appending after recovery: the file is
+  /// first truncated to `valid_bytes` (the scanner's last-committed
+  /// offset), amputating any torn or uncommitted tail, then opened at the
+  /// end. Throws std::runtime_error when the file cannot be resized or
+  /// opened.
+  static WalWriter append_to(const std::string& path,
+                             std::uint64_t valid_bytes);
+
+  /// Appends one record (length + type + payload + FNV checksum) and
+  /// flushes it to the kernel. Throws std::runtime_error on an oversized
+  /// payload or a write failure.
+  void append(RecordType type, std::string_view payload);
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  WalWriter() = default;
+
+  std::ofstream out_;
+  std::string path_;
+};
+
+}  // namespace staleflow::recovery

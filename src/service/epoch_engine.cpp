@@ -301,6 +301,85 @@ void EpochEngine::finish_epoch(double epoch_seconds,
   served_.reset();
 }
 
+EngineCheckpoint EpochEngine::checkpoint() const {
+  if (epoch_in_flight_ || epochs_.empty()) {
+    throw std::logic_error(
+        "EpochEngine::checkpoint: need a finished epoch and none in "
+        "flight");
+  }
+  EngineCheckpoint cut;
+  cut.summary = epochs_.back();
+  cut.rng_state = master_.state();
+  cut.flow = flow_;
+  cut.client_paths.reserve(clients_->size());
+  for (std::size_t c = 0; c < clients_->size(); ++c) {
+    cut.client_paths.push_back(
+        static_cast<std::uint32_t>(clients_->local_path(c)));
+  }
+  cut.route_hist = epoch_route_;  // the just-finished epoch's merge
+  return cut;
+}
+
+void EpochEngine::restore(std::span<const EngineCheckpoint> cuts) {
+  if (clients_ == nullptr) {
+    throw std::logic_error("EpochEngine::restore: begin() first");
+  }
+  if (!epochs_.empty() || epoch_in_flight_) {
+    throw std::logic_error(
+        "EpochEngine::restore: engine has already served epochs");
+  }
+  if (cuts.empty()) return;
+  if (cuts.size() > options_.epochs) {
+    throw std::invalid_argument(
+        "EpochEngine::restore: more cuts than the epoch budget");
+  }
+  const EngineCheckpoint& last = cuts.back();
+  if (last.flow.size() != instance_->path_count()) {
+    throw std::invalid_argument(
+        "EpochEngine::restore: flow does not match the instance's path "
+        "count");
+  }
+  if (last.client_paths.size() != clients_->size()) {
+    throw std::invalid_argument(
+        "EpochEngine::restore: client paths do not match num_clients");
+  }
+
+  for (std::size_t i = 0; i < cuts.size(); ++i) {
+    const EngineCheckpoint& cut = cuts[i];
+    if (cut.summary.epoch != i) {
+      throw std::invalid_argument(
+          "EpochEngine::restore: cuts are not the contiguous epochs "
+          "0..n-1");
+    }
+    epochs_.push_back(cut.summary);
+    total_queries_ += cut.summary.queries;
+    total_migrations_ += cut.summary.migrations;
+    run_route_.merge(cut.route_hist);
+  }
+
+  flow_ = last.flow;
+  master_ = Rng::from_state(last.rng_state);
+  for (std::size_t c = 0; c < clients_->size(); ++c) {
+    const std::size_t path = last.client_paths[c];
+    const Commodity& commodity =
+        instance_->commodity(clients_->commodity_of(c));
+    if (path >= commodity.paths.size()) {
+      throw std::invalid_argument(
+          "EpochEngine::restore: client path out of its commodity's "
+          "range");
+    }
+    clients_->reassign(c, path);
+  }
+
+  // Re-publish the board the checkpointed process was serving against:
+  // the epoch-n post of the restored flow — the same bits finish_epoch
+  // published, because the flow doubles round-tripped exactly.
+  const auto n = static_cast<std::uint64_t>(cuts.size());
+  store_->publish(std::make_shared<BoardSnapshot>(
+      *instance_, *policy_, n,
+      static_cast<double>(n) * options_.update_period, flow_));
+}
+
 RouteServerResult EpochEngine::finish(double wall_seconds) {
   if (clients_ == nullptr || epoch_in_flight_ || epochs_.empty()) {
     throw std::logic_error(

@@ -37,6 +37,7 @@
 
 #include "agents/population.h"
 #include "net/flow.h"
+#include "service/checkpoint.h"
 #include "service/ledger.h"
 #include "service/route_server.h"
 #include "service/snapshot.h"
@@ -102,6 +103,23 @@ class EpochEngine {
   /// Finalizes and returns the run result (final flow and gap, wall-clock
   /// aggregates from `wall_seconds`). The engine is spent afterwards.
   RouteServerResult finish(double wall_seconds);
+
+  /// Snapshot of the dynamics state at the current epoch boundary — the
+  /// recovery WAL's cut record. Requires at least one finished epoch and
+  /// no epoch in flight. Restoring the returned cut (plus its
+  /// predecessors) into a fresh engine continues the run bit-identically.
+  EngineCheckpoint checkpoint() const;
+
+  /// Restores a run prefix: `cuts` must be the checkpoints of epochs
+  /// 0..n-1 in order (contiguous summary.epoch values). Must be called
+  /// after begin() and before any epoch is served; publishes the epoch-n
+  /// board so serving continues exactly where the checkpointed run stood.
+  /// Throws std::invalid_argument on non-contiguous cuts, more cuts than
+  /// the epoch budget, or state that does not fit this configuration
+  /// (wrong path count, client count, or an out-of-range client path).
+  /// Wall-clock telemetry is not restored — it is not replayable state —
+  /// so resumed runs report wall figures for the new process only.
+  void restore(std::span<const EngineCheckpoint> cuts);
 
  private:
   void serve_sub_batch(std::size_t b);

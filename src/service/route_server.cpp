@@ -14,12 +14,15 @@ RouteServer::RouteServer(const Instance& instance, const Policy& policy,
 
 RouteServerResult RouteServer::run(const FlowVector& initial,
                                    const RouteServerOptions& options,
-                                   const EpochObserver& observer) {
+                                   const EpochObserver& observer,
+                                   const CutObserver& cuts,
+                                   std::span<const EngineCheckpoint> resume) {
   // The per-epoch pipeline lives in EpochEngine (shared with the
   // multi-tenant registry); a solo run is one engine driven to exhaustion
   // on its own (or a borrowed) executor.
   EpochEngine engine(*instance_, *policy_, *workload_, store_);
   engine.begin(initial, options);
+  engine.restore(resume);
 
   // The execution layer: borrowed from the caller (shared-pool mode, e.g.
   // inside a sweep) or owned for this run.
@@ -38,6 +41,7 @@ RouteServerResult RouteServer::run(const FlowVector& initial,
     exec->run(graph);
     engine.finish_epoch(seconds_between(epoch_begin, WallClock::now()),
                         observer);
+    if (cuts) cuts(engine.checkpoint());
   }
   return engine.finish(seconds_between(run_begin, WallClock::now()));
 }

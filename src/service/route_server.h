@@ -35,11 +35,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "core/policy.h"
 #include "net/flow.h"
 #include "net/instance.h"
+#include "service/checkpoint.h"
 #include "service/snapshot.h"
 #include "service/telemetry.h"
 #include "service/workload.h"
@@ -142,9 +144,18 @@ class RouteServer {
   /// Serves `options.epochs` epochs starting from the feasible flow
   /// `initial`. Throws std::invalid_argument on a non-positive update
   /// period, zero epochs, a shard/client mismatch or an infeasible start.
+  ///
+  /// Recovery hooks: `cuts`, when set, is called after every finished
+  /// epoch with that epoch's EngineCheckpoint (the WAL write path);
+  /// `resume`, when nonempty, must be the checkpoints of epochs 0..n-1 of
+  /// an identically configured run — the server restores them and serves
+  /// only the remaining epochs, and the result (telemetry digest, final
+  /// flow, route histogram) is byte-identical to the uninterrupted run.
   RouteServerResult run(const FlowVector& initial,
                         const RouteServerOptions& options,
-                        const EpochObserver& observer = nullptr);
+                        const EpochObserver& observer = nullptr,
+                        const CutObserver& cuts = nullptr,
+                        std::span<const EngineCheckpoint> resume = {});
 
   /// Read side: the currently published snapshot (nullptr before the
   /// first epoch of a run). Safe to call concurrently with run() — this

@@ -5,6 +5,7 @@
 // architecture sketch.
 #pragma once
 
+#include "service/checkpoint.h"
 #include "service/epoch_engine.h"
 #include "service/ledger.h"
 #include "service/route_server.h"

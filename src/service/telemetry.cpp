@@ -52,15 +52,21 @@ void write_epoch_csv(const std::string& path,
 std::uint64_t telemetry_digest(std::span<const EpochSummary> epochs) {
   std::uint64_t h = fnv::kOffsetBasis;
   for (const EpochSummary& e : epochs) {
-    fnv::hash_u64(h, e.epoch);
-    fnv::hash_u64(h, e.queries);
-    fnv::hash_u64(h, e.migrations);
-    fnv::hash_double(h, e.wardrop_gap);
-    fnv::hash_double(h, e.board_latency);
-    fnv::hash_double(h, e.route_p50);
-    fnv::hash_double(h, e.route_p99);
-    fnv::hash_double(h, e.route_p999);
+    h = telemetry_digest_accumulate(h, e);
   }
+  return h;
+}
+
+std::uint64_t telemetry_digest_accumulate(std::uint64_t h,
+                                          const EpochSummary& e) {
+  fnv::hash_u64(h, e.epoch);
+  fnv::hash_u64(h, e.queries);
+  fnv::hash_u64(h, e.migrations);
+  fnv::hash_double(h, e.wardrop_gap);
+  fnv::hash_double(h, e.board_latency);
+  fnv::hash_double(h, e.route_p50);
+  fnv::hash_double(h, e.route_p99);
+  fnv::hash_double(h, e.route_p999);
   return h;
 }
 

@@ -63,4 +63,11 @@ void write_epoch_csv(const std::string& path,
 /// configuration.
 std::uint64_t telemetry_digest(std::span<const EpochSummary> epochs);
 
+/// Folds one epoch's deterministic fields into a running FNV state:
+/// telemetry_digest(epochs) == the fold of all epochs in order, starting
+/// from fnv::kOffsetBasis. The recovery WAL keeps its digest-so-far field
+/// this way, without rescanning the run every epoch.
+std::uint64_t telemetry_digest_accumulate(std::uint64_t h,
+                                          const EpochSummary& epoch);
+
 }  // namespace staleflow

@@ -83,9 +83,19 @@ SnapshotPtr TenantRegistry::snapshot(std::size_t tenant) const {
 }
 
 MultiTenantResult TenantRegistry::run(Executor& executor,
-                                      const TenantObserver& observer) {
+                                      const TenantObserver& observer,
+                                      const RoundCutObserver& rounds,
+                                      const RegistryResume* resume) {
   if (tenants_.empty()) {
     throw std::invalid_argument("TenantRegistry::run: no tenants registered");
+  }
+  if (resume != nullptr &&
+      ((!resume->credits.empty() &&
+        resume->credits.size() != tenants_.size()) ||
+       (!resume->cuts.empty() && resume->cuts.size() != tenants_.size()))) {
+    throw std::invalid_argument(
+        "TenantRegistry::run: resume state does not match the tenant "
+        "count");
   }
 
   // Spin up one engine per tenant. begin() validates each tenant's
@@ -94,20 +104,30 @@ MultiTenantResult TenantRegistry::run(Executor& executor,
   std::vector<std::unique_ptr<EpochEngine>> engines;
   engines.reserve(tenants_.size());
   std::size_t max_weight = 1;
-  for (Tenant& tenant : tenants_) {
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    Tenant& tenant = tenants_[i];
     engines.push_back(std::make_unique<EpochEngine>(
         *tenant.instance, *tenant.policy, *tenant.workload, *tenant.store));
     engines.back()->begin(FlowVector::uniform(*tenant.instance),
                           tenant.options.server);
+    if (resume != nullptr && !resume->cuts.empty()) {
+      engines.back()->restore(resume->cuts[i]);
+    }
     max_weight = std::max(max_weight, tenant.options.weight);
   }
 
   // Weighted round-robin over epochs. Credits are a pure function of the
   // weights and the tenants' epoch budgets: the round schedule — and with
   // it every tenant's interleaving — is deterministic, though no tenant's
-  // *outcome* depends on it (isolation contract).
+  // *outcome* depends on it (isolation contract). A resumed run picks the
+  // credit vector up at the checkpointed round boundary, so the remaining
+  // schedule is the one the uninterrupted run would have executed.
   MultiTenantResult result;
   std::vector<std::size_t> credits(tenants_.size(), 0);
+  if (resume != nullptr && !resume->credits.empty()) {
+    credits = resume->credits;
+  }
+  if (resume != nullptr) result.rounds = resume->rounds;
   std::vector<std::size_t> scheduled;
   const WallClock::time_point run_begin = WallClock::now();
   for (;;) {
@@ -125,27 +145,40 @@ MultiTenantResult TenantRegistry::run(Executor& executor,
         [](const std::unique_ptr<EpochEngine>& e) { return e->done(); });
     if (all_done) break;
     ++result.rounds;
-    if (scheduled.empty()) continue;  // credits still accruing
-
-    // One combined graph: one epoch per scheduled tenant. The engines'
-    // nodes share no mutable state, so the pool interleaves tenants
-    // freely — this is where co-tenancy actually overlaps work.
-    TaskGraph graph;
-    for (const std::size_t i : scheduled) {
-      engines[i]->add_epoch(graph);
-    }
-    const WallClock::time_point round_begin = WallClock::now();
-    executor.run(graph);
-    const double round_seconds =
-        seconds_between(round_begin, WallClock::now());
-    for (const std::size_t i : scheduled) {
-      EpochObserver epoch_observer;
-      if (observer) {
-        epoch_observer = [&observer, i](const EpochSummary& summary) {
-          observer(i, summary);
-        };
+    if (!scheduled.empty()) {
+      // One combined graph: one epoch per scheduled tenant. The engines'
+      // nodes share no mutable state, so the pool interleaves tenants
+      // freely — this is where co-tenancy actually overlaps work.
+      TaskGraph graph;
+      for (const std::size_t i : scheduled) {
+        engines[i]->add_epoch(graph);
       }
-      engines[i]->finish_epoch(round_seconds, epoch_observer);
+      const WallClock::time_point round_begin = WallClock::now();
+      executor.run(graph);
+      const double round_seconds =
+          seconds_between(round_begin, WallClock::now());
+      for (const std::size_t i : scheduled) {
+        EpochObserver epoch_observer;
+        if (observer) {
+          epoch_observer = [&observer, i](const EpochSummary& summary) {
+            observer(i, summary);
+          };
+        }
+        engines[i]->finish_epoch(round_seconds, epoch_observer);
+      }
+    }
+    if (rounds) {
+      // The round's WAL cut: even a credits-only round is checkpointed —
+      // the credit vector changed, and resume must restart from exactly
+      // this boundary.
+      RoundCheckpoint cut;
+      cut.rounds = result.rounds;
+      cut.credits = credits;
+      cut.cuts.reserve(scheduled.size());
+      for (const std::size_t i : scheduled) {
+        cut.cuts.emplace_back(i, engines[i]->checkpoint());
+      }
+      rounds(cut);
     }
   }
   result.wall_seconds = seconds_between(run_begin, WallClock::now());

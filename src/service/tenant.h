@@ -35,6 +35,7 @@
 
 #include "core/policy.h"
 #include "net/instance.h"
+#include "service/checkpoint.h"
 #include "service/route_server.h"
 #include "service/snapshot.h"
 #include "service/workload.h"
@@ -100,8 +101,19 @@ class TenantRegistry {
   /// Throws std::invalid_argument when the registry is empty or a
   /// tenant's options are invalid. May be called again for a fresh run
   /// (each run rebuilds every tenant's state from scratch).
+  ///
+  /// Recovery hooks: `rounds`, when set, is called after every scheduler
+  /// round with the post-round credit state and the cut of every tenant
+  /// that served an epoch (the multi-tenant WAL write path). `resume`,
+  /// when set, restores every tenant's cut prefix and the scheduler's
+  /// round/credit state from a matching round boundary before serving —
+  /// the remaining rounds replay exactly, so every tenant's deterministic
+  /// telemetry is byte-identical to the uninterrupted run. resume->cuts
+  /// and resume->credits must be empty or have one entry per tenant.
   MultiTenantResult run(Executor& executor,
-                        const TenantObserver& observer = nullptr);
+                        const TenantObserver& observer = nullptr,
+                        const RoundCutObserver& rounds = nullptr,
+                        const RegistryResume* resume = nullptr);
 
  private:
   struct Tenant {

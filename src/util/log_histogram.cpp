@@ -194,6 +194,34 @@ std::uint64_t LogHistogram::bucket_value(std::size_t b) const {
   return counts_.empty() ? 0 : counts_[b];
 }
 
+LogHistogram LogHistogram::from_state(
+    double min_value, double max_value, unsigned sub_bucket_bits,
+    std::span<const std::pair<std::uint64_t, std::uint64_t>> buckets,
+    double min, double max, double sum) {
+  LogHistogram hist(min_value, max_value, sub_bucket_bits);
+  if (buckets.empty()) return hist;
+  hist.ensure_counts();
+  for (const auto& [bucket, count] : buckets) {
+    if (bucket >= hist.bucket_count()) {
+      throw std::invalid_argument(
+          "LogHistogram::from_state: bucket index out of range");
+    }
+    if (count == 0 || hist.counts_[bucket] != 0) {
+      throw std::invalid_argument(
+          "LogHistogram::from_state: zero or repeated bucket entry");
+    }
+    hist.counts_[bucket] = count;
+    hist.count_ += count;
+  }
+  if (!(min <= max)) {
+    throw std::invalid_argument("LogHistogram::from_state: min > max");
+  }
+  hist.min_ = min;
+  hist.max_ = max;
+  hist.sum_ = sum;
+  return hist;
+}
+
 bool operator==(const LogHistogram& a, const LogHistogram& b) {
   if (!a.same_config(b) || a.count_ != b.count_ || a.sum_ != b.sum_) {
     return false;

@@ -23,6 +23,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 namespace staleflow {
@@ -100,6 +102,22 @@ class LogHistogram {
   double min_value() const noexcept { return min_value_; }
   double max_value() const noexcept { return max_value_; }
   unsigned sub_bucket_bits() const noexcept { return sub_bucket_bits_; }
+
+  // ---- checkpoint/restore (the recovery WAL path) ----
+
+  /// Rebuilds a histogram from previously exported state: the
+  /// configuration, the nonzero (bucket index, count) pairs, and the
+  /// exact min/max/sum the accessors reported. The result compares
+  /// operator==-equal to the original — bucket counts, count, min, max
+  /// and sum restored bit-for-bit — so merges and quantiles continue
+  /// exactly. `min`/`max`/`sum` are ignored when `buckets` is empty (an
+  /// empty histogram has no extremes). Throws std::invalid_argument on a
+  /// bad configuration, an out-of-range or repeated bucket index, a zero
+  /// per-bucket count, or (when nonempty) min > max.
+  static LogHistogram from_state(
+      double min_value, double max_value, unsigned sub_bucket_bits,
+      std::span<const std::pair<std::uint64_t, std::uint64_t>> buckets,
+      double min, double max, double sum);
 
   /// True when both histograms have the same configuration AND the same
   /// counts, min, max and sum — i.e. they are observationally identical.

@@ -122,4 +122,15 @@ Rng Rng::split() noexcept {
   return Rng{(*this)()};
 }
 
+Rng Rng::from_state(const std::array<std::uint64_t, 4>& state) {
+  if (state[0] == 0 && state[1] == 0 && state[2] == 0 && state[3] == 0) {
+    throw std::invalid_argument(
+        "Rng::from_state: all-zero state is not a valid xoshiro256** "
+        "cursor");
+  }
+  Rng rng;
+  rng.state_ = state;
+  return rng;
+}
+
 }  // namespace staleflow

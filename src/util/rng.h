@@ -69,6 +69,18 @@ class Rng {
   /// Derives an independent child generator (for per-agent streams).
   Rng split() noexcept;
 
+  /// The full 256-bit generator state — the cursor a checkpoint stores so
+  /// a restored stream continues exactly where this one stands (every
+  /// future draw and split() identical). Round-trips through from_state().
+  std::array<std::uint64_t, 4> state() const noexcept { return state_; }
+
+  /// Rebuilds a generator at a previously exported cursor. Throws
+  /// std::invalid_argument on the all-zero state (unreachable from any
+  /// seeded generator: xoshiro256** never enters it, and the constructor
+  /// avoids it), so a zeroed/corrupt checkpoint fails loudly instead of
+  /// producing a degenerate stream.
+  static Rng from_state(const std::array<std::uint64_t, 4>& state);
+
  private:
   std::array<std::uint64_t, 4> state_{};
 };

@@ -1,0 +1,673 @@
+// Crash-recovery property suite (ctest label `recovery`, run under the
+// sanitizer CI job).
+//
+// The contract under test: a run serving with --wal can be killed at ANY
+// byte of its write-ahead log — a torn tail, a clean record boundary, a
+// flipped bit — and recover_wal + resume reproduce the uninterrupted
+// run's deterministic telemetry byte for byte: same per-epoch digests,
+// same final flow, same route-latency histogram. The protocol invariants
+// ride along: cut records commit only at round marks, a single-server
+// WAL is record-for-record identical to a one-tenant registry's, and the
+// CLI-facing recovery flags fail closed (exit 2) on conflicting or
+// unusable paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cli_common.h"
+#include "exec/exec.h"
+#include "net/flow.h"
+#include "net/generators.h"
+#include "recovery/recovery.h"
+#include "service/service.h"
+#include "sweep/spec.h"
+#include "util/binio.h"
+#include "util/fnv.h"
+#include "util/log_histogram.h"
+#include "util/rng.h"
+
+namespace staleflow {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "staleflow_recovery_" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out) << path;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// ---------------------------------------------------------------- binio
+
+TEST(BinIO, RoundTripsAllFieldTypes) {
+  binio::Writer w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.f64(-0.0);
+  w.f64(3.141592653589793);
+  w.str(std::string("bin\0ary", 7));  // embedded NUL survives
+  w.str("");
+
+  binio::Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  const double negative_zero = r.f64();
+  EXPECT_EQ(negative_zero, 0.0);
+  EXPECT_TRUE(std::signbit(negative_zero));  // exact bit pattern, not value
+  EXPECT_EQ(r.f64(), 3.141592653589793);
+  EXPECT_EQ(r.str(), std::string("bin\0ary", 7));
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(BinIO, ReaderThrowsOnUnderrun) {
+  binio::Writer w;
+  w.u32(7);
+  binio::Reader r(w.data());
+  EXPECT_THROW(r.u64(), std::runtime_error);
+
+  binio::Writer lying;
+  lying.u64(1000);  // string length prefix far past the buffer
+  binio::Reader r2(lying.data());
+  EXPECT_THROW(r2.str(), std::runtime_error);
+}
+
+// ------------------------------------------- LogHistogram::from_state
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> nonzero_buckets(
+    const LogHistogram& hist) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+  for (std::size_t b = 0; b < hist.bucket_count(); ++b) {
+    if (hist.bucket_value(b) != 0) buckets.emplace_back(b, hist.bucket_value(b));
+  }
+  return buckets;
+}
+
+TEST(HistogramState, RoundTripIsObservationallyIdentical) {
+  LogHistogram hist(1e-6, 1e6, 4);
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) hist.record(rng.uniform(0.0, 100.0));
+  hist.record(1e-9);  // underflow bucket
+  hist.record(1e9);   // overflow bucket
+
+  const LogHistogram restored = LogHistogram::from_state(
+      hist.min_value(), hist.max_value(), hist.sub_bucket_bits(),
+      nonzero_buckets(hist), hist.min(), hist.max(), hist.sum());
+  EXPECT_TRUE(restored == hist);
+  EXPECT_EQ(restored.quantile(0.99), hist.quantile(0.99));
+
+  // Restored histograms must keep MERGING exactly — that is how resume
+  // rebuilds the run distribution from per-epoch cuts.
+  LogHistogram more(1e-6, 1e6, 4);
+  more.record(42.0, 17);
+  LogHistogram merged_original = hist;
+  merged_original.merge(more);
+  LogHistogram merged_restored = restored;
+  merged_restored.merge(more);
+  EXPECT_TRUE(merged_restored == merged_original);
+}
+
+TEST(HistogramState, EmptyRoundTrip) {
+  const LogHistogram empty(1e-3, 1e3, 5);
+  const LogHistogram restored = LogHistogram::from_state(
+      1e-3, 1e3, 5, {}, /*min=*/0.0, /*max=*/0.0, /*sum=*/0.0);
+  EXPECT_TRUE(restored == empty);
+  EXPECT_TRUE(restored.empty());
+}
+
+TEST(HistogramState, RejectsBadState) {
+  using Buckets = std::vector<std::pair<std::uint64_t, std::uint64_t>>;
+  const Buckets repeated = {{5, 1}, {5, 2}};
+  EXPECT_THROW(
+      LogHistogram::from_state(1e-3, 1e3, 5, repeated, 1.0, 2.0, 3.0),
+      std::invalid_argument);
+  const Buckets zero_count = {{5, 0}};
+  EXPECT_THROW(
+      LogHistogram::from_state(1e-3, 1e3, 5, zero_count, 1.0, 2.0, 3.0),
+      std::invalid_argument);
+  const Buckets out_of_range = {{1u << 30, 1}};
+  EXPECT_THROW(
+      LogHistogram::from_state(1e-3, 1e3, 5, out_of_range, 1.0, 2.0, 3.0),
+      std::invalid_argument);
+  const Buckets fine = {{5, 1}};
+  EXPECT_THROW(  // min > max
+      LogHistogram::from_state(1e-3, 1e3, 5, fine, 2.0, 1.0, 3.0),
+      std::invalid_argument);
+}
+
+// ------------------------------------------------ incremental digest
+
+TEST(TelemetryDigest, AccumulateFoldsToWholeRunDigest) {
+  std::vector<EpochSummary> epochs(5);
+  for (std::size_t e = 0; e < epochs.size(); ++e) {
+    epochs[e].epoch = e;
+    epochs[e].queries = 100 + e;
+    epochs[e].migrations = e;
+    epochs[e].wardrop_gap = 0.25 / static_cast<double>(e + 1);
+    epochs[e].board_latency = 1.5 + static_cast<double>(e);
+    epochs[e].route_p50 = 1.0;
+    epochs[e].route_p99 = 2.0;
+    epochs[e].route_p999 = 3.0;
+  }
+  std::uint64_t folded = fnv::kOffsetBasis;
+  for (const EpochSummary& epoch : epochs) {
+    folded = telemetry_digest_accumulate(folded, epoch);
+  }
+  EXPECT_EQ(folded, telemetry_digest(epochs));
+}
+
+// ------------------------------------------------------- WAL framing
+
+TEST(WalFraming, WritesAndScansRecords) {
+  const std::string path = temp_path("framing.wal");
+  {
+    recovery::WalWriter writer = recovery::WalWriter::create(path);
+    writer.append(recovery::RecordType::kRunHeader, "alpha");
+    writer.append(recovery::RecordType::kEpochCut,
+                  std::string("b\0in", 4));
+    writer.append(recovery::RecordType::kTrailer, "");
+  }
+  const recovery::WalScan scan = recovery::scan_wal(path);
+  EXPECT_FALSE(scan.truncated);
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.records[0].type, recovery::RecordType::kRunHeader);
+  EXPECT_EQ(scan.records[0].payload, "alpha");
+  EXPECT_EQ(scan.records[1].payload, std::string("b\0in", 4));
+  EXPECT_EQ(scan.records[2].type, recovery::RecordType::kTrailer);
+  EXPECT_EQ(scan.valid_bytes, std::filesystem::file_size(path));
+}
+
+TEST(WalFraming, TornTailIsTruncatedAtLastGoodRecord) {
+  const std::string path = temp_path("torn.wal");
+  {
+    recovery::WalWriter writer = recovery::WalWriter::create(path);
+    writer.append(recovery::RecordType::kRunHeader, "one");
+    writer.append(recovery::RecordType::kEpochCut, "two-two");
+    writer.append(recovery::RecordType::kRoundMark, "three");
+  }
+  const std::string clean = read_file(path);
+  const recovery::WalScan full = recovery::scan_wal(path);
+  ASSERT_EQ(full.records.size(), 3u);
+
+  // Cut the file anywhere inside the third record: the scan keeps the
+  // first two and reports the amputation point.
+  for (const std::size_t keep :
+       {full.records[1].end_offset + 1, full.records[2].end_offset - 1}) {
+    write_file(path, clean.substr(0, keep));
+    const recovery::WalScan torn = recovery::scan_wal(path);
+    EXPECT_TRUE(torn.truncated);
+    ASSERT_EQ(torn.records.size(), 2u);
+    EXPECT_EQ(torn.valid_bytes, full.records[1].end_offset);
+    EXPECT_FALSE(torn.note.empty());
+  }
+}
+
+TEST(WalFraming, BitFlipStopsTheScan) {
+  const std::string path = temp_path("flip.wal");
+  {
+    recovery::WalWriter writer = recovery::WalWriter::create(path);
+    writer.append(recovery::RecordType::kRunHeader, "head");
+    writer.append(recovery::RecordType::kEpochCut, "payload-payload");
+    writer.append(recovery::RecordType::kRoundMark, "mark");
+  }
+  std::string bytes = read_file(path);
+  const recovery::WalScan full = recovery::scan_wal(path);
+  ASSERT_EQ(full.records.size(), 3u);
+
+  // Flip one bit inside the SECOND record's payload: the scan must keep
+  // the header, reject the flipped record, and — prefix property — not
+  // surface the intact third record either.
+  const std::uint64_t flip_at = full.records[0].end_offset + 8 + 3;
+  bytes[flip_at] = static_cast<char>(bytes[flip_at] ^ 0x10);
+  write_file(path, bytes);
+  const recovery::WalScan flipped = recovery::scan_wal(path);
+  EXPECT_TRUE(flipped.truncated);
+  ASSERT_EQ(flipped.records.size(), 1u);
+  EXPECT_EQ(flipped.valid_bytes, full.records[0].end_offset);
+  EXPECT_NE(flipped.note.find("checksum"), std::string::npos);
+}
+
+TEST(WalFraming, RejectsNonWalFiles) {
+  const std::string path = temp_path("notawal.bin");
+  write_file(path, "this is certainly not a WAL file");
+  EXPECT_THROW(recovery::scan_wal(path), std::runtime_error);
+  EXPECT_THROW(recovery::scan_wal(temp_path("missing.wal")),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------- serving fixtures
+
+/// A small deterministic single-server run: braess (libm-free dynamics),
+/// closed-loop load, replay mode — every telemetry byte reproducible.
+struct SingleRun {
+  Instance instance = braess(true);
+  Policy policy = named_policy("replicator").make(instance, 0.1);
+  WorkloadPtr workload = make_workload("closed-loop:800");
+  RouteServerOptions options;
+
+  SingleRun() {
+    options.update_period = 0.1;
+    options.epochs = 8;
+    options.num_clients = 400;
+    options.shards = 2;
+    options.threads = 1;
+    options.seed = 5;
+    options.record_latency = false;
+  }
+
+  RouteServerResult run(const CutObserver& cuts = nullptr,
+                        std::span<const EngineCheckpoint> resume = {}) {
+    RouteServer server(instance, policy, *workload);
+    return server.run(FlowVector::uniform(instance), options, nullptr, cuts,
+                      resume);
+  }
+
+  recovery::RunManifest manifest() const {
+    recovery::RunManifest m;
+    m.multi_tenant = false;
+    recovery::TenantManifest self;
+    self.scenario = "braess";
+    self.policy = "replicator";
+    self.workload = "closed-loop:800";
+    self.options = options;
+    self.weight = 1;
+    m.tenants.push_back(std::move(self));
+    return m;
+  }
+};
+
+/// Resumes a single-server WAL file to completion and returns the whole
+/// run's digest (the resumed process's view).
+std::uint64_t resume_single_to_completion(const std::string& path,
+                                          SingleRun& fixture) {
+  const recovery::RecoveredRun state = recovery::recover_wal(path);
+  EXPECT_FALSE(state.clean_shutdown);
+  recovery::WalLog log(path, state);
+  const RouteServerResult result =
+      fixture.run(log.single_observer(), std::span(state.cuts.front()));
+  log.finish();
+  return telemetry_digest(result.epochs);
+}
+
+// ------------------------------------- kill-at-every-cut-point (library)
+
+TEST(Resume, KillAtEveryCutPointResumesBitIdentically) {
+  SingleRun fixture;
+  std::vector<EngineCheckpoint> cuts;
+  const RouteServerResult full =
+      fixture.run([&cuts](const EngineCheckpoint& c) { cuts.push_back(c); });
+  ASSERT_EQ(cuts.size(), fixture.options.epochs);
+  const std::uint64_t golden = telemetry_digest(full.epochs);
+  ASSERT_GT(full.total_migrations, 0u);  // dynamics actually moved
+
+  for (std::size_t k = 0; k <= cuts.size(); ++k) {
+    const RouteServerResult resumed =
+        fixture.run(nullptr, std::span(cuts).subspan(0, k));
+    EXPECT_EQ(telemetry_digest(resumed.epochs), golden) << "cut " << k;
+    const std::vector<double> resumed_flow(resumed.final_flow.values().begin(),
+                                           resumed.final_flow.values().end());
+    const std::vector<double> full_flow(full.final_flow.values().begin(),
+                                        full.final_flow.values().end());
+    EXPECT_EQ(resumed_flow, full_flow) << "cut " << k;
+    EXPECT_TRUE(resumed.route_latency == full.route_latency) << "cut " << k;
+    EXPECT_EQ(resumed.total_queries, full.total_queries) << "cut " << k;
+  }
+}
+
+TEST(Resume, RejectsCutsThatDoNotFitTheConfiguration) {
+  SingleRun fixture;
+  std::vector<EngineCheckpoint> cuts;
+  fixture.run([&cuts](const EngineCheckpoint& c) { cuts.push_back(c); });
+
+  std::vector<EngineCheckpoint> gap = {cuts[0], cuts[2]};  // not contiguous
+  EXPECT_THROW(fixture.run(nullptr, gap), std::invalid_argument);
+
+  std::vector<EngineCheckpoint> wrong_flow = {cuts[0]};
+  wrong_flow[0].flow.push_back(0.0);
+  EXPECT_THROW(fixture.run(nullptr, wrong_flow), std::invalid_argument);
+
+  std::vector<EngineCheckpoint> wrong_clients = {cuts[0]};
+  wrong_clients[0].client_paths.pop_back();
+  EXPECT_THROW(fixture.run(nullptr, wrong_clients), std::invalid_argument);
+}
+
+// --------------------------------------------- WAL end-to-end (single)
+
+TEST(WalLog, CleanRunRoundTripsThroughRecoverWal) {
+  SingleRun fixture;
+  const std::string path = temp_path("clean.wal");
+  std::uint64_t golden = 0;
+  {
+    recovery::WalLog log(path, fixture.manifest());
+    const RouteServerResult full = fixture.run(log.single_observer());
+    log.finish();
+    golden = telemetry_digest(full.epochs);
+  }
+
+  const recovery::RecoveredRun state = recovery::recover_wal(path);
+  EXPECT_TRUE(state.clean_shutdown);
+  EXPECT_FALSE(state.truncated);
+  EXPECT_FALSE(state.manifest.multi_tenant);
+  ASSERT_EQ(state.cuts.size(), 1u);
+  EXPECT_EQ(state.cuts[0].size(), fixture.options.epochs);
+  EXPECT_EQ(state.digests[0], golden);
+  EXPECT_EQ(state.rounds, fixture.options.epochs);
+
+  const recovery::TenantManifest& manifest = state.manifest.tenants[0];
+  EXPECT_EQ(manifest.scenario, "braess");
+  EXPECT_EQ(manifest.policy, "replicator");
+  EXPECT_EQ(manifest.workload, "closed-loop:800");
+  EXPECT_EQ(manifest.options.epochs, fixture.options.epochs);
+  EXPECT_EQ(manifest.options.seed, fixture.options.seed);
+  EXPECT_EQ(manifest.options.num_clients, fixture.options.num_clients);
+  EXPECT_FALSE(manifest.options.record_latency);
+
+  // Restored cuts are bit-identical to freshly captured ones: replaying
+  // the recovered state must land on the same digest.
+  const RouteServerResult resumed =
+      fixture.run(nullptr, std::span(state.cuts[0]));
+  EXPECT_EQ(telemetry_digest(resumed.epochs), golden);
+}
+
+TEST(WalLog, KilledAtAnyByteResumesToTheSameDigest) {
+  SingleRun fixture;
+  const std::string clean_path = temp_path("killbytes.wal");
+  std::uint64_t golden = 0;
+  {
+    recovery::WalLog log(clean_path, fixture.manifest());
+    golden = telemetry_digest(fixture.run(log.single_observer()).epochs);
+    log.finish();
+  }
+  const std::string clean = read_file(clean_path);
+  const recovery::WalScan scan = recovery::scan_wal(clean_path);
+
+  // Crash images: the WAL cut at every record boundary and mid-record —
+  // every one must recover and resume to the uninterrupted digest. The
+  // prefix must at least contain the run header (records[0]); anything
+  // shorter is "not a resumable WAL", tested separately.
+  std::vector<std::size_t> prefixes;
+  for (std::size_t i = 0; i + 1 < scan.records.size(); ++i) {
+    prefixes.push_back(scan.records[i].end_offset);       // boundary
+    prefixes.push_back(scan.records[i].end_offset + 5);   // torn mid-record
+  }
+  const std::string crash_path = temp_path("killbytes_crash.wal");
+  for (const std::size_t keep : prefixes) {
+    write_file(crash_path, clean.substr(0, keep));
+    SingleRun resumed_fixture;
+    EXPECT_EQ(resume_single_to_completion(crash_path, resumed_fixture),
+              golden)
+        << "killed at byte " << keep;
+    // The healed WAL is now a complete, clean run.
+    const recovery::RecoveredRun healed = recovery::recover_wal(crash_path);
+    EXPECT_TRUE(healed.clean_shutdown) << "killed at byte " << keep;
+    EXPECT_EQ(healed.digests[0], golden) << "killed at byte " << keep;
+  }
+}
+
+TEST(WalLog, BitFlippedCutRecoversToLastGoodEpoch) {
+  SingleRun fixture;
+  const std::string path = temp_path("flipcut.wal");
+  std::uint64_t golden = 0;
+  {
+    recovery::WalLog log(path, fixture.manifest());
+    golden = telemetry_digest(fixture.run(log.single_observer()).epochs);
+    log.finish();
+  }
+  std::string bytes = read_file(path);
+  const recovery::WalScan scan = recovery::scan_wal(path);
+  // Records: header, then (cut, mark) pairs. Flip a bit inside epoch 3's
+  // cut record (records[7]): epochs 0..2 stay committed.
+  ASSERT_GT(scan.records.size(), 8u);
+  const std::uint64_t flip_at = scan.records[6].end_offset + 8 + 11;
+  bytes[flip_at] = static_cast<char>(bytes[flip_at] ^ 0x01);
+  write_file(path, bytes);
+
+  const recovery::RecoveredRun state = recovery::recover_wal(path);
+  EXPECT_TRUE(state.truncated);
+  EXPECT_FALSE(state.clean_shutdown);
+  EXPECT_EQ(state.cuts[0].size(), 3u);
+  EXPECT_EQ(state.rounds, 3u);
+
+  SingleRun resumed_fixture;
+  EXPECT_EQ(resume_single_to_completion(path, resumed_fixture), golden);
+}
+
+TEST(RecoverWal, RejectsHeaderlessWal) {
+  const std::string path = temp_path("headerless.wal");
+  { recovery::WalWriter::create(path); }  // magic only, no records
+  EXPECT_THROW(recovery::recover_wal(path), std::runtime_error);
+}
+
+// ------------------------------------- single-server == one-tenant WAL
+
+TEST(WalProtocol, SingleServerMatchesOneTenantRegistryRecordForRecord) {
+  SingleRun fixture;
+  const std::string single_path = temp_path("proto_single.wal");
+  {
+    recovery::WalLog log(single_path, fixture.manifest());
+    fixture.run(log.single_observer());
+    log.finish();
+  }
+
+  const std::string tenant_path = temp_path("proto_tenant.wal");
+  {
+    recovery::RunManifest manifest = fixture.manifest();
+    manifest.multi_tenant = true;
+    manifest.tenants[0].name = "solo";
+    recovery::WalLog log(tenant_path, manifest);
+    TenantRegistry registry;
+    TenantOptions options;
+    options.server = fixture.options;
+    registry.add("solo", fixture.instance, fixture.policy, *fixture.workload,
+                 options);
+    Executor executor(1);
+    registry.run(executor, nullptr, log.round_observer());
+    log.finish();
+  }
+
+  const recovery::WalScan single = recovery::scan_wal(single_path);
+  const recovery::WalScan tenant = recovery::scan_wal(tenant_path);
+  ASSERT_EQ(single.records.size(), tenant.records.size());
+  // Headers differ (multi-tenant flag, tenant name); every record after
+  // them — cuts, round marks, trailer — must be byte-identical.
+  for (std::size_t i = 1; i < single.records.size(); ++i) {
+    EXPECT_EQ(single.records[i].type, tenant.records[i].type) << "rec " << i;
+    EXPECT_EQ(single.records[i].payload, tenant.records[i].payload)
+        << "record " << i << " differs";
+  }
+}
+
+// --------------------------------------------------- multi-tenant WAL
+
+/// Two heterogeneous tenants with different weights, budgets and
+/// scenarios — the interleaving actually exercises the round protocol.
+struct MultiRun {
+  Instance braess_instance = braess(true);
+  Instance links = uniform_parallel_links(8, 0.5, 1.0);
+  Policy braess_policy = named_policy("replicator").make(braess_instance, 0.1);
+  Policy links_policy = named_policy("replicator").make(links, 0.1);
+  WorkloadPtr workload_a = make_workload("closed-loop:800");
+  WorkloadPtr workload_b = make_workload("closed-loop:400");
+  TenantOptions options_a;
+  TenantOptions options_b;
+
+  MultiRun() {
+    options_a.server.update_period = 0.1;
+    options_a.server.epochs = 6;
+    options_a.server.num_clients = 400;
+    options_a.server.shards = 2;
+    options_a.server.seed = 5;
+    options_a.server.record_latency = false;
+    options_a.weight = 2;
+
+    options_b.server = options_a.server;
+    options_b.server.epochs = 4;
+    options_b.server.num_clients = 200;
+    options_b.server.seed = 9;
+    options_b.weight = 1;
+  }
+
+  void add_tenants(TenantRegistry& registry) const {
+    registry.add("alpha", braess_instance, braess_policy, *workload_a,
+                 options_a);
+    registry.add("beta", links, links_policy, *workload_b, options_b);
+  }
+
+  recovery::RunManifest manifest() const {
+    recovery::RunManifest m;
+    m.multi_tenant = true;
+    recovery::TenantManifest alpha;
+    alpha.name = "alpha";
+    alpha.scenario = "braess";
+    alpha.policy = "replicator";
+    alpha.workload = "closed-loop:800";
+    alpha.options = options_a.server;
+    alpha.weight = options_a.weight;
+    recovery::TenantManifest beta;
+    beta.name = "beta";
+    beta.scenario = "uniform-links-8";
+    beta.policy = "replicator";
+    beta.workload = "closed-loop:400";
+    beta.options = options_b.server;
+    beta.weight = options_b.weight;
+    m.tenants.push_back(std::move(alpha));
+    m.tenants.push_back(std::move(beta));
+    return m;
+  }
+
+  MultiTenantResult run(const RoundCutObserver& rounds = nullptr,
+                        const RegistryResume* resume = nullptr) const {
+    TenantRegistry registry;
+    add_tenants(registry);
+    Executor executor(1);
+    return registry.run(executor, nullptr, rounds, resume);
+  }
+};
+
+std::vector<std::uint64_t> tenant_digests(const MultiTenantResult& result) {
+  std::vector<std::uint64_t> digests;
+  for (const TenantResult& tenant : result.tenants) {
+    digests.push_back(telemetry_digest(tenant.server.epochs));
+  }
+  return digests;
+}
+
+TEST(WalLog, MultiTenantKilledMidRunResumesBitIdentically) {
+  MultiRun fixture;
+  const std::string path = temp_path("multi.wal");
+  std::vector<std::uint64_t> golden;
+  {
+    recovery::WalLog log(path, fixture.manifest());
+    golden = tenant_digests(fixture.run(log.round_observer()));
+    log.finish();
+  }
+
+  // Sanity: the clean WAL recovers to a finished run with those digests.
+  const recovery::RecoveredRun clean = recovery::recover_wal(path);
+  EXPECT_TRUE(clean.clean_shutdown);
+  EXPECT_EQ(clean.digests, golden);
+  EXPECT_EQ(clean.manifest.tenants[0].weight, 2u);
+
+  // Kill the run at several byte offsets (including mid-record) and
+  // resume each crash image: per-tenant digests must match, and every
+  // tenant picks up at a scheduler-round boundary (committed cuts only).
+  const std::string bytes = read_file(path);
+  const recovery::WalScan scan = recovery::scan_wal(path);
+  const std::string crash_path = temp_path("multi_crash.wal");
+  for (std::size_t i = 0; i + 1 < scan.records.size(); i += 2) {
+    for (const std::size_t keep :
+         {scan.records[i].end_offset, scan.records[i].end_offset + 7}) {
+      write_file(crash_path, bytes.substr(0, keep));
+      const recovery::RecoveredRun state = recovery::recover_wal(crash_path);
+      ASSERT_FALSE(state.clean_shutdown);
+      recovery::WalLog log(crash_path, state);
+      const RegistryResume resume = recovery::registry_resume(state);
+      const MultiTenantResult resumed =
+          fixture.run(log.round_observer(), &resume);
+      log.finish();
+      EXPECT_EQ(tenant_digests(resumed), golden) << "killed at byte " << keep;
+
+      const recovery::RecoveredRun healed = recovery::recover_wal(crash_path);
+      EXPECT_TRUE(healed.clean_shutdown) << "killed at byte " << keep;
+      EXPECT_EQ(healed.digests, golden) << "killed at byte " << keep;
+    }
+  }
+}
+
+// ------------------------------------------------- CLI recovery flags
+
+const std::set<std::string> kConfigKeys = {
+    "scenario", "policy", "workload", "tenants",   "period",       "epochs",
+    "clients",  "shards", "seed",     "sub-batch", "deterministic"};
+
+TEST(RecoveryFlags, WalAndResumeAreMutuallyExclusive) {
+  cli::RecoveryFlags flags;
+  flags.wal = "a.wal";
+  flags.resume = "b.wal";
+  EXPECT_THROW(cli::validate_recovery_flags(flags, {}, kConfigKeys),
+               cli::UsageError);
+}
+
+TEST(RecoveryFlags, ResumeConflictsWithConfigFlags) {
+  const std::string path = temp_path("flags_ok.wal");
+  write_file(path, "exists");
+  cli::RecoveryFlags flags;
+  flags.resume = path;
+  const std::map<std::string, std::string> with_seed = {{"resume", path},
+                                                        {"seed", "7"}};
+  EXPECT_THROW(cli::validate_recovery_flags(flags, with_seed, kConfigKeys),
+               cli::UsageError);
+  const std::map<std::string, std::string> with_epochs = {{"resume", path},
+                                                          {"epochs", "9"}};
+  EXPECT_THROW(cli::validate_recovery_flags(flags, with_epochs, kConfigKeys),
+               cli::UsageError);
+}
+
+TEST(RecoveryFlags, RuntimeKnobsStayLegalWithResume) {
+  const std::string path = temp_path("flags_runtime.wal");
+  write_file(path, "exists");
+  cli::RecoveryFlags flags;
+  flags.resume = path;
+  const std::map<std::string, std::string> runtime = {
+      {"resume", path}, {"threads", "4"}, {"csv", "out.csv"}, {"quiet", "1"}};
+  EXPECT_NO_THROW(cli::validate_recovery_flags(flags, runtime, kConfigKeys));
+}
+
+TEST(RecoveryFlags, ResumeRequiresReadableFile) {
+  cli::RecoveryFlags flags;
+  flags.resume = temp_path("definitely_missing.wal");
+  EXPECT_THROW(cli::validate_recovery_flags(flags, {}, kConfigKeys),
+               cli::UsageError);
+}
+
+TEST(RecoveryFlags, WalRequiresWritablePath) {
+  cli::RecoveryFlags flags;
+  flags.wal = "/nonexistent_dir_for_staleflow_tests/x.wal";
+  EXPECT_THROW(cli::validate_recovery_flags(flags, {}, kConfigKeys),
+               cli::UsageError);
+}
+
+}  // namespace
+}  // namespace staleflow

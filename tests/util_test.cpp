@@ -152,6 +152,47 @@ TEST(Rng, SplitStreamsAreIndependentlySeeded) {
   EXPECT_LT(equal, 2);
 }
 
+// The recovery WAL's RNG-cursor contract: exporting the state mid-stream
+// and restoring it elsewhere continues the stream exactly — every raw
+// draw identical, from any cut point, no matter how far the original had
+// advanced.
+TEST(Rng, StateRoundTripContinuesStreamExactly) {
+  for (const std::uint64_t seed : {0ULL, 1ULL, 42ULL, 0xDEADBEEFULL}) {
+    Rng original(seed);
+    for (int warmup = 0; warmup < 257; ++warmup) original();
+
+    Rng restored = Rng::from_state(original.state());
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_EQ(original(), restored()) << "seed " << seed << " draw " << i;
+    }
+  }
+}
+
+// split() is part of the cursor contract too: the epoch engines derive
+// every per-epoch and per-sub-batch stream via split(), so a restored
+// master must split into the SAME children, and the children's children
+// must match as well.
+TEST(Rng, StateRoundTripPreservesSplitStreams) {
+  Rng original(99);
+  for (int warmup = 0; warmup < 17; ++warmup) original.split();
+
+  Rng restored = Rng::from_state(original.state());
+  for (int s = 0; s < 32; ++s) {
+    Rng child_a = original.split();
+    Rng child_b = restored.split();
+    Rng grandchild_a = child_a.split();
+    Rng grandchild_b = child_b.split();
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_EQ(child_a(), child_b()) << "split " << s << " draw " << i;
+      ASSERT_EQ(grandchild_a(), grandchild_b());
+    }
+  }
+}
+
+TEST(Rng, FromStateRejectsAllZeroState) {
+  EXPECT_THROW(Rng::from_state({0, 0, 0, 0}), std::invalid_argument);
+}
+
 TEST(RunningStats, BasicMoments) {
   RunningStats stats;
   for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {

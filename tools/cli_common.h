@@ -6,6 +6,7 @@
 // instead of letting them wrap through a size_t cast.
 #pragma once
 
+#include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
@@ -84,6 +85,68 @@ inline std::size_t parse_count(const std::string& text,
   const long long value = parse_integer(text, what);
   if (value < 0) throw UsageError(what + " must be >= 0, got " + text);
   return static_cast<std::size_t>(value);
+}
+
+/// The recovery flags a serving tool accepts: `--wal <path>` starts a
+/// fresh write-ahead epoch log, `--resume <path>` continues a crashed run
+/// from one. Mutually exclusive — a resumed run appends to the SAME WAL.
+struct RecoveryFlags {
+  std::string wal;
+  std::string resume;
+  bool fresh_wal() const noexcept { return !wal.empty(); }
+  bool resuming() const noexcept { return !resume.empty(); }
+};
+
+/// `--resume <path>` must name an existing, readable file.
+inline void require_readable(const std::string& path,
+                             const std::string& what) {
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe) {
+    throw UsageError("cannot read " + what + " file '" + path + "'");
+  }
+}
+
+/// `--wal <path>` must be creatable/appendable NOW — failing at epoch 0
+/// beats failing at the first cut, minutes into a run. The append-mode
+/// probe creates a missing file but never touches existing bytes.
+inline void require_writable(const std::string& path,
+                             const std::string& what) {
+  std::ofstream probe(path, std::ios::binary | std::ios::app);
+  if (!probe) {
+    throw UsageError("cannot write " + what + " path '" + path + "'");
+  }
+}
+
+/// Validates a parsed RecoveryFlags pair against the rest of the command
+/// line. `config_keys` lists the tool's run-configuration flags
+/// (scenario, seed, epochs, ...): `--resume` takes the ENTIRE
+/// configuration from the WAL header, so passing any of them alongside it
+/// is a conflict, not an override — silently ignoring a `--seed` that
+/// disagrees with the WAL would misreport what the run did. Runtime knobs
+/// (threads, csv, report-every, quiet) stay legal; they are not dynamics
+/// configuration.
+inline void validate_recovery_flags(
+    const RecoveryFlags& recovery,
+    const std::map<std::string, std::string>& flags,
+    const std::set<std::string>& config_keys) {
+  if (recovery.fresh_wal() && recovery.resuming()) {
+    throw UsageError(
+        "--wal and --resume are mutually exclusive (a resumed run appends "
+        "to the WAL it resumes from)");
+  }
+  if (recovery.resuming()) {
+    for (const auto& [key, value] : flags) {
+      if (config_keys.contains(key)) {
+        throw UsageError("--" + key +
+                         " conflicts with --resume: the run configuration "
+                         "comes from the WAL header");
+      }
+    }
+    require_readable(recovery.resume, "--resume");
+  }
+  if (recovery.fresh_wal()) {
+    require_writable(recovery.wal, "--wal");
+  }
 }
 
 /// Rejects a value not present in `valid`, listing the catalogue.

@@ -7,6 +7,7 @@
 //                        [--sub-batch <q>|auto] [--threads <k>]
 //                        [--seed <s>] [--deterministic] [--csv <path>]
 //                        [--tenants <spec>[;<spec>...]]
+//                        [--wal <path> | --resume <path>]
 //                        [--report-every <n>] [--quiet]
 //   route_server_cli list
 //
@@ -25,10 +26,23 @@
 // tenant gets its own digest[<name>]= line and, with --csv out.csv, its
 // own out.<name>.csv — per-tenant telemetry that is byte-identical to
 // the same tenant served alone, at any --threads.
+//
+// Crash recovery (src/recovery/): --wal <path> writes a write-ahead
+// epoch log — the run's full configuration, then every epoch's cut —
+// alongside the run. --resume <path> recovers a crashed run from its
+// WAL and serves only the remaining epochs, appending to the same file;
+// the resumed run's digests are byte-identical to the uninterrupted
+// run's. --resume takes the ENTIRE dynamics configuration from the WAL
+// header, so configuration flags (--scenario, --seed, --epochs, ...)
+// conflict with it; runtime knobs (--threads, --csv, --report-every,
+// --quiet) remain legal. Inspect or re-execute a WAL offline with
+// wal_replay_cli.
 #include <cstdlib>
 #include <deque>
 #include <iostream>
 #include <map>
+#include <optional>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -51,6 +65,18 @@ constexpr const char* kTenantGrammar =
     "           policy, workload, clients, shards, epochs, period, seed,\n"
     "           weight, sub-batch (count or auto); unset keys inherit the\n"
     "           top-level flags\n";
+constexpr const char* kRecoveryGrammar =
+    "recovery:  --wal <path> logs every epoch cut to a write-ahead log;\n"
+    "           --resume <path> continues a crashed run from its WAL\n"
+    "           (configuration flags conflict — the WAL header is the\n"
+    "           configuration; --threads/--csv/--report-every/--quiet ok)\n";
+
+/// The flags that ARE the run's dynamics configuration — all of them
+/// recorded in the WAL header, hence all of them conflicts with --resume.
+const std::set<std::string> kConfigFlags = {
+    "scenario", "policy",    "workload", "tenants", "period",
+    "epochs",   "clients",   "shards",   "sub-batch",
+    "seed",     "deterministic"};
 
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
@@ -62,9 +88,11 @@ constexpr const char* kTenantGrammar =
       "                       [--sub-batch <q>|auto] [--threads <k>]\n"
       "                       [--seed <s>] [--deterministic] [--csv <path>]\n"
       "                       [--tenants <spec>[;<spec>...]]\n"
+      "                       [--wal <path> | --resume <path>]\n"
       "                       [--report-every <n>] [--quiet]\n"
       "  route_server_cli list\n"
-      << kPolicyGrammar << kWorkloadGrammar << kTenantGrammar;
+      << kPolicyGrammar << kWorkloadGrammar << kTenantGrammar
+      << kRecoveryGrammar;
   std::exit(2);
 }
 
@@ -75,7 +103,8 @@ int do_list() {
     table.add_row({name, registry.at(name).description});
   }
   table.print(std::cout);
-  std::cout << '\n' << kPolicyGrammar << kWorkloadGrammar << kTenantGrammar;
+  std::cout << '\n' << kPolicyGrammar << kWorkloadGrammar << kTenantGrammar
+            << kRecoveryGrammar;
   return 0;
 }
 
@@ -102,96 +131,75 @@ std::string tenant_csv_path(const std::string& base,
   return base.substr(0, dot) + "." + name + base.substr(dot);
 }
 
-/// Multi-tenant mode: host every --tenants spec on one shared executor.
-int run_tenants(const std::string& tenants_flag,
-                const std::string& default_scenario,
-                const std::string& default_policy,
-                const std::string& default_workload,
-                const RouteServerOptions& defaults,
-                const std::string& csv_path, std::size_t report_every,
-                bool quiet) {
-  const std::vector<TenantSpec> specs =
-      usage_error([&] { return parse_tenant_specs(tenants_flag); });
+/// The live objects behind one tenant manifest. Everything a tenant
+/// borrows must outlive the registry's run; hosts live in a deque so
+/// addresses stay stable while we append.
+struct Host {
+  Instance instance;
+  Policy policy;
+  WorkloadPtr workload;
+};
 
-  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+/// Rebuilds a manifest's instance/policy/workload exactly as a fresh run
+/// would: same scenario registry, same seed-derived scenario Rng, same
+/// grammar factories — the construction order the resume contract pins.
+Host make_host(const recovery::TenantManifest& manifest,
+               const ScenarioRegistry& registry) {
+  cli::require_known(manifest.scenario, registry.names(), "scenario");
+  Rng scenario_rng(manifest.options.seed);
+  Instance instance = registry.at(manifest.scenario).make(scenario_rng);
+  Policy policy = usage_error([&] {
+    return named_policy(manifest.policy)
+        .make(instance, manifest.options.update_period);
+  });
+  WorkloadPtr workload =
+      usage_error([&] { return make_workload(manifest.workload); });
+  return Host{std::move(instance), std::move(policy), std::move(workload)};
+}
 
-  // Everything a tenant borrows must outlive the registry's run; a deque
-  // keeps addresses stable while we append.
-  struct Host {
-    Instance instance;
-    Policy policy;
-    WorkloadPtr workload;
-  };
-  std::deque<Host> hosts;
-  TenantRegistry tenants;
-
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    const TenantSpec& spec = specs[i];
-    TenantOptions options;
-    options.server = defaults;
-    options.server.executor = nullptr;
-    if (spec.clients) options.server.num_clients = *spec.clients;
-    if (spec.shards) options.server.shards = *spec.shards;
-    if (spec.epochs) options.server.epochs = *spec.epochs;
-    if (spec.period) options.server.update_period = *spec.period;
-    options.server.seed =
-        spec.seed ? *spec.seed : defaults.seed + i;  // distinct by default
-    if (spec.sub_batch) {
-      options.server.sub_batch_queries = *spec.sub_batch;
-      options.server.sub_batch_auto = false;
-    } else if (spec.sub_batch_auto) {
-      options.server.sub_batch_auto = true;
-    }
-    if (spec.weight) options.weight = *spec.weight;
-
-    const std::string scenario =
-        spec.scenario.empty() ? default_scenario : spec.scenario;
-    cli::require_known(scenario, registry.names(), "scenario");
-    std::string workload_spec =
-        spec.workload.empty() ? default_workload : spec.workload;
-    if (workload_spec.empty()) {
-      workload_spec =
-          "poisson:" + std::to_string(options.server.num_clients);
-    }
-
-    Rng scenario_rng(options.server.seed);
-    Instance instance = registry.at(scenario).make(scenario_rng);
-    Policy policy = usage_error([&] {
-      return named_policy(spec.policy.empty() ? default_policy : spec.policy)
-          .make(instance, options.server.update_period);
-    });
-    WorkloadPtr workload =
-        usage_error([&] { return make_workload(workload_spec); });
-    hosts.push_back(
-        Host{std::move(instance), std::move(policy), std::move(workload)});
-    usage_error([&] {
-      tenants.add(spec.name, hosts.back().instance, hosts.back().policy,
-                  *hosts.back().workload, options);
-      return 0;
-    });
+void print_resume_banner(const recovery::RecoveredRun& state, bool quiet) {
+  if (quiet) return;
+  if (state.truncated) {
+    std::cout << "wal: discarded uncommitted tail (" << state.note << ")\n";
   }
-
-  if (!quiet) {
-    std::cout << "route_server: " << tenants.size()
-              << " tenants on one executor (threads=" << defaults.threads
-              << (defaults.record_latency ? "" : ", deterministic")
-              << ")\n";
+  std::cout << "wal: resuming at round " << state.rounds;
+  for (std::size_t i = 0; i < state.manifest.tenants.size(); ++i) {
+    const recovery::TenantManifest& tenant = state.manifest.tenants[i];
+    std::cout << (i == 0 ? ": " : ", ")
+              << (tenant.name.empty() ? std::string("run") : tenant.name)
+              << " " << state.cuts[i].size() << "/" << tenant.options.epochs
+              << " epochs done";
   }
+  std::cout << "\n";
+}
 
-  TenantObserver observer = nullptr;
-  if (!quiet && report_every > 0) {
-    observer = [&](std::size_t tenant, const EpochSummary& e) {
-      if (e.epoch % report_every != 0) return;
-      std::cout << "  [" << tenants.name(tenant) << "] epoch " << e.epoch
-                << ": " << e.queries << " queries, migration rate "
-                << fmt(e.migration_rate, 4) << ", gap "
-                << fmt(e.wardrop_gap, 6) << "\n";
-    };
+/// Shared tail of every single-server run (fresh, WAL-logged or
+/// resumed): summary lines, digest, CSV.
+int print_single_result(const RouteServerResult& result,
+                        const RouteServerOptions& options,
+                        const std::string& csv_path, bool quiet) {
+  std::cout << result.total_queries << " queries, "
+            << result.total_migrations << " migrations over "
+            << result.epochs.size() << " epochs; final gap "
+            << fmt(result.final_gap, 6) << "\n";
+  if (options.record_latency) {
+    std::cout << "throughput " << fmt(result.queries_per_second / 1e6, 3)
+              << " Mq/s (" << fmt(result.wall_seconds, 2) << " s wall), p50 "
+              << fmt(result.p50_us, 1) << " us, p99 "
+              << fmt(result.p99_us, 1) << " us\n";
   }
+  std::cout << "digest=" << std::hex << telemetry_digest(result.epochs)
+            << std::dec << "\n";
+  if (!csv_path.empty()) {
+    write_epoch_csv(csv_path, result.epochs, options.record_latency);
+    if (!quiet) std::cout << "wrote " << csv_path << "\n";
+  }
+  return 0;
+}
 
-  Executor executor(defaults.threads);
-  const MultiTenantResult result = tenants.run(executor, observer);
-
+/// Shared tail of every multi-tenant run.
+int print_multi_result(const MultiTenantResult& result, bool record_latency,
+                       const std::string& csv_path, bool quiet) {
   for (const TenantResult& tenant : result.tenants) {
     std::cout << "tenant " << tenant.name << ": "
               << tenant.server.total_queries << " queries, "
@@ -202,14 +210,14 @@ int run_tenants(const std::string& tenants_flag,
               << telemetry_digest(tenant.server.epochs) << std::dec << "\n";
     if (!csv_path.empty()) {
       const std::string path = tenant_csv_path(csv_path, tenant.name);
-      write_epoch_csv(path, tenant.server.epochs, defaults.record_latency);
+      write_epoch_csv(path, tenant.server.epochs, record_latency);
       if (!quiet) std::cout << "wrote " << path << "\n";
     }
   }
   std::cout << result.total_queries() << " queries over "
             << result.total_epochs() << " epochs in " << result.rounds
             << " rounds";
-  if (defaults.record_latency && result.wall_seconds > 0.0) {
+  if (record_latency && result.wall_seconds > 0.0) {
     std::cout << "; " << fmt(result.wall_seconds, 2) << " s wall, "
               << fmt(static_cast<double>(result.total_epochs()) /
                          result.wall_seconds,
@@ -218,6 +226,213 @@ int run_tenants(const std::string& tenants_flag,
   }
   std::cout << "\n";
   return 0;
+}
+
+EpochObserver make_epoch_observer(std::size_t total_epochs,
+                                  std::size_t report_every, bool quiet) {
+  if (quiet || report_every == 0) return nullptr;
+  return [report_every, total_epochs](const EpochSummary& e) {
+    if (e.epoch % report_every != 0 && e.epoch + 1 != total_epochs) {
+      return;
+    }
+    std::cout << "  epoch " << e.epoch << ": " << e.queries
+              << " queries, migration rate " << fmt(e.migration_rate, 4)
+              << ", gap " << fmt(e.wardrop_gap, 6) << ", board latency "
+              << fmt(e.board_latency, 4);
+    if (e.queries_per_second > 0.0) {
+      std::cout << ", " << fmt(e.queries_per_second / 1e6, 2)
+                << " Mq/s, p99 " << fmt(e.p99_us, 1) << " us";
+    }
+    std::cout << "\n";
+  };
+}
+
+/// Multi-tenant mode: host every --tenants spec on one shared executor.
+/// `resume`, when set, replaces spec resolution entirely — the manifests
+/// come from the WAL — and `wal_path` is the file being appended to.
+int run_tenants_manifest(const std::string& wal_path,
+                         const recovery::RunManifest& manifest,
+                         const recovery::RecoveredRun* resume,
+                         std::size_t threads, const std::string& csv_path,
+                         std::size_t report_every, bool quiet) {
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+  std::deque<Host> hosts;
+  TenantRegistry tenants;
+  for (const recovery::TenantManifest& tenant : manifest.tenants) {
+    hosts.push_back(make_host(tenant, registry));
+    TenantOptions options;
+    options.server = tenant.options;
+    options.server.threads = threads;
+    options.server.executor = nullptr;
+    options.weight = tenant.weight;
+    usage_error([&] {
+      tenants.add(tenant.name, hosts.back().instance, hosts.back().policy,
+                  *hosts.back().workload, options);
+      return 0;
+    });
+  }
+
+  const bool record_latency = manifest.tenants.front().options.record_latency;
+  if (!quiet) {
+    std::cout << "route_server: " << tenants.size()
+              << " tenants on one executor (threads=" << threads
+              << (record_latency ? "" : ", deterministic") << ")\n";
+  }
+
+  TenantObserver observer = nullptr;
+  if (!quiet && report_every > 0) {
+    observer = [&tenants, report_every](std::size_t tenant,
+                                        const EpochSummary& e) {
+      if (e.epoch % report_every != 0) return;
+      std::cout << "  [" << tenants.name(tenant) << "] epoch " << e.epoch
+                << ": " << e.queries << " queries, migration rate "
+                << fmt(e.migration_rate, 4) << ", gap "
+                << fmt(e.wardrop_gap, 6) << "\n";
+    };
+  }
+
+  std::optional<recovery::WalLog> log;
+  RegistryResume registry_state;
+  const RegistryResume* resume_state = nullptr;
+  if (resume != nullptr) {
+    print_resume_banner(*resume, quiet);
+    log.emplace(wal_path, *resume);
+    registry_state = recovery::registry_resume(*resume);
+    resume_state = &registry_state;
+  } else if (!wal_path.empty()) {
+    log.emplace(wal_path, manifest);
+  }
+
+  Executor executor(threads);
+  const MultiTenantResult result =
+      tenants.run(executor, observer,
+                  log ? log->round_observer() : RoundCutObserver{},
+                  resume_state);
+  if (log) log->finish();
+  return print_multi_result(result, record_latency, csv_path, quiet);
+}
+
+/// Resolves --tenants specs against the top-level defaults into the WAL
+/// manifest shape (also used WITHOUT a WAL — the manifest is simply the
+/// resolved configuration).
+recovery::RunManifest resolve_tenant_manifest(
+    const std::string& tenants_flag, const std::string& default_scenario,
+    const std::string& default_policy, const std::string& default_workload,
+    const RouteServerOptions& defaults) {
+  const std::vector<TenantSpec> specs =
+      usage_error([&] { return parse_tenant_specs(tenants_flag); });
+  recovery::RunManifest manifest;
+  manifest.multi_tenant = true;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const TenantSpec& spec = specs[i];
+    recovery::TenantManifest tenant;
+    tenant.name = spec.name;
+    tenant.options = defaults;
+    tenant.options.executor = nullptr;
+    if (spec.clients) tenant.options.num_clients = *spec.clients;
+    if (spec.shards) tenant.options.shards = *spec.shards;
+    if (spec.epochs) tenant.options.epochs = *spec.epochs;
+    if (spec.period) tenant.options.update_period = *spec.period;
+    tenant.options.seed =
+        spec.seed ? *spec.seed : defaults.seed + i;  // distinct by default
+    if (spec.sub_batch) {
+      tenant.options.sub_batch_queries = *spec.sub_batch;
+      tenant.options.sub_batch_auto = false;
+    } else if (spec.sub_batch_auto) {
+      tenant.options.sub_batch_auto = true;
+    }
+    tenant.weight = spec.weight ? *spec.weight : 1;
+    tenant.scenario =
+        spec.scenario.empty() ? default_scenario : spec.scenario;
+    tenant.policy = spec.policy.empty() ? default_policy : spec.policy;
+    tenant.workload =
+        spec.workload.empty() ? default_workload : spec.workload;
+    if (tenant.workload.empty()) {
+      tenant.workload =
+          "poisson:" + std::to_string(tenant.options.num_clients);
+    }
+    manifest.tenants.push_back(std::move(tenant));
+  }
+  return manifest;
+}
+
+/// Single-server run from a resolved manifest (fresh or resumed).
+int run_single_manifest(const std::string& wal_path,
+                        const recovery::RunManifest& manifest,
+                        const recovery::RecoveredRun* resume,
+                        std::size_t threads, const std::string& csv_path,
+                        std::size_t report_every, bool quiet) {
+  const recovery::TenantManifest& self = manifest.tenants.front();
+  RouteServerOptions options = self.options;
+  options.threads = threads;
+  options.executor = nullptr;
+
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+  const Host host = make_host(self, registry);
+
+  if (!quiet) {
+    std::cout << "route_server: " << self.scenario << " ("
+              << host.instance.describe() << ")\n  policy "
+              << host.policy.name() << ", workload " << host.workload->name()
+              << ", T=" << options.update_period << ", epochs="
+              << options.epochs << ", clients=" << options.num_clients
+              << ", shards=" << options.shards << ", threads="
+              << options.threads
+              << (options.record_latency ? "" : ", deterministic") << "\n";
+  }
+
+  std::optional<recovery::WalLog> log;
+  std::span<const EngineCheckpoint> resume_cuts;
+  if (resume != nullptr) {
+    print_resume_banner(*resume, quiet);
+    log.emplace(wal_path, *resume);
+    resume_cuts = resume->cuts.front();
+  } else if (!wal_path.empty()) {
+    log.emplace(wal_path, manifest);
+  }
+
+  RouteServer server(host.instance, host.policy, *host.workload);
+  const RouteServerResult result = server.run(
+      FlowVector::uniform(host.instance), options,
+      make_epoch_observer(options.epochs, report_every, quiet),
+      log ? log->single_observer() : CutObserver{}, resume_cuts);
+  if (log) log->finish();
+  return print_single_result(result, options, csv_path, quiet);
+}
+
+/// --resume: the WAL header is the configuration; serve what remains.
+int do_resume(const std::string& path, std::size_t threads,
+              const std::string& csv_path, std::size_t report_every,
+              bool quiet) {
+  recovery::RecoveredRun state;
+  try {
+    state = recovery::recover_wal(path);
+  } catch (const std::runtime_error& e) {
+    throw cli::UsageError(e.what());
+  }
+
+  if (state.clean_shutdown) {
+    // Nothing to serve: report the completed run's digests and succeed —
+    // retry-after-crash loops can re-run the same command line safely.
+    std::cout << "wal: run already completed cleanly; nothing to resume\n";
+    for (std::size_t i = 0; i < state.manifest.tenants.size(); ++i) {
+      const std::string& name = state.manifest.tenants[i].name;
+      if (name.empty()) {
+        std::cout << "digest=";
+      } else {
+        std::cout << "digest[" << name << "]=";
+      }
+      std::cout << std::hex << state.digests[i] << std::dec << "\n";
+    }
+    return 0;
+  }
+
+  if (state.manifest.multi_tenant) {
+    return run_tenants_manifest(path, state.manifest, &state, threads,
+                                csv_path, report_every, quiet);
+  }
+  return run_single_manifest(path, state.manifest, &state, threads,
+                             csv_path, report_every, quiet);
 }
 
 int do_run(const std::map<std::string, std::string>& flags) {
@@ -231,6 +446,7 @@ int do_run(const std::map<std::string, std::string>& flags) {
   std::string csv_path;
   std::size_t report_every = 10;
   bool quiet = false;
+  cli::RecoveryFlags recovery_flags;
 
   for (const auto& [key, value] : flags) {
     if (key == "scenario") {
@@ -264,6 +480,10 @@ int do_run(const std::map<std::string, std::string>& flags) {
       options.record_latency = false;
     } else if (key == "csv") {
       csv_path = value;
+    } else if (key == "wal") {
+      recovery_flags.wal = value;
+    } else if (key == "resume") {
+      recovery_flags.resume = value;
     } else if (key == "report-every") {
       report_every = cli::parse_count(value, "--report-every");
     } else if (key == "quiet") {
@@ -272,15 +492,20 @@ int do_run(const std::map<std::string, std::string>& flags) {
       usage("unknown flag --" + key);
     }
   }
+  cli::validate_recovery_flags(recovery_flags, flags, kConfigFlags);
 
-  if (tenants_given) {
-    return run_tenants(tenants_flag, scenario_name, policy_name,
-                       workload_spec, options, csv_path, report_every,
-                       quiet);
+  if (recovery_flags.resuming()) {
+    return do_resume(recovery_flags.resume, options.threads, csv_path,
+                     report_every, quiet);
   }
 
-  const ScenarioRegistry registry = ScenarioRegistry::builtin();
-  cli::require_known(scenario_name, registry.names(), "scenario");
+  if (tenants_given) {
+    const recovery::RunManifest manifest = resolve_tenant_manifest(
+        tenants_flag, scenario_name, policy_name, workload_spec, options);
+    return run_tenants_manifest(recovery_flags.wal, manifest, nullptr,
+                                options.threads, csv_path, report_every,
+                                quiet);
+  }
 
   // Default offered load: every client activates once per unit time on
   // average, the finite-population analogue of the paper's unit-rate
@@ -291,64 +516,17 @@ int do_run(const std::map<std::string, std::string>& flags) {
     workload_spec = spec.str();
   }
 
-  Rng scenario_rng(options.seed);
-  const Instance instance = registry.at(scenario_name).make(scenario_rng);
-  const Policy policy = usage_error([&] {
-    return named_policy(policy_name).make(instance, options.update_period);
-  });
-  const WorkloadPtr workload =
-      usage_error([&] { return make_workload(workload_spec); });
-
-  if (!quiet) {
-    std::cout << "route_server: " << scenario_name << " ("
-              << instance.describe() << ")\n  policy " << policy.name()
-              << ", workload " << workload->name() << ", T="
-              << options.update_period << ", epochs=" << options.epochs
-              << ", clients=" << options.num_clients << ", shards="
-              << options.shards << ", threads=" << options.threads
-              << (options.record_latency ? "" : ", deterministic") << "\n";
-  }
-
-  EpochObserver observer = nullptr;
-  if (!quiet && report_every > 0) {
-    observer = [&](const EpochSummary& e) {
-      if (e.epoch % report_every != 0 && e.epoch + 1 != options.epochs) {
-        return;
-      }
-      std::cout << "  epoch " << e.epoch << ": " << e.queries
-                << " queries, migration rate " << fmt(e.migration_rate, 4)
-                << ", gap " << fmt(e.wardrop_gap, 6) << ", board latency "
-                << fmt(e.board_latency, 4);
-      if (e.queries_per_second > 0.0) {
-        std::cout << ", " << fmt(e.queries_per_second / 1e6, 2)
-                  << " Mq/s, p99 " << fmt(e.p99_us, 1) << " us";
-      }
-      std::cout << "\n";
-    };
-  }
-
-  RouteServer server(instance, policy, *workload);
-  const RouteServerResult result =
-      server.run(FlowVector::uniform(instance), options, observer);
-
-  std::cout << result.total_queries << " queries, "
-            << result.total_migrations << " migrations over "
-            << result.epochs.size() << " epochs; final gap "
-            << fmt(result.final_gap, 6) << "\n";
-  if (options.record_latency) {
-    std::cout << "throughput " << fmt(result.queries_per_second / 1e6, 3)
-              << " Mq/s (" << fmt(result.wall_seconds, 2) << " s wall), p50 "
-              << fmt(result.p50_us, 1) << " us, p99 "
-              << fmt(result.p99_us, 1) << " us\n";
-  }
-  std::cout << "digest=" << std::hex << telemetry_digest(result.epochs)
-            << std::dec << "\n";
-
-  if (!csv_path.empty()) {
-    write_epoch_csv(csv_path, result.epochs, options.record_latency);
-    if (!quiet) std::cout << "wrote " << csv_path << "\n";
-  }
-  return 0;
+  recovery::RunManifest manifest;
+  manifest.multi_tenant = false;
+  recovery::TenantManifest self;
+  self.scenario = scenario_name;
+  self.policy = policy_name;
+  self.workload = workload_spec;
+  self.options = options;
+  self.weight = 1;
+  manifest.tenants.push_back(std::move(self));
+  return run_single_manifest(recovery_flags.wal, manifest, nullptr,
+                             options.threads, csv_path, report_every, quiet);
 }
 
 int run_main(int argc, char** argv) {
