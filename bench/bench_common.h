@@ -13,8 +13,23 @@
 #include <iostream>
 #include <string>
 #include <thread>
+#include <utility>
+
+#include "util/stopwatch.h"
 
 namespace staleflow::bench {
+
+/// Times one callable on the serving layer's monotonic clock
+/// (util/stopwatch.h Stopwatch — the same steady_clock the trace
+/// recorder stamps spans with), so bench wall numbers, epoch timings,
+/// and offline trace quantiles are all directly comparable. The one
+/// timing idiom benches should use; no ad-hoc chrono arithmetic.
+template <typename Fn>
+inline double timed_seconds(Fn&& fn) {
+  const Stopwatch watch;
+  std::forward<Fn>(fn)();
+  return watch.seconds();
+}
 
 /// Strips --force-bench-overwrite from argv (the benches parse positional
 /// arguments, so the flag may appear anywhere); returns whether it was

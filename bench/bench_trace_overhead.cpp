@@ -1,0 +1,180 @@
+// bench_trace_overhead — what the always-on trace plane costs.
+//
+// Serves one fixed deterministic configuration twice per thread count —
+// untraced, then traced to a real file — and reports epochs/s and
+// queries/s for both, plus the relative overhead. The digests are
+// asserted equal pairwise (tracing must be digest-neutral, the same
+// contract tests/trace_test.cpp pins) and the trace is decoded to report
+// how many events a serving run of this shape emits.
+//
+// Writes BENCH_trace.json, the machine-readable record future PRs diff
+// against: if a hook creep makes "always-on" stop being "cheap", the
+// overhead column is where it shows first.
+//
+// Usage: bench_trace_overhead [max_threads] [json_path]
+//                             [--force-bench-overwrite]
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "staleflow/staleflow.h"
+
+namespace staleflow {
+namespace {
+
+struct OverheadPoint {
+  std::size_t threads = 0;
+  double untraced_eps = 0.0;  // epochs per second
+  double traced_eps = 0.0;
+  double untraced_qps = 0.0;
+  double traced_qps = 0.0;
+  double overhead_pct = 0.0;
+  std::uint64_t trace_events = 0;
+  std::uint64_t trace_dropped = 0;
+};
+
+int run_main(int argc, char** argv) {
+  const bool force_overwrite = bench::take_force_overwrite(argc, argv);
+  std::size_t max_threads = 8;
+  std::string json_path = "BENCH_trace.json";
+  if (argc > 1) {
+    const int parsed = std::atoi(argv[1]);
+    if (parsed < 0 || parsed > 1024) {
+      std::cerr << "usage: bench_trace_overhead [max_threads 0..1024] "
+                   "[json_path]\n";
+      return 2;
+    }
+    max_threads = static_cast<std::size_t>(parsed);
+  }
+  if (argc > 2) json_path = argv[2];
+  if (max_threads == 0) {
+    max_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+
+  // The bursty sub-batch-splitting shape from bench_service_throughput:
+  // the configuration with the most trace events per epoch (every split
+  // sub-batch is a span), i.e. the worst case for tracing overhead.
+  Rng scenario_rng(7);
+  const Instance instance = random_parallel_links(32, scenario_rng);
+  const Policy policy = make_replicator_policy(instance);
+  const WorkloadPtr workload = make_workload("bursty:4000000,200000,3,2");
+
+  RouteServerOptions options;
+  options.update_period = 0.05;
+  options.epochs = 15;
+  options.num_clients = 50'000;
+  options.shards = 32;
+  options.seed = 42;
+  options.sub_batch_queries = 2048;
+
+  std::cout << "trace overhead: " << instance.describe() << "\n  "
+            << policy.name() << " x " << options.epochs
+            << " epochs, bursty workload, sub-batch "
+            << options.sub_batch_queries << " (hardware: "
+            << std::thread::hardware_concurrency() << " cores)\n\n";
+
+  const std::string trace_path = json_path + ".trace.tmp";
+  Table table({"threads", "untraced ep/s", "traced ep/s", "overhead %",
+               "events", "dropped"});
+  std::vector<OverheadPoint> points;
+  std::uint64_t reference_digest = 0;
+
+  for (std::size_t threads = 1; threads <= max_threads; threads *= 2) {
+    options.threads = threads;
+
+    RouteServer untraced(instance, policy, *workload);
+    const RouteServerResult baseline =
+        untraced.run(FlowVector::uniform(instance), options);
+
+    trace::start(trace_path, "bench_trace_overhead");
+    RouteServer recorded(instance, policy, *workload);
+    const RouteServerResult traced =
+        recorded.run(FlowVector::uniform(instance), options);
+    trace::stop();
+
+    const std::uint64_t untraced_digest = telemetry_digest(baseline.epochs);
+    const std::uint64_t traced_digest = telemetry_digest(traced.epochs);
+    if (untraced_digest != traced_digest) {
+      std::cerr << "FAIL: tracing changed the digest at " << threads
+                << " threads — digest-neutrality contract broken\n";
+      return 1;
+    }
+    if (reference_digest == 0) {
+      reference_digest = untraced_digest;
+    } else if (untraced_digest != reference_digest) {
+      std::cerr << "FAIL: digest differs at " << threads
+                << " threads — determinism contract broken\n";
+      return 1;
+    }
+
+    const trace::LoadedTrace loaded = trace::load_trace(trace_path);
+
+    OverheadPoint point;
+    point.threads = threads;
+    point.untraced_eps =
+        static_cast<double>(options.epochs) / baseline.wall_seconds;
+    point.traced_eps =
+        static_cast<double>(options.epochs) / traced.wall_seconds;
+    point.untraced_qps = baseline.queries_per_second;
+    point.traced_qps = traced.queries_per_second;
+    point.overhead_pct =
+        (point.untraced_eps / point.traced_eps - 1.0) * 100.0;
+    point.trace_events = loaded.trailer_events;
+    point.trace_dropped = loaded.trailer_dropped;
+    points.push_back(point);
+
+    table.add_row({std::to_string(threads), fmt(point.untraced_eps, 2),
+                   fmt(point.traced_eps, 2), fmt(point.overhead_pct, 2),
+                   std::to_string(point.trace_events),
+                   std::to_string(point.trace_dropped)});
+  }
+  table.print(std::cout);
+  std::remove(trace_path.c_str());
+
+  if (bench::refuse_single_core_overwrite(json_path, force_overwrite)) {
+    return 1;
+  }
+  std::ofstream json(json_path);
+  if (!json) {
+    std::cerr << "cannot open " << json_path << "\n";
+    return 1;
+  }
+  json << "{\n"
+       << "  \"bench\": \"trace_overhead\",\n"
+       << "  \"config\": {\n"
+       << "    \"scenario\": \"random-links-32\",\n"
+       << "    \"policy\": \"" << policy.name() << "\",\n"
+       << "    \"workload\": \"bursty:4000000,200000,3,2\",\n"
+       << "    \"epochs\": " << options.epochs << ",\n"
+       << "    \"clients\": " << options.num_clients << ",\n"
+       << "    \"shards\": " << options.shards << ",\n"
+       << "    \"sub_batch_queries\": " << options.sub_batch_queries << ",\n"
+       << "    \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << "\n  },\n"
+       << "  \"results\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const OverheadPoint& p = points[i];
+    json << "    {\"threads\": " << p.threads
+         << ", \"untraced_epochs_per_s\": " << p.untraced_eps
+         << ", \"traced_epochs_per_s\": " << p.traced_eps
+         << ", \"untraced_qps\": " << p.untraced_qps
+         << ", \"traced_qps\": " << p.traced_qps
+         << ", \"overhead_pct\": " << p.overhead_pct
+         << ", \"trace_events\": " << p.trace_events
+         << ", \"trace_dropped\": " << p.trace_dropped << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "\nwrote " << json_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace staleflow
+
+int main(int argc, char** argv) { return staleflow::run_main(argc, argv); }

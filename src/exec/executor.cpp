@@ -5,6 +5,9 @@
 #include <thread>
 #include <utility>
 
+#include "trace/metrics.h"
+#include "trace/recorder.h"
+
 namespace staleflow {
 
 // ------------------------------------------------------------- TaskGraph
@@ -137,6 +140,15 @@ void Executor::parallel_for(std::size_t count,
 }
 
 void Executor::run(TaskGraph& graph) {
+  static trace::Counter& graphs_counter =
+      trace::MetricsRegistry::global().counter("exec.graphs");
+  static trace::Counter& nodes_counter =
+      trace::MetricsRegistry::global().counter("exec.nodes");
+  graphs_counter.inc();
+  nodes_counter.add(graph.size());
+  trace::Span span(trace::EventKind::kGraphSpan, /*tenant=*/0,
+                   /*epoch=*/0, /*arg=*/pool_ == nullptr ? 0 : 1);
+  span.value(graph.size());
   if (pool_ == nullptr) {
     graph.run_inline();
     return;

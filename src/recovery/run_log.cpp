@@ -248,6 +248,7 @@ RecoveredRun recover_wal(const std::string& path) {
   run.manifest = decode_run_header(scan.records.front().payload);
   const std::size_t tenants = run.manifest.tenants.size();
   run.cuts.resize(tenants);
+  run.cut_offsets.resize(tenants);
   run.digests.assign(tenants, fnv::kOffsetBasis);
   run.credits.assign(tenants, 0);
   run.truncated = scan.truncated;
@@ -259,7 +260,11 @@ RecoveredRun recover_wal(const std::string& path) {
   // semantically impossible (bad tenant index, epoch gap, digest
   // mismatch, records after the trailer): like a checksum failure,
   // nothing after it can be trusted.
-  std::vector<CutRecord> staged;
+  struct StagedCut {
+    CutRecord record;
+    std::uint64_t offset = 0;  // where the cut's frame starts in the file
+  };
+  std::vector<StagedCut> staged;
   const auto stop = [&run, &staged](const std::string& why) {
     run.truncated = true;
     run.note = why;
@@ -285,10 +290,10 @@ RecoveredRun recover_wal(const std::string& path) {
           }
           std::size_t expected = run.cuts[cut.tenant].size();
           std::uint64_t digest = run.digests[cut.tenant];
-          for (const CutRecord& pending : staged) {
-            if (pending.tenant == cut.tenant) {
+          for (const StagedCut& pending : staged) {
+            if (pending.record.tenant == cut.tenant) {
               ++expected;
-              digest = pending.digest_so_far;
+              digest = pending.record.digest_so_far;
             }
           }
           if (cut.cut.summary.epoch != expected) {
@@ -300,7 +305,11 @@ RecoveredRun recover_wal(const std::string& path) {
             stop("corrupt WAL: cut digest cross-check failed");
             break;
           }
-          staged.push_back(std::move(cut));
+          // Frame start = end offset minus (length+type+checksum words and
+          // the payload itself).
+          const std::uint64_t frame_start =
+              record.end_offset - (4 + 4 + 8) - record.payload.size();
+          staged.push_back(StagedCut{std::move(cut), frame_start});
           break;
         }
         case RecordType::kRoundMark: {
@@ -313,9 +322,11 @@ RecoveredRun recover_wal(const std::string& path) {
             stop("corrupt WAL: round marks not contiguous");
             break;
           }
-          for (CutRecord& cut : staged) {
-            run.digests[cut.tenant] = cut.digest_so_far;
-            run.cuts[cut.tenant].push_back(std::move(cut.cut));
+          for (StagedCut& pending : staged) {
+            run.digests[pending.record.tenant] = pending.record.digest_so_far;
+            run.cuts[pending.record.tenant].push_back(
+                std::move(pending.record.cut));
+            run.cut_offsets[pending.record.tenant].push_back(pending.offset);
           }
           staged.clear();
           run.rounds = mark.rounds;

@@ -97,6 +97,11 @@ struct RecoveredRun {
   /// in order. Empty = that tenant had not finished an epoch yet.
   std::vector<std::vector<EngineCheckpoint>> cuts;
 
+  /// Parallel to `cuts`: the byte offset in the WAL file where each cut
+  /// record's frame starts — lets offline tooling correlate a WAL cut
+  /// with trace spans and seek straight to it.
+  std::vector<std::vector<std::uint64_t>> cut_offsets;
+
   /// Per tenant: the incremental telemetry digest over its committed
   /// epochs (fnv offset basis when none).
   std::vector<std::uint64_t> digests;

@@ -3,6 +3,8 @@
 #include <filesystem>
 #include <system_error>
 
+#include "trace/metrics.h"
+#include "trace/recorder.h"
 #include "util/binio.h"
 #include "util/fnv.h"
 
@@ -46,6 +48,17 @@ void WalWriter::append(RecordType type, std::string_view payload) {
   if (payload.size() > kMaxRecordPayload) {
     throw std::runtime_error("WalWriter: record payload too large");
   }
+  // Frame bytes = u32 length + u32 type + payload + u64 checksum.
+  const std::uint64_t frame_bytes = 4 + 4 + payload.size() + 8;
+  static trace::Counter& records_counter =
+      trace::MetricsRegistry::global().counter("wal.records");
+  static trace::Counter& bytes_counter =
+      trace::MetricsRegistry::global().counter("wal.bytes");
+  records_counter.inc();
+  bytes_counter.add(frame_bytes);
+  trace::Span span(trace::EventKind::kWalAppend, /*tenant=*/0, /*epoch=*/0,
+                   /*arg=*/static_cast<std::uint64_t>(type));
+  span.value(frame_bytes);
   binio::Writer header;
   header.u32(static_cast<std::uint32_t>(payload.size()));
   header.u32(static_cast<std::uint32_t>(type));

@@ -8,6 +8,8 @@
 #include "equilibrium/metrics.h"
 #include "exec/executor.h"
 #include "service/workload.h"
+#include "trace/metrics.h"
+#include "trace/recorder.h"
 #include "util/stopwatch.h"
 
 namespace staleflow {
@@ -82,6 +84,13 @@ void EpochEngine::serve_sub_batch(std::size_t b) {
   detail::SubBatchContext& sub = ctx_[b];
   const std::size_t s = sub.shard;
   const std::size_t shards = options_.shards;
+  // Span over the whole batch, recorded from the worker thread that runs
+  // it (the ring's worker id attributes it). arg packs (shard, index).
+  trace::Span trace_span(trace::EventKind::kSubBatchSpan, trace_tenant_,
+                         trace_epoch_,
+                         (static_cast<std::uint64_t>(s) << 32) |
+                             static_cast<std::uint64_t>(b));
+  trace_span.value(sub.arrivals);
   // The RCU read path: pin this epoch's board for the whole batch.
   const SnapshotPtr snap = store_->acquire();
   const BulletinBoard& board = snap->board();
@@ -148,6 +157,8 @@ void EpochEngine::add_epoch(TaskGraph& graph) {
   const double T = options_.update_period;
   const std::size_t shards = options_.shards;
   const std::uint64_t e = epochs_done();
+  trace_epoch_ = e;
+  if (trace::active()) trace_epoch_begin_ns_ = trace::now_ns();
 
   // Derive this epoch's streams in canonical order: one for the
   // workload, then one per sub-batch in (shard, sub-batch) order.
@@ -299,6 +310,31 @@ void EpochEngine::finish_epoch(double epoch_seconds,
 
   store_->publish(std::move(next_));
   served_.reset();
+
+  static trace::Counter& epochs_counter =
+      trace::MetricsRegistry::global().counter("engine.epochs");
+  static trace::Counter& queries_counter =
+      trace::MetricsRegistry::global().counter("engine.queries");
+  static trace::Counter& migrations_counter =
+      trace::MetricsRegistry::global().counter("engine.migrations");
+  epochs_counter.inc();
+  queries_counter.add(totals_.queries);
+  migrations_counter.add(totals_.migrations);
+
+  if (trace::active()) {
+    // The board just swapped: epoch e+1 is now live for readers.
+    trace::instant(trace::EventKind::kSnapshotPublish, trace_tenant_,
+                   trace_epoch_ + 1, /*arg=*/0, /*value=*/0);
+    trace::TraceEvent epoch_event;
+    epoch_event.kind = trace::EventKind::kEpochSpan;
+    epoch_event.tenant = trace_tenant_;
+    epoch_event.epoch = trace_epoch_;
+    epoch_event.arg = batches_;
+    epoch_event.begin_ns = trace_epoch_begin_ns_;
+    epoch_event.end_ns = trace::now_ns();
+    epoch_event.value = totals_.queries;
+    trace::emit(epoch_event);
+  }
 }
 
 EngineCheckpoint EpochEngine::checkpoint() const {

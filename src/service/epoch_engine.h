@@ -110,6 +110,13 @@ class EpochEngine {
   /// predecessors) into a fresh engine continues the run bit-identically.
   EngineCheckpoint checkpoint() const;
 
+  /// Tags this engine's trace events with a tenant id (a TenantRegistry
+  /// passes the tenant index; solo servers stay 0). Pure telemetry
+  /// labelling — never read by the dynamics.
+  void set_trace_tenant(std::uint32_t tenant) noexcept {
+    trace_tenant_ = tenant;
+  }
+
   /// Restores a run prefix: `cuts` must be the checkpoints of epochs
   /// 0..n-1 in order (contiguous summary.epoch values). Must be called
   /// after begin() and before any epoch is served; publishes the epoch-n
@@ -139,6 +146,12 @@ class EpochEngine {
   std::vector<detail::SubBatchContext> ctx_;  // per-epoch high-water pool
   std::size_t batches_ = 0;   // sub-batches planned for the epoch in flight
   bool epoch_in_flight_ = false;
+
+  // Trace labelling for the epoch in flight — wall-clock telemetry only,
+  // strictly outside the digest contract.
+  std::uint32_t trace_tenant_ = 0;
+  std::uint64_t trace_epoch_ = 0;
+  std::uint64_t trace_epoch_begin_ns_ = 0;
 
   // Staging for the epoch in flight (written by graph nodes).
   SnapshotPtr served_;

@@ -33,17 +33,16 @@ RouteServerResult RouteServer::run(const FlowVector& initial,
     exec = owned_executor.get();
   }
 
-  const WallClock::time_point run_begin = WallClock::now();
+  const Stopwatch run_watch;
   while (!engine.done()) {
     TaskGraph graph;
     engine.add_epoch(graph);
-    const WallClock::time_point epoch_begin = WallClock::now();
+    const Stopwatch epoch_watch;
     exec->run(graph);
-    engine.finish_epoch(seconds_between(epoch_begin, WallClock::now()),
-                        observer);
+    engine.finish_epoch(epoch_watch.seconds(), observer);
     if (cuts) cuts(engine.checkpoint());
   }
-  return engine.finish(seconds_between(run_begin, WallClock::now()));
+  return engine.finish(run_watch.seconds());
 }
 
 }  // namespace staleflow

@@ -6,6 +6,8 @@
 
 #include "exec/executor.h"
 #include "service/epoch_engine.h"
+#include "trace/metrics.h"
+#include "trace/recorder.h"
 #include "util/stopwatch.h"
 
 namespace staleflow {
@@ -108,6 +110,7 @@ MultiTenantResult TenantRegistry::run(Executor& executor,
     Tenant& tenant = tenants_[i];
     engines.push_back(std::make_unique<EpochEngine>(
         *tenant.instance, *tenant.policy, *tenant.workload, *tenant.store));
+    engines.back()->set_trace_tenant(static_cast<std::uint32_t>(i));
     engines.back()->begin(FlowVector::uniform(*tenant.instance),
                           tenant.options.server);
     if (resume != nullptr && !resume->cuts.empty()) {
@@ -129,7 +132,7 @@ MultiTenantResult TenantRegistry::run(Executor& executor,
   }
   if (resume != nullptr) result.rounds = resume->rounds;
   std::vector<std::size_t> scheduled;
-  const WallClock::time_point run_begin = WallClock::now();
+  const Stopwatch run_watch;
   for (;;) {
     scheduled.clear();
     for (std::size_t i = 0; i < engines.size(); ++i) {
@@ -145,7 +148,14 @@ MultiTenantResult TenantRegistry::run(Executor& executor,
         [](const std::unique_ptr<EpochEngine>& e) { return e->done(); });
     if (all_done) break;
     ++result.rounds;
+    static trace::Counter& rounds_counter =
+        trace::MetricsRegistry::global().counter("registry.rounds");
+    rounds_counter.inc();
     if (!scheduled.empty()) {
+      trace::Span round_span(trace::EventKind::kSchedulerRound,
+                             /*tenant=*/0, /*epoch=*/0,
+                             /*arg=*/scheduled.size());
+      round_span.value(result.rounds);
       // One combined graph: one epoch per scheduled tenant. The engines'
       // nodes share no mutable state, so the pool interleaves tenants
       // freely — this is where co-tenancy actually overlaps work.
@@ -153,10 +163,9 @@ MultiTenantResult TenantRegistry::run(Executor& executor,
       for (const std::size_t i : scheduled) {
         engines[i]->add_epoch(graph);
       }
-      const WallClock::time_point round_begin = WallClock::now();
+      const Stopwatch round_watch;
       executor.run(graph);
-      const double round_seconds =
-          seconds_between(round_begin, WallClock::now());
+      const double round_seconds = round_watch.seconds();
       for (const std::size_t i : scheduled) {
         EpochObserver epoch_observer;
         if (observer) {
@@ -181,7 +190,7 @@ MultiTenantResult TenantRegistry::run(Executor& executor,
       rounds(cut);
     }
   }
-  result.wall_seconds = seconds_between(run_begin, WallClock::now());
+  result.wall_seconds = run_watch.seconds();
 
   result.tenants.reserve(tenants_.size());
   for (std::size_t i = 0; i < tenants_.size(); ++i) {

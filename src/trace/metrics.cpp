@@ -1,0 +1,37 @@
+#include "trace/metrics.h"
+
+namespace staleflow::trace {
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& entry : entries_) {
+    if (entry.name == name) {
+      return entry.counter;
+    }
+  }
+  entries_.emplace_back();
+  entries_.back().name = std::string(name);
+  return entries_.back().counter;
+}
+
+std::vector<CounterSample> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CounterSample> out;
+  out.reserve(entries_.size());
+  std::uint32_t id = 0;
+  for (const Entry& entry : entries_) {
+    CounterSample sample;
+    sample.id = id++;
+    sample.name = entry.name;
+    sample.value = entry.counter.load();
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace staleflow::trace

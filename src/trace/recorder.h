@@ -1,0 +1,99 @@
+// The global trace recorder: hot-path emit API + background drainer.
+//
+// Lifecycle: trace::start(path) installs a process-global recorder and
+// spawns a drainer thread; trace::stop() final-drains every ring, writes
+// the trailer, and tears the recorder down. Between the two, any thread
+// that calls emit()/Span gets a private lock-free TraceRing on first use
+// (registered with the drainer under a mutex, once per thread per
+// recording session) and then records with no locks and no syscalls.
+//
+// Cost when NOT recording — the always-on case this design optimizes
+// for — is one relaxed atomic load and a predicted branch per hook, so
+// the hooks stay compiled into production paths unconditionally.
+//
+// Thread-identity handoff across sessions uses a generation number: the
+// thread-local slot caches (ring, generation) and re-registers when the
+// global generation moves. A thread racing emit() against stop() at
+// worst writes into its own still-alive-but-orphaned ring (the slot
+// holds shared ownership), losing those events but never touching freed
+// memory.
+//
+// Determinism contract: the recorder reads the monotonic clock and
+// writes rings/files. It never touches RNG streams, arrival plans, or
+// any dynamics state — which is why digest-with-tracing must and does
+// equal digest-without (pinned by tests/trace_test.cpp and CI).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "trace/trace_format.h"
+
+namespace staleflow::trace {
+
+/// Nanoseconds on the process-local monotonic clock (steady_clock since
+/// a fixed per-process base). The one clock shared by trace spans and
+/// bench timing (bench::Timer) so offline quantiles and bench numbers
+/// are directly comparable.
+std::uint64_t now_ns() noexcept;
+
+/// True while a recorder is installed. One relaxed load.
+bool active() noexcept;
+
+/// Installs the global recorder writing to `path` (truncates) and
+/// starts the drainer. `producer` is a free-form description stored in
+/// the trace header. Throws std::runtime_error if the file can't be
+/// opened or a recorder is already running.
+void start(const std::string& path, std::string_view producer);
+
+/// Stops and uninstalls the recorder: joins the drainer, drains every
+/// ring one final time, samples counters once more, writes the trailer,
+/// and closes the file. No-op when not recording.
+void stop();
+
+/// Records one completed event. No-op when not recording.
+void emit(const TraceEvent& event) noexcept;
+
+/// Records an instantaneous event (begin == end == now).
+void instant(EventKind kind, std::uint32_t tenant, std::uint64_t epoch,
+             std::uint64_t arg, std::uint64_t value) noexcept;
+
+/// RAII span: stamps begin on construction, end on destruction, then
+/// emits. When not recording, construction is the one-load fast path
+/// and the destructor does nothing.
+class Span {
+ public:
+  Span(EventKind kind, std::uint32_t tenant, std::uint64_t epoch,
+       std::uint64_t arg = 0) noexcept
+      : live_(active()) {
+    if (!live_) return;
+    event_.kind = kind;
+    event_.tenant = tenant;
+    event_.epoch = epoch;
+    event_.arg = arg;
+    event_.begin_ns = now_ns();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Sets the span's value field (e.g. queries served) before it ends.
+  void value(std::uint64_t value) noexcept { event_.value = value; }
+
+  ~Span() {
+    if (!live_) return;
+    event_.end_ns = now_ns();
+    emit(event_);
+  }
+
+ private:
+  TraceEvent event_{};
+  bool live_;
+};
+
+/// Drainer wake-up period. Short enough that a crash loses at most a few
+/// milliseconds of telemetry; long enough to amortize the file writes.
+inline constexpr std::uint64_t kFlushPeriodMs = 5;
+
+}  // namespace staleflow::trace

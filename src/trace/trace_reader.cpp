@@ -1,0 +1,179 @@
+#include "trace/trace_reader.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/binio.h"
+#include "util/fnv.h"
+
+namespace staleflow::trace {
+
+TraceScan scan_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("scan_trace: cannot open '" + path + "'");
+  }
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    throw std::runtime_error("scan_trace: read failed on '" + path + "'");
+  }
+  if (contents.size() < sizeof(kTraceMagic) ||
+      std::memcmp(contents.data(), kTraceMagic, sizeof(kTraceMagic)) != 0) {
+    throw std::runtime_error("scan_trace: '" + path +
+                             "' is not a trace (bad magic)");
+  }
+
+  TraceScan scan;
+  scan.valid_bytes = sizeof(kTraceMagic);
+  std::size_t offset = sizeof(kTraceMagic);
+  // Frame overhead around each payload: u32 length + u32 type + u64 sum.
+  constexpr std::size_t kFrameBytes = 4 + 4 + 8;
+  while (offset < contents.size()) {
+    if (contents.size() - offset < kFrameBytes) {
+      scan.truncated = true;
+      scan.note = "torn tail: short record frame";
+      break;
+    }
+    binio::Reader head(std::string_view(contents).substr(offset, 8));
+    const std::uint32_t length = head.u32();
+    const std::uint32_t type_word = head.u32();
+    if (length > kMaxTracePayload) {
+      scan.truncated = true;
+      scan.note = "corrupt record: impossible payload length";
+      break;
+    }
+    if (contents.size() - offset - kFrameBytes < length) {
+      scan.truncated = true;
+      scan.note = "torn tail: payload shorter than its length field";
+      break;
+    }
+    const std::string_view payload =
+        std::string_view(contents).substr(offset + 8, length);
+    std::uint64_t checksum = fnv::kOffsetBasis;
+    fnv::hash_bytes(checksum, contents.data() + offset + 4, 4);
+    fnv::hash_bytes(checksum, payload.data(), payload.size());
+    binio::Reader foot(
+        std::string_view(contents).substr(offset + 8 + length, 8));
+    if (foot.u64() != checksum) {
+      scan.truncated = true;
+      scan.note = "corrupt record: checksum mismatch";
+      break;
+    }
+    if (type_word <
+            static_cast<std::uint32_t>(TraceRecordType::kTraceHeader) ||
+        type_word >
+            static_cast<std::uint32_t>(TraceRecordType::kTraceTrailer)) {
+      scan.truncated = true;
+      scan.note = "corrupt record: unknown record type";
+      break;
+    }
+    offset += kFrameBytes + length;
+    TraceRecord record;
+    record.type = static_cast<TraceRecordType>(type_word);
+    record.payload = std::string(payload);
+    record.end_offset = offset;
+    scan.records.push_back(std::move(record));
+    scan.valid_bytes = offset;
+  }
+  if (!scan.truncated && offset != contents.size()) {
+    scan.truncated = true;
+    scan.note = "torn tail: trailing bytes after last record";
+  }
+  return scan;
+}
+
+LoadedTrace load_trace(const std::string& path) {
+  const TraceScan scan = scan_trace(path);
+  LoadedTrace trace;
+  trace.truncated = scan.truncated;
+  trace.valid_bytes = scan.valid_bytes;
+  trace.note = scan.note;
+
+  bool saw_header = false;
+  for (std::size_t i = 0; i < scan.records.size(); ++i) {
+    const TraceRecord& record = scan.records[i];
+    try {
+      binio::Reader reader(record.payload);
+      switch (record.type) {
+        case TraceRecordType::kTraceHeader: {
+          if (saw_header) {
+            throw std::runtime_error("duplicate trace header");
+          }
+          trace.version = reader.u32();
+          if (trace.version != kTraceVersion) {
+            throw std::runtime_error("unknown trace version");
+          }
+          trace.producer = reader.str();
+          saw_header = true;
+          break;
+        }
+        case TraceRecordType::kEventBatch: {
+          const std::uint32_t worker = reader.u32();
+          const std::uint64_t count = reader.u64();
+          for (std::uint64_t k = 0; k < count; ++k) {
+            LoadedEvent loaded;
+            loaded.worker = worker;
+            loaded.event = decode_event(reader);
+            trace.events.push_back(loaded);
+          }
+          break;
+        }
+        case TraceRecordType::kCounterDefs: {
+          const std::uint64_t count = reader.u64();
+          for (std::uint64_t k = 0; k < count; ++k) {
+            const std::uint32_t id = reader.u32();
+            std::string name = reader.str();
+            if (id != trace.counter_names.size()) {
+              throw std::runtime_error("non-dense counter ids");
+            }
+            trace.counter_names.push_back(std::move(name));
+          }
+          break;
+        }
+        case TraceRecordType::kCounterBatch: {
+          CounterBatch batch;
+          batch.time_ns = reader.u64();
+          const std::uint64_t count = reader.u64();
+          for (std::uint64_t k = 0; k < count; ++k) {
+            const std::uint32_t id = reader.u32();
+            const std::uint64_t value = reader.u64();
+            if (id >= trace.counter_names.size()) {
+              throw std::runtime_error("counter sample before its def");
+            }
+            batch.values.emplace_back(id, value);
+          }
+          trace.counter_batches.push_back(std::move(batch));
+          break;
+        }
+        case TraceRecordType::kTraceTrailer: {
+          trace.trailer_events = reader.u64();
+          trace.trailer_dropped = reader.u64();
+          trace.clean_shutdown = true;
+          break;
+        }
+      }
+      if (!saw_header) {
+        throw std::runtime_error("first record is not the trace header");
+      }
+    } catch (const std::exception& err) {
+      // A checksum-valid frame with an undecodable payload: stop
+      // trusting the file here, keep everything before it.
+      trace.truncated = true;
+      trace.valid_bytes =
+          i == 0 ? sizeof(kTraceMagic) : scan.records[i - 1].end_offset;
+      trace.note = std::string("corrupt payload: ") + err.what();
+      trace.clean_shutdown = false;
+      break;
+    }
+  }
+  if (!saw_header && !trace.truncated) {
+    trace.truncated = true;
+    trace.note = "empty trace: no header record";
+  }
+  return trace;
+}
+
+}  // namespace staleflow::trace

@@ -1,0 +1,76 @@
+// Per-worker lock-free event ring: the hot-path half of the trace plane.
+//
+// Each recording thread owns exactly one ring (single producer); the
+// background drainer is the only consumer (single consumer). That SPSC
+// shape means both sides get away with two atomics and acquire/release
+// ordering — no CAS loops, no locks, no syscalls on the hot path.
+//
+// The ring NEVER blocks the producer: when the drainer falls behind and
+// the ring fills, try_push drops the event and bumps a dropped counter
+// that the recorder reports in the trace trailer. Losing telemetry under
+// overload is the correct trade for a serving thread — the alternative
+// (stalling a sub-batch to wait for the telemetry plane) would make the
+// observer perturb the observed.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace_format.h"
+
+namespace staleflow::trace {
+
+/// Fixed-capacity single-producer / single-consumer ring of TraceEvents.
+class TraceRing {
+ public:
+  /// `capacity_pow2` must be a power of two (masked indexing).
+  explicit TraceRing(std::size_t capacity_pow2 = kDefaultCapacity)
+      : buf_(capacity_pow2), mask_(capacity_pow2 - 1) {}
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Producer side. Returns false (and counts the drop) when full.
+  bool try_push(const TraceEvent& event) noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    buf_[static_cast<std::size_t>(head) & mask_] = event;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: appends every currently-visible event to `out` and
+  /// advances the tail. Returns the number drained.
+  std::size_t drain(std::vector<TraceEvent>& out) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    for (std::uint64_t i = tail; i != head; ++i) {
+      out.push_back(buf_[static_cast<std::size_t>(i) & mask_]);
+    }
+    tail_.store(head, std::memory_order_release);
+    return static_cast<std::size_t>(head - tail);
+  }
+
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  static constexpr std::size_t kDefaultCapacity = 1u << 14;
+
+ private:
+  std::vector<TraceEvent> buf_;
+  std::size_t mask_;
+  // Producer and consumer cursors on separate cache lines so a serving
+  // thread's push never contends with the drainer's tail updates.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace staleflow::trace

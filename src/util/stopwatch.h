@@ -1,6 +1,10 @@
 // Wall-clock helpers shared by the serving layer (route server, epoch
-// engine, tenant registry): one monotonic clock alias and the
-// duration-in-seconds conversion every epoch/run measurement uses.
+// engine, tenant registry), the benches (bench/bench_common.h), and the
+// trace plane: one monotonic clock alias, the duration-in-seconds
+// conversion every epoch/run measurement uses, and a Stopwatch for the
+// begin/elapsed idiom. Everything times against the same steady_clock
+// the trace recorder stamps spans with, so bench numbers and offline
+// trace quantiles are directly comparable.
 #pragma once
 
 #include <chrono>
@@ -13,5 +17,19 @@ inline double seconds_between(WallClock::time_point begin,
                               WallClock::time_point end) {
   return std::chrono::duration<double>(end - begin).count();
 }
+
+/// The one begin/elapsed timing idiom: starts on construction, reads
+/// without stopping, restarts for loop reuse. Wall-clock telemetry only —
+/// never feeds the deterministic digest.
+class Stopwatch {
+ public:
+  Stopwatch() : begin_(WallClock::now()) {}
+
+  double seconds() const { return seconds_between(begin_, WallClock::now()); }
+  void restart() { begin_ = WallClock::now(); }
+
+ private:
+  WallClock::time_point begin_;
+};
 
 }  // namespace staleflow

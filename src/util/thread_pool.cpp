@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "trace/metrics.h"
+
 namespace staleflow {
 
 /// Shared state of one batch: how many of its tasks are still queued or
@@ -114,6 +116,9 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::run_entry(Entry entry) {
+  static trace::Counter& tasks_counter =
+      trace::MetricsRegistry::global().counter("pool.tasks");
+  tasks_counter.inc();
   std::exception_ptr error;
   try {
     entry.task();

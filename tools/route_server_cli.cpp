@@ -8,6 +8,7 @@
 //                        [--seed <s>] [--deterministic] [--csv <path>]
 //                        [--tenants <spec>[;<spec>...]]
 //                        [--wal <path> | --resume <path>]
+//                        [--trace <path>] [--progress <n>]
 //                        [--report-every <n>] [--quiet]
 //   route_server_cli list
 //
@@ -35,8 +36,16 @@
 // run's. --resume takes the ENTIRE dynamics configuration from the WAL
 // header, so configuration flags (--scenario, --seed, --epochs, ...)
 // conflict with it; runtime knobs (--threads, --csv, --report-every,
-// --quiet) remain legal. Inspect or re-execute a WAL offline with
-// wal_replay_cli.
+// --quiet, --trace, --progress) remain legal. Inspect or re-execute a
+// WAL offline with wal_replay_cli.
+//
+// Observability (src/trace/): --trace <path> records the run's binary
+// trace (epoch/sub-batch/publish spans, scheduler rounds, WAL appends,
+// counter samples) for offline analysis with trace_dump_cli. Tracing is
+// wall-clock telemetry only: digests with and without --trace are
+// byte-identical. --progress <n> prints a stderr heartbeat every n
+// epochs (epochs/s and the last route_p99) — never part of the digest
+// or the CSV.
 #include <cstdlib>
 #include <deque>
 #include <iostream>
@@ -70,6 +79,10 @@ constexpr const char* kRecoveryGrammar =
     "           --resume <path> continues a crashed run from its WAL\n"
     "           (configuration flags conflict — the WAL header is the\n"
     "           configuration; --threads/--csv/--report-every/--quiet ok)\n";
+constexpr const char* kTraceGrammar =
+    "tracing:   --trace <path> records a binary trace for trace_dump_cli\n"
+    "           (digest-neutral); --progress <n> prints a stderr\n"
+    "           heartbeat every n epochs (epochs/s, last route_p99)\n";
 
 /// The flags that ARE the run's dynamics configuration — all of them
 /// recorded in the WAL header, hence all of them conflicts with --resume.
@@ -89,10 +102,11 @@ const std::set<std::string> kConfigFlags = {
       "                       [--seed <s>] [--deterministic] [--csv <path>]\n"
       "                       [--tenants <spec>[;<spec>...]]\n"
       "                       [--wal <path> | --resume <path>]\n"
+      "                       [--trace <path>] [--progress <n>]\n"
       "                       [--report-every <n>] [--quiet]\n"
       "  route_server_cli list\n"
       << kPolicyGrammar << kWorkloadGrammar << kTenantGrammar
-      << kRecoveryGrammar;
+      << kRecoveryGrammar << kTraceGrammar;
   std::exit(2);
 }
 
@@ -104,9 +118,32 @@ int do_list() {
   }
   table.print(std::cout);
   std::cout << '\n' << kPolicyGrammar << kWorkloadGrammar << kTenantGrammar
-            << kRecoveryGrammar;
+            << kRecoveryGrammar << kTraceGrammar;
   return 0;
 }
+
+/// The --progress heartbeat: epochs/s and the last route_p99, to stderr
+/// only — wall-clock chatter that never reaches the digest or the CSV.
+class ProgressMeter {
+ public:
+  explicit ProgressMeter(std::size_t every) : every_(every) {}
+
+  void tick(const EpochSummary& summary) {
+    ++count_;
+    if (every_ == 0 || count_ % every_ != 0) return;
+    const double seconds = watch_.seconds();
+    const double rate =
+        seconds > 0.0 ? static_cast<double>(count_) / seconds : 0.0;
+    std::cerr << "progress: " << count_ << " epochs, " << fmt(rate, 1)
+              << " epochs/s, last route_p99 " << fmt(summary.route_p99, 4)
+              << "\n";
+  }
+
+ private:
+  std::size_t every_;
+  std::size_t count_ = 0;
+  Stopwatch watch_;
+};
 
 /// Routes std::invalid_argument from catalogue/grammar factories into
 /// UsageError (exit 2 + usage text), like bad flag values.
@@ -254,7 +291,8 @@ int run_tenants_manifest(const std::string& wal_path,
                          const recovery::RunManifest& manifest,
                          const recovery::RecoveredRun* resume,
                          std::size_t threads, const std::string& csv_path,
-                         std::size_t report_every, bool quiet) {
+                         std::size_t report_every, std::size_t progress_every,
+                         bool quiet) {
   const ScenarioRegistry registry = ScenarioRegistry::builtin();
   std::deque<Host> hosts;
   TenantRegistry tenants;
@@ -288,6 +326,16 @@ int run_tenants_manifest(const std::string& wal_path,
                 << ": " << e.queries << " queries, migration rate "
                 << fmt(e.migration_rate, 4) << ", gap "
                 << fmt(e.wardrop_gap, 6) << "\n";
+    };
+  }
+  if (progress_every > 0) {
+    // Heartbeat counts epochs across ALL tenants (the host's serving
+    // rate), chained in front of the reporting observer.
+    auto meter = std::make_shared<ProgressMeter>(progress_every);
+    observer = [meter, inner = std::move(observer)](
+                   std::size_t tenant, const EpochSummary& e) {
+      meter->tick(e);
+      if (inner) inner(tenant, e);
     };
   }
 
@@ -361,7 +409,8 @@ int run_single_manifest(const std::string& wal_path,
                         const recovery::RunManifest& manifest,
                         const recovery::RecoveredRun* resume,
                         std::size_t threads, const std::string& csv_path,
-                        std::size_t report_every, bool quiet) {
+                        std::size_t report_every, std::size_t progress_every,
+                        bool quiet) {
   const recovery::TenantManifest& self = manifest.tenants.front();
   RouteServerOptions options = self.options;
   options.threads = threads;
@@ -391,10 +440,19 @@ int run_single_manifest(const std::string& wal_path,
     log.emplace(wal_path, manifest);
   }
 
+  EpochObserver observer =
+      make_epoch_observer(options.epochs, report_every, quiet);
+  if (progress_every > 0) {
+    auto meter = std::make_shared<ProgressMeter>(progress_every);
+    observer = [meter, inner = std::move(observer)](const EpochSummary& e) {
+      meter->tick(e);
+      if (inner) inner(e);
+    };
+  }
+
   RouteServer server(host.instance, host.policy, *host.workload);
   const RouteServerResult result = server.run(
-      FlowVector::uniform(host.instance), options,
-      make_epoch_observer(options.epochs, report_every, quiet),
+      FlowVector::uniform(host.instance), options, observer,
       log ? log->single_observer() : CutObserver{}, resume_cuts);
   if (log) log->finish();
   return print_single_result(result, options, csv_path, quiet);
@@ -403,7 +461,7 @@ int run_single_manifest(const std::string& wal_path,
 /// --resume: the WAL header is the configuration; serve what remains.
 int do_resume(const std::string& path, std::size_t threads,
               const std::string& csv_path, std::size_t report_every,
-              bool quiet) {
+              std::size_t progress_every, bool quiet) {
   recovery::RecoveredRun state;
   try {
     state = recovery::recover_wal(path);
@@ -429,11 +487,32 @@ int do_resume(const std::string& path, std::size_t threads,
 
   if (state.manifest.multi_tenant) {
     return run_tenants_manifest(path, state.manifest, &state, threads,
-                                csv_path, report_every, quiet);
+                                csv_path, report_every, progress_every,
+                                quiet);
   }
   return run_single_manifest(path, state.manifest, &state, threads,
-                             csv_path, report_every, quiet);
+                             csv_path, report_every, progress_every, quiet);
 }
+
+/// Starts the recorder for --trace and guarantees the trailer is written
+/// on every exit path (including UsageError/exception unwinds).
+class TraceScope {
+ public:
+  explicit TraceScope(const std::string& path) {
+    if (path.empty()) return;
+    cli::require_writable(path, "--trace");
+    trace::start(path, "route_server_cli");
+    started_ = true;
+  }
+  ~TraceScope() {
+    if (started_) trace::stop();
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  bool started_ = false;
+};
 
 int do_run(const std::map<std::string, std::string>& flags) {
   std::string scenario_name = "braess";
@@ -444,7 +523,9 @@ int do_run(const std::map<std::string, std::string>& flags) {
   RouteServerOptions options;
   options.epochs = 50;
   std::string csv_path;
+  std::string trace_path;
   std::size_t report_every = 10;
+  std::size_t progress_every = 0;
   bool quiet = false;
   cli::RecoveryFlags recovery_flags;
 
@@ -484,6 +565,10 @@ int do_run(const std::map<std::string, std::string>& flags) {
       recovery_flags.wal = value;
     } else if (key == "resume") {
       recovery_flags.resume = value;
+    } else if (key == "trace") {
+      trace_path = value;
+    } else if (key == "progress") {
+      progress_every = cli::parse_count(value, "--progress");
     } else if (key == "report-every") {
       report_every = cli::parse_count(value, "--report-every");
     } else if (key == "quiet") {
@@ -494,9 +579,13 @@ int do_run(const std::map<std::string, std::string>& flags) {
   }
   cli::validate_recovery_flags(recovery_flags, flags, kConfigFlags);
 
+  // --trace/--progress are runtime knobs (wall-clock telemetry only), so
+  // like --threads/--csv they stay legal alongside --resume.
+  const TraceScope trace_scope(trace_path);
+
   if (recovery_flags.resuming()) {
     return do_resume(recovery_flags.resume, options.threads, csv_path,
-                     report_every, quiet);
+                     report_every, progress_every, quiet);
   }
 
   if (tenants_given) {
@@ -504,7 +593,7 @@ int do_run(const std::map<std::string, std::string>& flags) {
         tenants_flag, scenario_name, policy_name, workload_spec, options);
     return run_tenants_manifest(recovery_flags.wal, manifest, nullptr,
                                 options.threads, csv_path, report_every,
-                                quiet);
+                                progress_every, quiet);
   }
 
   // Default offered load: every client activates once per unit time on
@@ -526,7 +615,8 @@ int do_run(const std::map<std::string, std::string>& flags) {
   self.weight = 1;
   manifest.tenants.push_back(std::move(self));
   return run_single_manifest(recovery_flags.wal, manifest, nullptr,
-                             options.threads, csv_path, report_every, quiet);
+                             options.threads, csv_path, report_every,
+                             progress_every, quiet);
 }
 
 int run_main(int argc, char** argv) {

@@ -9,7 +9,7 @@
 //                 [--tenants 1,4,...] [--clients <n>]
 //                 [--sub-batch <q>|auto] [--threads <k>]
 //                 [--cells-csv <path>] [--summary-csv <path>]
-//                 [--hist-out <path>] [--quiet]
+//                 [--hist-out <path>] [--trace <path>] [--quiet]
 //   sweep_cli list
 //
 // `list` prints the scenario catalogue plus the policy and workload
@@ -24,6 +24,9 @@
 // service, zero shard or tenant counts) are usage errors: exit 2 with
 // the catalogue in hand. `--threads 0` means hardware concurrency.
 // Results (and the CSVs) are bit-identical for any --threads value.
+// --trace <path> records the sweep's binary trace (src/trace/) for
+// offline analysis with trace_dump_cli; tracing never changes the
+// digest.
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
@@ -60,7 +63,7 @@ constexpr const char* kWorkloadGrammar =
       "                [--tenants 1,4,...] [--clients <n>]\n"
       "                [--sub-batch <q>|auto] [--threads <k>]\n"
       "                [--cells-csv <path>] [--summary-csv <path>]\n"
-      "                [--hist-out <path>] [--quiet]\n"
+      "                [--hist-out <path>] [--trace <path>] [--quiet]\n"
       "  sweep_cli list\n"
       << kPolicyGrammar << kWorkloadGrammar;
   std::exit(2);
@@ -87,7 +90,7 @@ int do_run(const std::map<std::string, std::string>& flags) {
   spec.replicas = 3;
 
   std::size_t threads = 1;
-  std::string cells_csv, summary_csv, hist_csv;
+  std::string cells_csv, summary_csv, hist_csv, trace_path;
   bool quiet = false;
 
   for (const auto& [key, value] : flags) {
@@ -146,6 +149,8 @@ int do_run(const std::map<std::string, std::string>& flags) {
       summary_csv = value;
     } else if (key == "hist-out") {
       hist_csv = value;
+    } else if (key == "trace") {
+      trace_path = value;
     } else if (key == "quiet") {
       quiet = true;
     } else {
@@ -216,7 +221,21 @@ int do_run(const std::map<std::string, std::string>& flags) {
     };
   }
 
-  const SweepResult result = runner.run(spec, threads, progress);
+  // Tracing brackets the sweep itself (not flag parsing/validation); the
+  // recorder's stop() below writes the trailer even on a failed cell.
+  if (!trace_path.empty()) {
+    cli::require_writable(trace_path, "--trace");
+    trace::start(trace_path, "sweep_cli");
+  }
+  SweepResult result;
+  try {
+    result = runner.run(spec, threads, progress);
+  } catch (...) {
+    if (!trace_path.empty()) trace::stop();
+    throw;
+  }
+  if (!trace_path.empty()) trace::stop();
+
   const std::vector<GroupSummary> groups = summarise(result);
 
   summary_table(groups).print(std::cout);

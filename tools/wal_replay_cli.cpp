@@ -6,9 +6,11 @@
 //                         [--tenant <name>] [--threads <t>] [--quiet]
 //
 // `info` prints the WAL's manifest (per-tenant configuration), the
-// committed progress (cuts=<n> per tenant, rounds=<r>) and the shutdown
-// state — greppable key=value fields, used by the CI crash smoke to poll
-// how far a background run has progressed.
+// committed progress (cuts=<n> per tenant, rounds=<r>), the shutdown
+// state, and one row per committed cut (its byte offset in the file and
+// the epoch's route_p99, for correlating WAL cuts with trace spans) —
+// greppable key=value fields, used by the CI crash smoke to poll how far
+// a background run has progressed.
 //
 // `replay` is the point-in-time debugger: it restores one tenant's state
 // at epoch cut e (--epoch, default 0) directly into an EpochEngine —
@@ -96,6 +98,16 @@ int do_info(const std::string& path) {
               << " seed=" << o.seed << " weight=" << tenant.weight
               << " cuts=" << state.cuts[i].size() << " digest=" << std::hex
               << state.digests[i] << std::dec << "\n";
+    // Per-cut rows: where each committed cut's record starts in the file
+    // (seekable, and correlatable with trace spans) and the epoch's
+    // deterministic route_p99.
+    for (std::size_t c = 0; c < state.cuts[i].size(); ++c) {
+      const EpochSummary& summary = state.cuts[i][c].summary;
+      std::cout << "cut[" << display_name(tenant)
+                << "]: epoch=" << summary.epoch
+                << " offset=" << state.cut_offsets[i][c]
+                << " route_p99=" << fmt(summary.route_p99, 6) << "\n";
+    }
   }
   return 0;
 }
