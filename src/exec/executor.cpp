@@ -1,10 +1,12 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "faults/fault_plan.h"
 #include "trace/metrics.h"
 #include "trace/recorder.h"
 
@@ -149,11 +151,47 @@ void Executor::run(TaskGraph& graph) {
   trace::Span span(trace::EventKind::kGraphSpan, /*tenant=*/0,
                    /*epoch=*/0, /*arg=*/pool_ == nullptr ? 0 : 1);
   span.value(graph.size());
+  const std::uint64_t graph_index =
+      graphs_run_.fetch_add(1, std::memory_order_relaxed);
   if (pool_ == nullptr) {
     graph.run_inline();
     return;
   }
+
+  // Injected worker stall: submit sleep tasks BEFORE the graph's roots so
+  // the FIFO queue hands them to workers first — those workers are then
+  // out of service for the window while the graph runs on whoever is
+  // left (the caller helps, so progress is guaranteed even if every
+  // worker is held). Purely wall-clock contention.
+  ThreadPool::CompletionToken stall_token;
+  if (fault_schedule_ != nullptr) {
+    const faults::FaultSchedule::Stall stall =
+        fault_schedule_->stall_at(graph_index);
+    if (stall.workers > 0 && stall.ms > 0) {
+      static trace::Counter& stalls_counter =
+          trace::MetricsRegistry::global().counter("faults.stalls");
+      stalls_counter.inc();
+      if (trace::active()) {
+        trace::instant(
+            trace::EventKind::kFaultSpan, /*tenant=*/0, graph_index,
+            static_cast<std::uint64_t>(faults::FaultKind::kWorkerStall),
+            stall.ms);
+      }
+      stall_token = pool_->make_token();
+      const std::size_t held =
+          std::min<std::size_t>(stall.workers, pool_->size());
+      for (std::size_t w = 0; w < held; ++w) {
+        pool_->submit(
+            [ms = stall.ms] {
+              std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+            },
+            stall_token);
+      }
+    }
+  }
+
   graph.run_on(*pool_);
+  if (stall_token != nullptr) pool_->wait(stall_token);
 }
 
 // ------------------------------------------------------------- splitting

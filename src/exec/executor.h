@@ -26,7 +26,9 @@
 // 1-vs-N-thread runs stay byte-identical.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -36,6 +38,10 @@
 #include "util/thread_pool.h"
 
 namespace staleflow {
+
+namespace faults {
+class FaultSchedule;
+}
 
 /// A one-shot dependency graph of tasks. Build with add(), hand to
 /// Executor::run(). Nodes may only depend on nodes added before them
@@ -109,9 +115,25 @@ class Executor {
   /// state is rebuilt per run).
   void run(TaskGraph& graph);
 
+  /// Installs a fault schedule whose worker-stall windows apply to this
+  /// executor's graph runs (nullptr = healthy, the default). A stall
+  /// window covering the N-th graph this executor runs occupies the
+  /// scheduled number of pool workers with sleep tasks for its duration —
+  /// wall-clock contention only, never dynamics (task *values* are
+  /// scheduling-independent by the determinism contract). No-op in
+  /// inline mode (there are no workers to stall). The schedule must
+  /// outlive every run().
+  void set_fault_schedule(const faults::FaultSchedule* schedule) noexcept {
+    fault_schedule_ = schedule;
+  }
+
  private:
   std::size_t threads_;
   std::unique_ptr<ThreadPool> pool_;  // null in inline mode
+  const faults::FaultSchedule* fault_schedule_ = nullptr;
+  // Graph sequence number for stall-window lookup; atomic because sweep
+  // cells run graphs on one shared executor concurrently.
+  std::atomic<std::uint64_t> graphs_run_{0};
 };
 
 /// Number of sub-batches a batch of `items` splits into: ceil(items /

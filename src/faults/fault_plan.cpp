@@ -1,0 +1,306 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace staleflow::faults {
+namespace {
+
+// Salt XORed into the run seed so the fault stream is independent of
+// every dynamics stream split from the same seed.
+constexpr std::uint64_t kFaultSeedSalt = 0x8F1D3A5C9B7E2460ULL;
+
+constexpr std::string_view kGrammar =
+    "expected \"slow:shard=S,us=U[,tenant=T][,at=E][,for=N]\" | "
+    "\"stall:workers=W,ms=M[,at=G][,for=N]\" | "
+    "\"drop-telemetry[:tenant=T][,at=E][,for=N]\" | "
+    "\"brownout:shed=F[,tenant=T][,at=E][,for=N]\" | "
+    "\"crash:at=N\" | \"none\", clauses joined by ';' or '+'";
+
+[[noreturn]] void bad_spec(std::string_view detail) {
+  throw std::invalid_argument("--faults: " + std::string(detail) + " (" +
+                              std::string(kGrammar) + ")");
+}
+
+std::vector<std::string_view> split_any(std::string_view text,
+                                        std::string_view separators) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || separators.find(text[i]) != std::string_view::npos) {
+      out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::uint64_t parse_u64(std::string_view value, std::string_view clause,
+                        std::string_view key) {
+  if (value.empty()) bad_spec("empty " + std::string(key) + " in \"" +
+                              std::string(clause) + "\"");
+  for (char c : value) {
+    if (!std::isdigit(static_cast<unsigned char>(c)))
+      bad_spec("non-numeric " + std::string(key) + "=\"" + std::string(value) +
+               "\" in \"" + std::string(clause) + "\"");
+  }
+  try {
+    return std::stoull(std::string(value));
+  } catch (const std::out_of_range&) {
+    bad_spec(std::string(key) + "=\"" + std::string(value) +
+             "\" out of range in \"" + std::string(clause) + "\"");
+  }
+}
+
+double parse_fraction(std::string_view value, std::string_view clause) {
+  std::size_t used = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(std::string(value), &used);
+  } catch (const std::exception&) {
+    bad_spec("bad shed=\"" + std::string(value) + "\" in \"" +
+             std::string(clause) + "\"");
+  }
+  if (used != value.size() || !(parsed > 0.0) || parsed > 1.0)
+    bad_spec("shed must be a fraction in (0,1], got \"" + std::string(value) +
+             "\" in \"" + std::string(clause) + "\"");
+  return parsed;
+}
+
+FaultClause parse_clause(std::string_view text) {
+  const std::size_t colon = text.find(':');
+  const std::string_view name = text.substr(0, colon);
+  const std::string_view args =
+      colon == std::string_view::npos ? std::string_view{}
+                                      : text.substr(colon + 1);
+
+  FaultClause clause;
+  if (name == "slow") {
+    clause.kind = FaultKind::kShardSlowdown;
+  } else if (name == "stall") {
+    clause.kind = FaultKind::kWorkerStall;
+  } else if (name == "drop-telemetry") {
+    clause.kind = FaultKind::kDropTelemetry;
+  } else if (name == "brownout") {
+    clause.kind = FaultKind::kBrownout;
+  } else if (name == "crash") {
+    clause.kind = FaultKind::kCrash;
+  } else {
+    bad_spec("unknown fault kind \"" + std::string(name) + "\"");
+  }
+
+  bool saw_shard = false, saw_us = false, saw_workers = false, saw_ms = false,
+       saw_shed = false;
+  if (!args.empty()) {
+    for (std::string_view field : split_any(args, ",")) {
+      const std::size_t eq = field.find('=');
+      if (eq == std::string_view::npos || eq == 0)
+        bad_spec("expected key=value, got \"" + std::string(field) +
+                 "\" in \"" + std::string(text) + "\"");
+      const std::string_view key = field.substr(0, eq);
+      const std::string_view value = field.substr(eq + 1);
+      if (key == "at") {
+        clause.at = parse_u64(value, text, key);
+      } else if (key == "for") {
+        const std::uint64_t n = parse_u64(value, text, key);
+        if (n == 0) bad_spec("for=0 in \"" + std::string(text) + "\"");
+        clause.duration = n;
+      } else if (key == "tenant" && clause.kind != FaultKind::kWorkerStall &&
+                 clause.kind != FaultKind::kCrash) {
+        clause.tenant = static_cast<std::uint32_t>(parse_u64(value, text, key));
+      } else if (key == "shard" && clause.kind == FaultKind::kShardSlowdown) {
+        clause.shard = parse_u64(value, text, key);
+        saw_shard = true;
+      } else if (key == "us" && clause.kind == FaultKind::kShardSlowdown) {
+        clause.slow_us = parse_u64(value, text, key);
+        saw_us = true;
+      } else if (key == "workers" && clause.kind == FaultKind::kWorkerStall) {
+        clause.workers = parse_u64(value, text, key);
+        saw_workers = true;
+      } else if (key == "ms" && clause.kind == FaultKind::kWorkerStall) {
+        clause.stall_ms = parse_u64(value, text, key);
+        saw_ms = true;
+      } else if (key == "shed" && clause.kind == FaultKind::kBrownout) {
+        clause.shed = parse_fraction(value, text);
+        saw_shed = true;
+      } else {
+        bad_spec("unknown key \"" + std::string(key) + "\" for " +
+                 std::string(name) + " in \"" + std::string(text) + "\"");
+      }
+    }
+  }
+
+  switch (clause.kind) {
+    case FaultKind::kShardSlowdown:
+      if (!saw_shard || !saw_us)
+        bad_spec("slow requires shard= and us= in \"" + std::string(text) +
+                 "\"");
+      if (clause.slow_us == 0)
+        bad_spec("slow requires us > 0 in \"" + std::string(text) + "\"");
+      break;
+    case FaultKind::kWorkerStall:
+      if (!saw_workers || !saw_ms)
+        bad_spec("stall requires workers= and ms= in \"" + std::string(text) +
+                 "\"");
+      if (clause.workers == 0 || clause.stall_ms == 0)
+        bad_spec("stall requires workers > 0 and ms > 0 in \"" +
+                 std::string(text) + "\"");
+      break;
+    case FaultKind::kBrownout:
+      if (!saw_shed)
+        bad_spec("brownout requires shed= in \"" + std::string(text) + "\"");
+      break;
+    case FaultKind::kCrash:
+      if (!clause.at)
+        bad_spec("crash requires at= in \"" + std::string(text) + "\"");
+      if (*clause.at == 0)
+        bad_spec("crash requires at >= 1 (the first commit point) in \"" +
+                 std::string(text) + "\"");
+      break;
+    case FaultKind::kDropTelemetry:
+      break;
+  }
+  return clause;
+}
+
+}  // namespace
+
+std::string_view fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kShardSlowdown: return "slow";
+    case FaultKind::kWorkerStall: return "stall";
+    case FaultKind::kDropTelemetry: return "drop-telemetry";
+    case FaultKind::kBrownout: return "brownout";
+    case FaultKind::kCrash: return "crash";
+  }
+  return "unknown";
+}
+
+FaultPlan parse_fault_plan(std::string_view spec) {
+  if (spec.empty()) bad_spec("empty spec");
+  FaultPlan plan;
+  plan.spec = std::string(spec);
+  for (std::string_view clause : split_any(spec, ";+")) {
+    if (clause.empty()) bad_spec("empty clause in \"" + plan.spec + "\"");
+    if (clause == "none") continue;
+    plan.clauses.push_back(parse_clause(clause));
+  }
+  return plan;
+}
+
+FaultSchedule FaultSchedule::materialize(const FaultPlan& plan,
+                                         std::uint64_t seed,
+                                         std::uint64_t epochs) {
+  FaultSchedule schedule;
+  if (plan.empty()) return schedule;
+  if (epochs == 0)
+    throw std::invalid_argument(
+        "--faults: cannot materialize a fault plan for a 0-epoch run");
+
+  // One dedicated stream, walked in clause order: only fields the spec
+  // left open consume draws, so pinning one clause's window never
+  // shifts another's.
+  Rng rng(seed ^ kFaultSeedSalt);
+  schedule.faults_.reserve(plan.clauses.size());
+  for (const FaultClause& clause : plan.clauses) {
+    ActiveFault active;
+    active.clause = clause;
+    active.begin = clause.at ? *clause.at : rng.below(epochs);
+    std::uint64_t duration = 1;
+    if (clause.kind == FaultKind::kCrash) {
+      // Crash is a point event; `begin` counts committed epochs/rounds.
+      duration = 1;
+    } else if (clause.duration) {
+      duration = *clause.duration;
+    } else {
+      duration = 1 + rng.below(std::max<std::uint64_t>(1, epochs / 4));
+    }
+    active.end = active.begin > ~std::uint64_t{0} - duration
+                     ? ~std::uint64_t{0}
+                     : active.begin + duration;
+    schedule.faults_.push_back(active);
+  }
+  return schedule;
+}
+
+std::uint64_t FaultSchedule::slowdown_us(std::uint32_t tenant,
+                                         std::uint64_t shard,
+                                         std::uint64_t epoch) const noexcept {
+  std::uint64_t total = 0;
+  for (const ActiveFault& fault : faults_) {
+    if (fault.clause.kind == FaultKind::kShardSlowdown &&
+        fault.clause.tenant == tenant && fault.clause.shard == shard &&
+        fault.covers(epoch))
+      total += fault.clause.slow_us;
+  }
+  return total;
+}
+
+double FaultSchedule::brownout_shed(std::uint32_t tenant,
+                                    std::uint64_t epoch) const noexcept {
+  double survive = 1.0;
+  for (const ActiveFault& fault : faults_) {
+    if (fault.clause.kind == FaultKind::kBrownout &&
+        fault.clause.tenant == tenant && fault.covers(epoch))
+      survive *= 1.0 - fault.clause.shed;
+  }
+  return 1.0 - survive;
+}
+
+bool FaultSchedule::telemetry_dropped(std::uint32_t tenant,
+                                      std::uint64_t epoch) const noexcept {
+  for (const ActiveFault& fault : faults_) {
+    if (fault.clause.kind == FaultKind::kDropTelemetry &&
+        fault.clause.tenant == tenant && fault.covers(epoch))
+      return true;
+  }
+  return false;
+}
+
+FaultSchedule::Stall FaultSchedule::stall_at(
+    std::uint64_t graph) const noexcept {
+  Stall stall;
+  for (const ActiveFault& fault : faults_) {
+    if (fault.clause.kind == FaultKind::kWorkerStall && fault.covers(graph)) {
+      stall.workers += fault.clause.workers;
+      stall.ms = std::max(stall.ms, fault.clause.stall_ms);
+    }
+  }
+  return stall;
+}
+
+bool FaultSchedule::crash_after(std::uint64_t committed) const noexcept {
+  if (committed == 0) return false;
+  for (const ActiveFault& fault : faults_) {
+    if (fault.clause.kind == FaultKind::kCrash && fault.begin == committed)
+      return true;
+  }
+  return false;
+}
+
+void busy_wait_us(std::uint64_t us) {
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::microseconds(us);
+  while (std::chrono::steady_clock::now() < until) {
+    // Spin: the point is to burn wall clock on this worker without
+    // changing any state the digest can see.
+  }
+}
+
+void crash_process(std::uint64_t committed) {
+  std::fprintf(stderr,
+               "staleflow: injected crash after commit point %llu\n",
+               static_cast<unsigned long long>(committed));
+  std::fflush(stderr);
+  // _Exit mirrors a kill -9: no destructors, no atexit, no flushing of
+  // anything the WAL observer didn't already fsync-order itself.
+  std::_Exit(137);
+}
+
+}  // namespace staleflow::faults

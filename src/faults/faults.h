@@ -1,0 +1,14 @@
+// Umbrella header for the deterministic fault-injection plane.
+//
+// Quickstart:
+//
+//   auto plan = staleflow::faults::parse_fault_plan(
+//       "brownout:shed=0.5,tenant=0,at=3,for=4");
+//   auto schedule = staleflow::faults::FaultSchedule::materialize(
+//       plan, options.seed, options.epochs);
+//   options.faults = &schedule;   // RouteServerOptions runtime pointer
+//   // serve — fault timing is a pure function of (spec, seed, epochs),
+//   // so the chaos run is bit-for-bit replayable at any thread count.
+#pragma once
+
+#include "faults/fault_plan.h"

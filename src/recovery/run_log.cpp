@@ -18,6 +18,7 @@ std::string encode_run_header(const RunManifest& manifest) {
   binio::Writer w;
   w.u32(kWalVersion);
   w.u8(manifest.multi_tenant ? 1 : 0);
+  w.str(manifest.faults);
   w.u32(static_cast<std::uint32_t>(manifest.tenants.size()));
   for (const TenantManifest& tenant : manifest.tenants) {
     w.str(tenant.name);
@@ -49,6 +50,7 @@ RunManifest decode_run_header(std::string_view payload) {
   }
   RunManifest manifest;
   manifest.multi_tenant = r.u8() != 0;
+  manifest.faults = r.str();
   const std::uint32_t count = r.u32();
   if (count == 0 || (!manifest.multi_tenant && count != 1)) {
     throw std::runtime_error("WAL header: bad tenant count");

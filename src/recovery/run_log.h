@@ -60,6 +60,11 @@ struct TenantManifest {
 
 struct RunManifest {
   bool multi_tenant = false;
+  /// The run's `--faults` spec ("" = healthy). The SPEC is what the WAL
+  /// stores — a resumed run re-materializes the schedule from it plus the
+  /// logged (seed, epochs), reproducing the exact fault timing of the
+  /// crashed run (the schedule is a pure function of that triple).
+  std::string faults;
   std::vector<TenantManifest> tenants;  // exactly 1 when !multi_tenant
 };
 

@@ -38,7 +38,8 @@ inline constexpr char kWalMagic[8] = {'S', 'F', 'W', 'A', 'L', '1', '\n', 0};
 
 /// Payload format version inside the run header. Bump when any payload
 /// encoding changes; readers reject versions they don't know.
-inline constexpr std::uint32_t kWalVersion = 1;
+/// v2: the run header carries the --faults spec after the tenant flag.
+inline constexpr std::uint32_t kWalVersion = 2;
 
 /// Corruption guard: a structurally valid record never exceeds this
 /// payload size, so a garbage length field cannot drive a huge allocation.

@@ -1,12 +1,15 @@
 #include "service/epoch_engine.h"
 
+#include <algorithm>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "core/policy.h"
 #include "equilibrium/metrics.h"
 #include "exec/executor.h"
+#include "faults/fault_plan.h"
 #include "service/workload.h"
 #include "trace/metrics.h"
 #include "trace/recorder.h"
@@ -86,11 +89,27 @@ void EpochEngine::serve_sub_batch(std::size_t b) {
   const std::size_t shards = options_.shards;
   // Span over the whole batch, recorded from the worker thread that runs
   // it (the ring's worker id attributes it). arg packs (shard, index).
-  trace::Span trace_span(trace::EventKind::kSubBatchSpan, trace_tenant_,
-                         trace_epoch_,
-                         (static_cast<std::uint64_t>(s) << 32) |
-                             static_cast<std::uint64_t>(b));
-  trace_span.value(sub.arrivals);
+  // A drop-telemetry fault window silences the span for this epoch.
+  std::optional<trace::Span> trace_span;
+  if (!trace_drop_) {
+    trace_span.emplace(trace::EventKind::kSubBatchSpan, trace_tenant_,
+                       trace_epoch_,
+                       (static_cast<std::uint64_t>(s) << 32) |
+                           static_cast<std::uint64_t>(b));
+    trace_span->value(sub.arrivals);
+  }
+  // Injected shard slowdown: burn wall clock on this worker before
+  // serving. Wall-clock only — the dynamics below never see it.
+  if (options_.faults != nullptr) {
+    const std::uint64_t slow_us =
+        options_.faults->slowdown_us(trace_tenant_, s, trace_epoch_);
+    if (slow_us != 0) {
+      static trace::Counter& slowdowns_counter =
+          trace::MetricsRegistry::global().counter("faults.slowdowns");
+      slowdowns_counter.inc();
+      faults::busy_wait_us(slow_us);
+    }
+  }
   // The RCU read path: pin this epoch's board for the whole batch.
   const SnapshotPtr snap = store_->acquire();
   const BulletinBoard& board = snap->board();
@@ -170,8 +189,49 @@ void EpochEngine::add_epoch(TaskGraph& graph) {
     feedback.has_previous = true;
     feedback.route_p50 = epochs_.back().route_p50;
   }
-  const std::size_t total = workload_->arrivals(
+  std::size_t total = workload_->arrivals(
       e, static_cast<double>(e) * T, T, feedback, arrivals_rng);
+
+  // Fault windows for this (tenant, epoch). Brownout sheds arrivals
+  // BEFORE the sub-batch plan is derived, so the shed run is simply a
+  // different (still fully deterministic) load level: floor(total * shed)
+  // queries are turned away at admission. drop-telemetry only sets the
+  // emission gate; slowdowns are applied per sub-batch task.
+  const faults::FaultSchedule* fault_plan = options_.faults;
+  trace_drop_ = fault_plan != nullptr &&
+                fault_plan->telemetry_dropped(trace_tenant_, e);
+  std::size_t shed_queries = 0;
+  if (fault_plan != nullptr) {
+    const double shed = fault_plan->brownout_shed(trace_tenant_, e);
+    if (shed > 0.0) {
+      shed_queries = std::min(
+          total, static_cast<std::size_t>(static_cast<double>(total) * shed));
+      total -= shed_queries;
+      static trace::Counter& shed_counter =
+          trace::MetricsRegistry::global().counter("faults.shed_queries");
+      shed_counter.add(shed_queries);
+    }
+    if (trace::active()) {
+      // One kFaultSpan marker per engine-level fault active this epoch —
+      // emitted even inside a drop-telemetry window, so the offline
+      // analyzer can attribute the dark window (and any latency shift)
+      // to its cause.
+      for (const faults::ActiveFault& fault : fault_plan->faults()) {
+        const faults::FaultKind kind = fault.clause.kind;
+        if (kind != faults::FaultKind::kShardSlowdown &&
+            kind != faults::FaultKind::kDropTelemetry &&
+            kind != faults::FaultKind::kBrownout)
+          continue;
+        if (fault.clause.tenant != trace_tenant_ || !fault.covers(e)) continue;
+        const std::uint64_t magnitude =
+            kind == faults::FaultKind::kShardSlowdown ? fault.clause.slow_us
+            : kind == faults::FaultKind::kBrownout    ? shed_queries
+                                                      : 0;
+        trace::instant(trace::EventKind::kFaultSpan, trace_tenant_, e,
+                       static_cast<std::uint64_t>(kind), magnitude);
+      }
+    }
+  }
 
   // The split threshold: fixed, or (auto mode) derived from this epoch's
   // total arrivals — either way a function of the configuration and the
@@ -321,7 +381,7 @@ void EpochEngine::finish_epoch(double epoch_seconds,
   queries_counter.add(totals_.queries);
   migrations_counter.add(totals_.migrations);
 
-  if (trace::active()) {
+  if (trace::active() && !trace_drop_) {
     // The board just swapped: epoch e+1 is now live for readers.
     trace::instant(trace::EventKind::kSnapshotPublish, trace_tenant_,
                    trace_epoch_ + 1, /*arg=*/0, /*value=*/0);

@@ -148,10 +148,13 @@ class EpochEngine {
   bool epoch_in_flight_ = false;
 
   // Trace labelling for the epoch in flight — wall-clock telemetry only,
-  // strictly outside the digest contract.
+  // strictly outside the digest contract. trace_drop_ is true while a
+  // drop-telemetry fault window covers the epoch in flight: the engine
+  // then emits no spans (the kFaultSpan marker itself still fires).
   std::uint32_t trace_tenant_ = 0;
   std::uint64_t trace_epoch_ = 0;
   std::uint64_t trace_epoch_begin_ns_ = 0;
+  bool trace_drop_ = false;
 
   // Staging for the epoch in flight (written by graph nodes).
   SnapshotPtr served_;

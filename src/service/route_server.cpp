@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "exec/executor.h"
+#include "faults/fault_plan.h"
 #include "service/epoch_engine.h"
 #include "util/stopwatch.h"
 
@@ -30,6 +31,9 @@ RouteServerResult RouteServer::run(const FlowVector& initial,
   Executor* exec = options.executor;
   if (exec == nullptr) {
     owned_executor = std::make_unique<Executor>(options.threads);
+    // Worker-stall faults apply to the executor this run owns; a borrowed
+    // executor's host (sweep runner, tenant CLI) wires its own.
+    owned_executor->set_fault_schedule(options.faults);
     exec = owned_executor.get();
   }
 
@@ -41,6 +45,11 @@ RouteServerResult RouteServer::run(const FlowVector& initial,
     exec->run(graph);
     engine.finish_epoch(epoch_watch.seconds(), observer);
     if (cuts) cuts(engine.checkpoint());
+    // The crash point fires AFTER the cut observer so the WAL holds
+    // exactly the epochs a resumed run must replay.
+    if (options.faults != nullptr &&
+        options.faults->crash_after(engine.epochs_done()))
+      faults::crash_process(engine.epochs_done());
   }
   return engine.finish(run_watch.seconds());
 }

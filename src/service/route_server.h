@@ -51,6 +51,10 @@ namespace staleflow {
 
 class Executor;
 
+namespace faults {
+class FaultSchedule;
+}
+
 /// One routing request: client `client` asks which path to use next.
 struct RouteQuery {
   std::uint32_t client = 0;
@@ -99,6 +103,16 @@ struct RouteServerOptions {
   bool sub_batch_auto = false;
 
   std::uint64_t seed = 1;
+
+  /// Materialized fault schedule (src/faults/), nullptr = healthy world.
+  /// A runtime pointer like `executor` — never serialized into the WAL
+  /// header (the `--faults` SPEC is; resume re-materializes from it).
+  /// Brownout windows deterministically shed this server's arrivals
+  /// (digest-changing, for this tenant only); slowdown / stall /
+  /// drop-telemetry windows burn wall clock or suppress traces and are
+  /// digest-neutral; a crash clause _Exit(137)s the process right after
+  /// the matching commit point. Must outlive run().
+  const faults::FaultSchedule* faults = nullptr;
 
   /// Record wall-clock per-query service time into per-shard
   /// LogHistograms. Off = deterministic replay mode: all telemetry fields

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "exec/executor.h"
+#include "faults/fault_plan.h"
 #include "service/epoch_engine.h"
 #include "trace/metrics.h"
 #include "trace/recorder.h"
@@ -132,6 +133,16 @@ MultiTenantResult TenantRegistry::run(Executor& executor,
   }
   if (resume != nullptr) result.rounds = resume->rounds;
   std::vector<std::size_t> scheduled;
+  // Crash-fault lookup: the registry crashes on ROUND commit points, so
+  // any tenant's schedule (they share one --faults spec in the CLI; the
+  // first non-null pointer wins) drives the whole host's crash clause.
+  const faults::FaultSchedule* fault_plan = nullptr;
+  for (const Tenant& tenant : tenants_) {
+    if (tenant.options.server.faults != nullptr) {
+      fault_plan = tenant.options.server.faults;
+      break;
+    }
+  }
   const Stopwatch run_watch;
   for (;;) {
     scheduled.clear();
@@ -188,6 +199,11 @@ MultiTenantResult TenantRegistry::run(Executor& executor,
         cut.cuts.emplace_back(i, engines[i]->checkpoint());
       }
       rounds(cut);
+    }
+    // The crash point fires AFTER the round's cut observer, mirroring the
+    // solo server: the WAL holds exactly the committed rounds.
+    if (fault_plan != nullptr && fault_plan->crash_after(result.rounds)) {
+      faults::crash_process(result.rounds);
     }
   }
   result.wall_seconds = run_watch.seconds();

@@ -100,7 +100,7 @@ std::string fmt_exact(double value) {
 void write_cells_csv(const std::string& path, const SweepResult& result) {
   CsvWriter csv(path,
                 {"index", "scenario", "policy", "update_period", "replica",
-                 "workload", "shards", "tenants", "ok", "paths",
+                 "workload", "shards", "tenants", "faults", "ok", "paths",
                  "commodities", "phases", "final_time", "converged",
                  "time_to_converge", "final_gap", "final_potential",
                  "oscillation_amplitude", "settled", "period_two",
@@ -111,7 +111,8 @@ void write_cells_csv(const std::string& path, const SweepResult& result) {
                  cell.cell.policy, fmt_exact(cell.cell.update_period),
                  fmt_int((long long)cell.cell.replica), cell.cell.workload,
                  fmt_int((long long)cell.cell.shards),
-                 fmt_int((long long)cell.cell.tenants), fmt_bool(cell.ok),
+                 fmt_int((long long)cell.cell.tenants), cell.cell.faults,
+                 fmt_bool(cell.ok),
                  fmt_int((long long)cell.paths),
                  fmt_int((long long)cell.commodities),
                  fmt_int((long long)cell.phases), fmt_exact(cell.final_time),
@@ -172,8 +173,8 @@ void write_summary_csv(const std::string& path,
 
 void write_hist_csv(const std::string& path, const SweepResult& result) {
   CsvWriter csv(path, {"index", "scenario", "policy", "update_period",
-                       "replica", "workload", "shards", "tenants", "bucket",
-                       "lower", "upper", "count", "cumulative"});
+                       "replica", "workload", "shards", "tenants", "faults",
+                       "bucket", "lower", "upper", "count", "cumulative"});
   for (const CellResult& cell : result.cells) {
     if (cell.latency.empty()) continue;
     std::uint64_t cumulative = 0;
@@ -185,7 +186,7 @@ void write_hist_csv(const std::string& path, const SweepResult& result) {
                    cell.cell.policy, fmt_exact(cell.cell.update_period),
                    fmt_int((long long)cell.cell.replica), cell.cell.workload,
                    fmt_int((long long)cell.cell.shards),
-                   fmt_int((long long)cell.cell.tenants),
+                   fmt_int((long long)cell.cell.tenants), cell.cell.faults,
                    fmt_int((long long)b), fmt_exact(cell.latency.bucket_lower(b)),
                    fmt_exact(cell.latency.bucket_upper(b)),
                    fmt_int((long long)count), fmt_int((long long)cumulative)});
@@ -205,6 +206,9 @@ std::uint64_t cells_digest(const SweepResult& result) {
     fnv::hash_string(h, cell.cell.workload);
     fnv::hash_u64(h, cell.cell.shards);
     fnv::hash_u64(h, cell.cell.tenants);
+    // Gated so healthy sweeps keep their pre-fault-axis digests; a chaos
+    // sweep hashes the spec so a silently dropped fault axis cannot pin.
+    if (!cell.cell.faults.empty()) fnv::hash_string(h, cell.cell.faults);
     fnv::hash_u64(h, cell.ok ? 1 : 0);
     fnv::hash_u64(h, cell.paths);
     fnv::hash_u64(h, cell.commodities);

@@ -14,6 +14,7 @@
 #include "core/round_simulator.h"
 #include "equilibrium/metrics.h"
 #include "equilibrium/potential.h"
+#include "faults/fault_plan.h"
 #include "net/flow.h"
 #include "exec/executor.h"
 #include "service/route_server.h"
@@ -154,9 +155,24 @@ void run_service(const Instance& instance, const Policy& policy,
   options.sub_batch_auto = spec.sub_batch_auto;
   options.record_latency = false;  // replay mode: fully deterministic
 
+  // Seeds first, THEN the fault schedule: the schedule is derived from
+  // the first tenant's seed, and drawing all seeds up front keeps the
+  // sim_rng walk identical to the pre-faults runner (same cell, same
+  // seeds, healthy or not).
   const std::size_t tenants = std::max<std::size_t>(1, out.cell.tenants);
+  std::vector<std::uint64_t> seeds(tenants);
+  for (std::uint64_t& seed : seeds) seed = sim_rng();
+
+  faults::FaultSchedule fault_schedule;
+  if (!out.cell.faults.empty() && out.cell.faults != "none") {
+    fault_schedule = faults::FaultSchedule::materialize(
+        faults::parse_fault_plan(out.cell.faults), seeds.front(),
+        options.epochs);
+    options.faults = &fault_schedule;
+  }
+
   if (tenants == 1) {
-    options.seed = sim_rng();
+    options.seed = seeds.front();
     RouteServer server(instance, policy, *workload);
     const RouteServerResult result =
         server.run(FlowVector::uniform(instance), options);
@@ -198,7 +214,7 @@ void run_service(const Instance& instance, const Policy& policy,
   for (std::size_t t = 0; t < tenants; ++t) {
     TenantOptions tenant;
     tenant.server = options;
-    tenant.server.seed = sim_rng();
+    tenant.server.seed = seeds[t];
     registry.add("t" + std::to_string(t), instance, policy, *workload,
                  tenant);
   }

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "faults/fault_plan.h"
 #include "service/workload.h"
 
 namespace staleflow {
@@ -124,7 +125,8 @@ std::size_t cell_count(const ExperimentSpec& spec) {
                       spec.update_periods.size() * spec.replicas;
   if (spec.simulator == SimulatorKind::kService) {
     count *= spec.workloads.size() * spec.shard_counts.size() *
-             std::max<std::size_t>(1, spec.tenant_counts.size());
+             std::max<std::size_t>(1, spec.tenant_counts.size()) *
+             std::max<std::size_t>(1, spec.fault_specs.size());
   }
   return count;
 }
@@ -177,10 +179,10 @@ std::vector<CellSpec> expand(const ExperimentSpec& spec,
 
   const bool service = spec.simulator == SimulatorKind::kService;
   if (!service && (!spec.workloads.empty() || !spec.shard_counts.empty() ||
-                   !spec.tenant_counts.empty())) {
+                   !spec.tenant_counts.empty() || !spec.fault_specs.empty())) {
     throw std::invalid_argument(
-        "expand: workload/shard/tenant axes require the service simulator "
-        "(--simulator service)");
+        "expand: workload/shard/tenant/fault axes require the service "
+        "simulator (--simulator service)");
   }
   if (service) {
     if (spec.workloads.empty()) {
@@ -229,6 +231,29 @@ std::vector<CellSpec> expand(const ExperimentSpec& spec,
         }
       }
     }
+    for (std::size_t i = 0; i < spec.fault_specs.size(); ++i) {
+      // Typos fail here, not mid-sweep; and per-cell chaos must stay
+      // per-cell — a crash clause kills the whole sweep process, a
+      // worker-stall clause perturbs the SHARED pool every other cell is
+      // running on, so both are rejected as sweep axes.
+      const faults::FaultPlan plan =
+          faults::parse_fault_plan(spec.fault_specs[i]);
+      for (const faults::FaultClause& clause : plan.clauses) {
+        if (clause.kind == faults::FaultKind::kCrash ||
+            clause.kind == faults::FaultKind::kWorkerStall) {
+          throw std::invalid_argument(
+              "expand: crash/stall clauses are not sweepable (crash kills "
+              "the sweep process, stall perturbs the shared pool); use "
+              "route_server_cli --faults for those");
+        }
+      }
+      for (std::size_t j = i + 1; j < spec.fault_specs.size(); ++j) {
+        if (spec.fault_specs[i] == spec.fault_specs[j]) {
+          throw std::invalid_argument("expand: duplicate fault spec '" +
+                                      spec.fault_specs[i] + "'");
+        }
+      }
+    }
     if (spec.num_clients == 0) {
       throw std::invalid_argument("expand: num_clients must be >= 1");
     }
@@ -251,6 +276,10 @@ std::vector<CellSpec> expand(const ExperimentSpec& spec,
       !service ? std::vector<std::size_t>{0}
                : (spec.tenant_counts.empty() ? std::vector<std::size_t>{1}
                                              : spec.tenant_counts);
+  const std::vector<std::string> fault_specs =
+      !service ? std::vector<std::string>{""}
+               : (spec.fault_specs.empty() ? std::vector<std::string>{""}
+                                           : spec.fault_specs);
 
   std::vector<CellSpec> cells;
   cells.reserve(cell_count(spec));
@@ -260,18 +289,21 @@ std::vector<CellSpec> expand(const ExperimentSpec& spec,
         for (const std::string& workload : workloads) {
           for (const std::size_t shards : shard_counts) {
             for (const std::size_t tenants : tenant_counts) {
-              for (std::size_t replica = 0; replica < spec.replicas;
-                   ++replica) {
-                CellSpec cell;
-                cell.index = cells.size();
-                cell.scenario = scenario;
-                cell.policy = policy.name;
-                cell.update_period = period;
-                cell.replica = replica;
-                cell.workload = workload;
-                cell.shards = shards;
-                cell.tenants = tenants;
-                cells.push_back(std::move(cell));
+              for (const std::string& fault_spec : fault_specs) {
+                for (std::size_t replica = 0; replica < spec.replicas;
+                     ++replica) {
+                  CellSpec cell;
+                  cell.index = cells.size();
+                  cell.scenario = scenario;
+                  cell.policy = policy.name;
+                  cell.update_period = period;
+                  cell.replica = replica;
+                  cell.workload = workload;
+                  cell.shards = shards;
+                  cell.tenants = tenants;
+                  cell.faults = fault_spec;
+                  cells.push_back(std::move(cell));
+                }
               }
             }
           }

@@ -92,6 +92,14 @@ struct ExperimentSpec {
   // cell stream in tenant order) — capacity planning over co-tenancy.
   // N = 1 is the plain single-server cell.
   std::vector<std::size_t> tenant_counts;
+  // Fault-plan specs (axis, empty = {healthy}): each cell materializes
+  // its spec against the cell's own seed (src/faults/), so chaos cells
+  // stay bit-identical across thread counts like healthy ones. "none" is
+  // the explicit healthy point (so a sweep can compare faulted vs not).
+  // expand() rejects crash/stall clauses here: a crash kills the whole
+  // sweep process, and worker stalls only perturb the shared pool's wall
+  // clock — neither is a per-cell dynamics axis.
+  std::vector<std::string> fault_specs;
   std::size_t num_clients = 2'000;        // virtual client fleet per cell
   // Serving sub-batch split threshold handed to every cell's RouteServer
   // (see RouteServerOptions::sub_batch_queries). Part of the dynamics
@@ -115,6 +123,7 @@ struct CellSpec {
   std::string workload;
   std::size_t shards = 0;
   std::size_t tenants = 0;  // co-scheduled tenant replicas (1 = solo cell)
+  std::string faults;       // fault-plan spec ("" / "none" = healthy)
 };
 
 /// Number of cells the spec expands to.
@@ -122,7 +131,7 @@ std::size_t cell_count(const ExperimentSpec& spec);
 
 /// Expands the cartesian product in the canonical order: scenario-major,
 /// then policy, then period, then workload, then shard count, then
-/// tenant count, then replica (the service axes collapse to one
+/// tenant count, then fault spec, then replica (the service axes collapse to one
 /// iteration for the other simulators). Validates the spec (non-empty
 /// axes, positive periods, resolvable scenario names, parseable
 /// workloads, non-zero shard and tenant counts, service axes only under

@@ -21,6 +21,8 @@ std::string_view event_kind_name(EventKind kind) noexcept {
       return "graph";
     case EventKind::kWalAppend:
       return "wal_append";
+    case EventKind::kFaultSpan:
+      return "fault";
   }
   return "unknown";
 }

@@ -88,6 +88,12 @@ enum class EventKind : std::uint16_t {
   /// One WAL record append (write + flush to the kernel). arg = the WAL
   /// record type word, value = bytes appended including framing.
   kWalAppend = 6,
+  /// One injected fault firing (instant). arg = the faults::FaultKind
+  /// value; value = magnitude (queries shed for a brownout, busy-wait us
+  /// for a slowdown, stall ms for a worker stall, 0 otherwise). Emitted
+  /// even inside a drop-telemetry window — the marker is what tells the
+  /// offline analyzer WHY that window is dark.
+  kFaultSpan = 7,
 };
 
 /// Stable short names for CSV columns / summary rows.

@@ -13,7 +13,9 @@
 // observer perturb the observed.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -25,9 +27,15 @@ namespace staleflow::trace {
 /// Fixed-capacity single-producer / single-consumer ring of TraceEvents.
 class TraceRing {
  public:
-  /// `capacity_pow2` must be a power of two (masked indexing).
-  explicit TraceRing(std::size_t capacity_pow2 = kDefaultCapacity)
-      : buf_(capacity_pow2), mask_(capacity_pow2 - 1) {}
+  /// Masked indexing needs a power-of-two capacity; any other request is
+  /// rounded UP to the next power of two (never down — a caller asking
+  /// for N slots gets at least N). 0 is treated as 1.
+  explicit TraceRing(std::size_t capacity = kDefaultCapacity)
+      : buf_(std::bit_ceil(std::max<std::size_t>(1, capacity))),
+        mask_(buf_.size() - 1) {}
+
+  /// Actual slot count (the rounded-up power of two).
+  std::size_t capacity() const noexcept { return buf_.size(); }
 
   TraceRing(const TraceRing&) = delete;
   TraceRing& operator=(const TraceRing&) = delete;

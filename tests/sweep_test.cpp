@@ -638,9 +638,12 @@ TEST(WriteHistCsv, DumpsCumulativeBucketCountsPerServiceCell) {
   ASSERT_TRUE(std::getline(in, line));
   EXPECT_EQ(line,
             "index,scenario,policy,update_period,replica,workload,shards,"
-            "tenants,bucket,lower,upper,count,cumulative");
+            "tenants,faults,bucket,lower,upper,count,cumulative");
   // Every row is an occupied bucket of cell 0; counts sum to the cell's
-  // query total and the cumulative column is their running sum.
+  // query total and the cumulative column is their running sum. Splitting
+  // on ',' is safe here: a healthy cell's faults field is empty and the
+  // clause separators are ';'/'+', never ','... except within one clause,
+  // which this healthy fixture does not exercise.
   std::size_t rows = 0;
   long long sum = 0;
   long long last_cumulative = 0;
@@ -650,15 +653,16 @@ TEST(WriteHistCsv, DumpsCumulativeBucketCountsPerServiceCell) {
     std::istringstream split(line);
     std::string field;
     while (std::getline(split, field, ',')) fields.push_back(field);
-    ASSERT_EQ(fields.size(), 13u);
+    ASSERT_EQ(fields.size(), 14u);
     EXPECT_EQ(fields[0], "0");
-    const long long count = std::stoll(fields[11]);
+    EXPECT_TRUE(fields[8].empty());  // healthy cell: empty faults column
+    const long long count = std::stoll(fields[12]);
     EXPECT_GT(count, 0);  // occupied buckets only
     sum += count;
-    last_cumulative = std::stoll(fields[12]);
+    last_cumulative = std::stoll(fields[13]);
     EXPECT_EQ(last_cumulative, sum);
     // The bucket bounds bracket a positive latency.
-    EXPECT_GT(std::stod(fields[10]), std::stod(fields[9]));
+    EXPECT_GT(std::stod(fields[11]), std::stod(fields[10]));
   }
   EXPECT_GT(rows, 1u);
   EXPECT_EQ(static_cast<std::size_t>(last_cumulative),

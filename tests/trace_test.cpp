@@ -263,6 +263,31 @@ TEST(TraceRing, DropsOnOverflowNeverBlocks) {
   }
 }
 
+TEST(TraceRing, RoundsCapacityUpToAPowerOfTwo) {
+  // The index mask only works for power-of-two capacities; a request
+  // like 5 used to corrupt the ring silently (mask 4 aliased slots).
+  // Now it rounds up and the full rounded capacity is usable.
+  EXPECT_EQ(trace::TraceRing(5).capacity(), 8u);
+  EXPECT_EQ(trace::TraceRing(8).capacity(), 8u);
+  EXPECT_EQ(trace::TraceRing(9).capacity(), 16u);
+  EXPECT_EQ(trace::TraceRing(1).capacity(), 1u);
+  EXPECT_EQ(trace::TraceRing(0).capacity(), 1u);  // never a zero mask
+
+  trace::TraceRing ring(5);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(ring.try_push(sample_event(i))) << i;
+  }
+  EXPECT_FALSE(ring.try_push(sample_event(8)));
+  EXPECT_EQ(ring.dropped(), 1u);
+
+  std::vector<trace::TraceEvent> drained;
+  ring.drain(drained);
+  ASSERT_EQ(drained.size(), 8u);
+  for (std::size_t i = 0; i < drained.size(); ++i) {
+    EXPECT_EQ(drained[i].epoch, i);  // FIFO survives the rounding
+  }
+}
+
 // ------------------------------------------------- recorder round trip
 
 TEST(Recorder, MultiThreadedSessionRoundTrips) {

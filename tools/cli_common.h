@@ -6,6 +6,8 @@
 // instead of letting them wrap through a size_t cast.
 #pragma once
 
+#include <cctype>
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <set>
@@ -56,11 +58,23 @@ inline std::vector<std::string> split_list(const std::string& text,
   return out;
 }
 
+/// True when std::stod/std::stoll would silently skip leading space
+/// (" 5", "\t5"): a flag value with embedded whitespace is a quoting
+/// accident, not a number — reject it instead of guessing.
+inline bool has_leading_space(const std::string& text) {
+  return !text.empty() && std::isspace(static_cast<unsigned char>(text[0]));
+}
+
+/// Finite double. Rejects partial parses ("1.5x"), leading whitespace,
+/// out-of-range values, and the inf/nan spellings std::stod accepts —
+/// no flag in these tools means anything sane at infinity.
 inline double parse_number(const std::string& text, const std::string& what) {
   try {
+    if (has_leading_space(text)) throw std::invalid_argument(text);
     std::size_t used = 0;
     const double value = std::stod(text, &used);
     if (used != text.size()) throw std::invalid_argument(text);
+    if (!std::isfinite(value)) throw std::invalid_argument(text);
     return value;
   } catch (const std::exception&) {
     throw UsageError("bad number for " + what + ": " + text);
@@ -70,6 +84,7 @@ inline double parse_number(const std::string& text, const std::string& what) {
 inline long long parse_integer(const std::string& text,
                                const std::string& what) {
   try {
+    if (has_leading_space(text)) throw std::invalid_argument(text);
     std::size_t used = 0;
     const long long value = std::stoll(text, &used);
     if (used != text.size()) throw std::invalid_argument(text);
@@ -85,6 +100,16 @@ inline std::size_t parse_count(const std::string& text,
   const long long value = parse_integer(text, what);
   if (value < 0) throw UsageError(what + " must be >= 0, got " + text);
   return static_cast<std::size_t>(value);
+}
+
+/// count / seconds without the div-by-zero / inf hazards of a first
+/// progress tick landing inside the clock's resolution: any elapsed
+/// interval under a microsecond (or a non-finite quotient) reports 0.0
+/// — "no rate yet" — instead of inf.
+inline double safe_rate(double count, double seconds) {
+  if (!(seconds > 1e-6)) return 0.0;
+  const double rate = count / seconds;
+  return std::isfinite(rate) ? rate : 0.0;
 }
 
 /// The recovery flags a serving tool accepts: `--wal <path>` starts a

@@ -8,7 +8,7 @@
 //                        [--seed <s>] [--deterministic] [--csv <path>]
 //                        [--tenants <spec>[;<spec>...]]
 //                        [--wal <path> | --resume <path>]
-//                        [--trace <path>] [--progress <n>]
+//                        [--faults <spec>] [--trace <path>] [--progress <n>]
 //                        [--report-every <n>] [--quiet]
 //   route_server_cli list
 //
@@ -39,6 +39,16 @@
 // --quiet, --trace, --progress) remain legal. Inspect or re-execute a
 // WAL offline with wal_replay_cli.
 //
+// Fault injection (src/faults/): --faults <spec> schedules typed faults
+// (shard slowdowns, worker stalls, dropped telemetry, tenant brownouts,
+// a mid-run crash point) whose activation windows are drawn from a
+// seed-derived stream — every chaos run is bit-for-bit replayable. The
+// spec is part of the dynamics configuration: it is recorded in the WAL
+// header (so --resume rebuilds the exact schedule) and conflicts with
+// --resume on the command line like any config flag. A crash clause
+// exits 137 right after its commit point — compose with --wal and
+// re-run with --resume to finish the run.
+//
 // Observability (src/trace/): --trace <path> records the run's binary
 // trace (epoch/sub-batch/publish spans, scheduler rounds, WAL appends,
 // counter samples) for offline analysis with trace_dump_cli. Tracing is
@@ -46,6 +56,7 @@
 // byte-identical. --progress <n> prints a stderr heartbeat every n
 // epochs (epochs/s and the last route_p99) — never part of the digest
 // or the CSV.
+#include <algorithm>
 #include <cstdlib>
 #include <deque>
 #include <iostream>
@@ -83,13 +94,21 @@ constexpr const char* kTraceGrammar =
     "tracing:   --trace <path> records a binary trace for trace_dump_cli\n"
     "           (digest-neutral); --progress <n> prints a stderr\n"
     "           heartbeat every n epochs (epochs/s, last route_p99)\n";
+constexpr const char* kFaultGrammar =
+    "faults:    --faults \"<clause>[;<clause>...]\" with clauses\n"
+    "           slow:shard=S,us=U[,tenant=T][,at=E][,for=N] |\n"
+    "           stall:workers=W,ms=M[,at=G][,for=N] |\n"
+    "           drop-telemetry[:tenant=T][,at=E][,for=N] |\n"
+    "           brownout:shed=F[,tenant=T][,at=E][,for=N] |\n"
+    "           crash:at=N | none; omitted at/for windows are drawn\n"
+    "           from a seed-derived stream (deterministic chaos)\n";
 
 /// The flags that ARE the run's dynamics configuration — all of them
 /// recorded in the WAL header, hence all of them conflicts with --resume.
 const std::set<std::string> kConfigFlags = {
     "scenario", "policy",    "workload", "tenants", "period",
     "epochs",   "clients",   "shards",   "sub-batch",
-    "seed",     "deterministic"};
+    "seed",     "deterministic", "faults"};
 
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
@@ -102,11 +121,12 @@ const std::set<std::string> kConfigFlags = {
       "                       [--seed <s>] [--deterministic] [--csv <path>]\n"
       "                       [--tenants <spec>[;<spec>...]]\n"
       "                       [--wal <path> | --resume <path>]\n"
-      "                       [--trace <path>] [--progress <n>]\n"
-      "                       [--report-every <n>] [--quiet]\n"
+      "                       [--faults <spec>] [--trace <path>]\n"
+      "                       [--progress <n>] [--report-every <n>]\n"
+      "                       [--quiet]\n"
       "  route_server_cli list\n"
       << kPolicyGrammar << kWorkloadGrammar << kTenantGrammar
-      << kRecoveryGrammar << kTraceGrammar;
+      << kRecoveryGrammar << kTraceGrammar << kFaultGrammar;
   std::exit(2);
 }
 
@@ -118,7 +138,7 @@ int do_list() {
   }
   table.print(std::cout);
   std::cout << '\n' << kPolicyGrammar << kWorkloadGrammar << kTenantGrammar
-            << kRecoveryGrammar << kTraceGrammar;
+            << kRecoveryGrammar << kTraceGrammar << kFaultGrammar;
   return 0;
 }
 
@@ -131,9 +151,10 @@ class ProgressMeter {
   void tick(const EpochSummary& summary) {
     ++count_;
     if (every_ == 0 || count_ % every_ != 0) return;
-    const double seconds = watch_.seconds();
+    // safe_rate: a first tick inside the clock's resolution must not
+    // print inf epochs/s (or divide by zero).
     const double rate =
-        seconds > 0.0 ? static_cast<double>(count_) / seconds : 0.0;
+        cli::safe_rate(static_cast<double>(count_), watch_.seconds());
     std::cerr << "progress: " << count_ << " epochs, " << fmt(rate, 1)
               << " epochs/s, last route_p99 " << fmt(summary.route_p99, 4)
               << "\n";
@@ -166,6 +187,30 @@ std::string tenant_csv_path(const std::string& base,
     return base + "." + name;
   }
   return base.substr(0, dot) + "." + name + base.substr(dot);
+}
+
+/// Materializes the manifest's --faults spec against the run's seed and
+/// epoch horizon (max over tenants). Fresh and resumed runs call this
+/// with the same manifest bits — the WAL header carries the spec — so a
+/// resumed chaos run rebuilds the crashed run's exact fault timing.
+/// Returns an empty schedule for a healthy manifest.
+faults::FaultSchedule make_fault_schedule(
+    const recovery::RunManifest& manifest, bool quiet) {
+  if (manifest.faults.empty()) return {};
+  std::size_t epochs = 0;
+  for (const recovery::TenantManifest& tenant : manifest.tenants) {
+    epochs = std::max(epochs, tenant.options.epochs);
+  }
+  faults::FaultSchedule schedule = usage_error([&] {
+    return faults::FaultSchedule::materialize(
+        faults::parse_fault_plan(manifest.faults),
+        manifest.tenants.front().options.seed, epochs);
+  });
+  if (!quiet) {
+    std::cout << "faults: " << manifest.faults << " ("
+              << schedule.faults().size() << " windows)\n";
+  }
+  return schedule;
 }
 
 /// The live objects behind one tenant manifest. Everything a tenant
@@ -294,6 +339,8 @@ int run_tenants_manifest(const std::string& wal_path,
                          std::size_t report_every, std::size_t progress_every,
                          bool quiet) {
   const ScenarioRegistry registry = ScenarioRegistry::builtin();
+  const faults::FaultSchedule fault_schedule =
+      make_fault_schedule(manifest, quiet);
   std::deque<Host> hosts;
   TenantRegistry tenants;
   for (const recovery::TenantManifest& tenant : manifest.tenants) {
@@ -302,6 +349,10 @@ int run_tenants_manifest(const std::string& wal_path,
     options.server = tenant.options;
     options.server.threads = threads;
     options.server.executor = nullptr;
+    // All tenants share the run's one fault schedule; per-tenant clauses
+    // select their victim with tenant= (registry index).
+    options.server.faults =
+        fault_schedule.empty() ? nullptr : &fault_schedule;
     options.weight = tenant.weight;
     usage_error([&] {
       tenants.add(tenant.name, hosts.back().instance, hosts.back().policy,
@@ -352,6 +403,7 @@ int run_tenants_manifest(const std::string& wal_path,
   }
 
   Executor executor(threads);
+  if (!fault_schedule.empty()) executor.set_fault_schedule(&fault_schedule);
   const MultiTenantResult result =
       tenants.run(executor, observer,
                   log ? log->round_observer() : RoundCutObserver{},
@@ -415,6 +467,9 @@ int run_single_manifest(const std::string& wal_path,
   RouteServerOptions options = self.options;
   options.threads = threads;
   options.executor = nullptr;
+  const faults::FaultSchedule fault_schedule =
+      make_fault_schedule(manifest, quiet);
+  if (!fault_schedule.empty()) options.faults = &fault_schedule;
 
   const ScenarioRegistry registry = ScenarioRegistry::builtin();
   const Host host = make_host(self, registry);
@@ -524,6 +579,7 @@ int do_run(const std::map<std::string, std::string>& flags) {
   options.epochs = 50;
   std::string csv_path;
   std::string trace_path;
+  std::string faults_spec;
   std::size_t report_every = 10;
   std::size_t progress_every = 0;
   bool quiet = false;
@@ -567,6 +623,12 @@ int do_run(const std::map<std::string, std::string>& flags) {
       recovery_flags.resume = value;
     } else if (key == "trace") {
       trace_path = value;
+    } else if (key == "faults") {
+      // Eager grammar check: a typo'd spec must exit 2 before any epoch
+      // is served (the schedule itself is materialized per run path).
+      const faults::FaultPlan plan =
+          usage_error([&] { return faults::parse_fault_plan(value); });
+      faults_spec = plan.empty() ? std::string() : value;
     } else if (key == "progress") {
       progress_every = cli::parse_count(value, "--progress");
     } else if (key == "report-every") {
@@ -589,8 +651,9 @@ int do_run(const std::map<std::string, std::string>& flags) {
   }
 
   if (tenants_given) {
-    const recovery::RunManifest manifest = resolve_tenant_manifest(
+    recovery::RunManifest manifest = resolve_tenant_manifest(
         tenants_flag, scenario_name, policy_name, workload_spec, options);
+    manifest.faults = faults_spec;
     return run_tenants_manifest(recovery_flags.wal, manifest, nullptr,
                                 options.threads, csv_path, report_every,
                                 progress_every, quiet);
@@ -607,6 +670,7 @@ int do_run(const std::map<std::string, std::string>& flags) {
 
   recovery::RunManifest manifest;
   manifest.multi_tenant = false;
+  manifest.faults = faults_spec;
   recovery::TenantManifest self;
   self.scenario = scenario_name;
   self.policy = policy_name;

@@ -6,7 +6,7 @@
 //                 [--simulator fluid|round|agent|service] [--horizon <t>]
 //                 [--stop-gap <g>] [--agents <n>]
 //                 [--workloads w1,w2,...] [--shards 1,8,...]
-//                 [--tenants 1,4,...] [--clients <n>]
+//                 [--tenants 1,4,...] [--faults f1;f2;...] [--clients <n>]
 //                 [--sub-batch <q>|auto] [--threads <k>]
 //                 [--cells-csv <path>] [--summary-csv <path>]
 //                 [--hist-out <path>] [--trace <path>] [--quiet]
@@ -14,14 +14,25 @@
 //
 // `list` prints the scenario catalogue plus the policy and workload
 // grammars. `run` expands the cartesian product scenarios x policies x
-// periods x replicas — times workloads x shard counts x tenant counts
-// under `--simulator service`, which drives a full RouteServer epoch
-// pipeline per cell (a TenantRegistry of co-scheduled replicas when the
-// tenant count exceeds 1) for capacity planning — executes it on a
-// thread pool and prints a scenario x policy summary table, throughput
-// and the deterministic cell digest. Unknown scenario/policy/workload
+// periods x replicas — times workloads x shard counts x tenant counts x
+// fault specs under `--simulator service`, which drives a full
+// RouteServer epoch pipeline per cell (a TenantRegistry of co-scheduled
+// replicas when the tenant count exceeds 1) for capacity planning —
+// executes it on a thread pool and prints a scenario x policy summary
+// table, throughput and the deterministic cell digest.
+//
+// The --faults axis (src/faults/) splits on ';' so one axis value can
+// hold a multi-clause plan joined with '+', e.g.
+//   --faults "none;brownout:shed=0.5+slow:shard=0,us=50"
+// Each cell materializes its spec against the cell's own seed, so chaos
+// cells pin to the same digest at any --threads. Crash/stall clauses
+// are rejected here (crash kills the sweep process, stalls perturb the
+// shared pool); use route_server_cli --faults for those.
+//
+// Unknown scenario/policy/workload
 // names and mis-addressed axes (service axes without --simulator
-// service, zero shard or tenant counts) are usage errors: exit 2 with
+// service, zero shard or tenant counts, bad fault clauses) are usage
+// errors: exit 2 with
 // the catalogue in hand. `--threads 0` means hardware concurrency.
 // Results (and the CSVs) are bit-identical for any --threads value.
 // --trace <path> records the sweep's binary trace (src/trace/) for
@@ -50,6 +61,13 @@ constexpr const char* kWorkloadGrammar =
     " bursty:<on>,<off>,<on_epochs>,<off_epochs> |\n"
     "          diurnal:<base>,<amplitude>,<day> | closed-loop:<n> |"
     " closed-loop-lat:<clients>,<think>\n";
+constexpr const char* kFaultGrammar =
+    "faults (service simulator; ';'-separated axis values, clauses within\n"
+    "        one value joined by '+'): none |"
+    " slow:shard=<s>,us=<u>[,tenant=<t>][,at=<e>][,for=<n>] |\n"
+    "          drop-telemetry[:tenant=<t>][,at=<e>][,for=<n>] |"
+    " brownout:shed=<f>[,tenant=<t>][,at=<e>][,for=<n>]\n"
+    "        (crash/stall clauses: route_server_cli --faults only)\n";
 
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
@@ -60,12 +78,13 @@ constexpr const char* kWorkloadGrammar =
       "                [--seed <s>] [--simulator fluid|round|agent|service]\n"
       "                [--horizon <t>] [--stop-gap <g>] [--agents <n>]\n"
       "                [--workloads w1,w2,...] [--shards 1,8,...]\n"
-      "                [--tenants 1,4,...] [--clients <n>]\n"
-      "                [--sub-batch <q>|auto] [--threads <k>]\n"
+      "                [--tenants 1,4,...] [--faults f1;f2;...]\n"
+      "                [--clients <n>] [--sub-batch <q>|auto]\n"
+      "                [--threads <k>]\n"
       "                [--cells-csv <path>] [--summary-csv <path>]\n"
       "                [--hist-out <path>] [--trace <path>] [--quiet]\n"
       "  sweep_cli list\n"
-      << kPolicyGrammar << kWorkloadGrammar;
+      << kPolicyGrammar << kWorkloadGrammar << kFaultGrammar;
   std::exit(2);
 }
 
@@ -76,7 +95,7 @@ int do_list() {
     table.add_row({name, registry.at(name).description});
   }
   table.print(std::cout);
-  std::cout << '\n' << kPolicyGrammar << kWorkloadGrammar;
+  std::cout << '\n' << kPolicyGrammar << kWorkloadGrammar << kFaultGrammar;
   return 0;
 }
 
@@ -133,6 +152,10 @@ int do_run(const std::map<std::string, std::string>& flags) {
       for (const std::string& item : cli::split_list(value)) {
         spec.tenant_counts.push_back(cli::parse_count(item, "--tenants"));
       }
+    } else if (key == "faults") {
+      // ';' splits axis values; clause lists within one value use '+'
+      // (fault clauses contain commas, so ',' cannot separate values).
+      spec.fault_specs = cli::split_list(value, ';');
     } else if (key == "clients") {
       spec.num_clients = cli::parse_count(value, "--clients");
     } else if (key == "sub-batch") {
@@ -204,6 +227,9 @@ int do_run(const std::map<std::string, std::string>& flags) {
                 << spec.shard_counts.size() << " shard counts x ";
       if (!spec.tenant_counts.empty()) {
         std::cout << spec.tenant_counts.size() << " tenant counts x ";
+      }
+      if (!spec.fault_specs.empty()) {
+        std::cout << spec.fault_specs.size() << " fault specs x ";
       }
     }
     std::cout << spec.replicas << " replicas = " << total << " cells ("
