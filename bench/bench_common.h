@@ -69,6 +69,16 @@ inline unsigned recorded_hardware_threads(const std::string& json_path) {
   return value;
 }
 
+/// JSON rendering for scaling-derived figures (speedup, efficiency). On a
+/// single-core host every thread count time-slices one core, so these
+/// ratios measure scheduler noise, not scaling — report them as JSON
+/// null there so trajectory diffs skip them instead of flagging a fake
+/// regression. Multicore hosts get the plain number.
+inline std::string json_scaling(double value) {
+  if (std::thread::hardware_concurrency() <= 1) return "null";
+  return std::to_string(value);
+}
+
 /// True (and prints why) when writing `json_path` from THIS host must be
 /// refused: the existing record is multicore, this host is single-core,
 /// and --force-bench-overwrite was not given.

@@ -60,6 +60,10 @@ void EpochEngine::begin(const FlowVector& initial,
   }
 
   options_ = options;
+  // Pipelining is digest-neutral only when arrivals ignore LoadFeedback:
+  // a feedback workload (closed-loop-lat) silently falls back to the
+  // strict schedule, its arrivals need the previous epoch's summary.
+  pipelined_ = options.pipeline && !workload_->uses_feedback();
   master_ = Rng(options.seed);
   clients_ = std::make_unique<Population>(*instance_, options.num_clients,
                                           initial.values());
@@ -83,26 +87,30 @@ void EpochEngine::begin(const FlowVector& initial,
   epochs_.reserve(options.epochs);
 }
 
-void EpochEngine::serve_sub_batch(std::size_t b) {
-  detail::SubBatchContext& sub = ctx_[b];
+void EpochEngine::serve_sub_batch(EpochStage& stage, std::size_t b) {
+  detail::SubBatchContext& sub = stage.ctx[b];
   const std::size_t s = sub.shard;
   const std::size_t shards = options_.shards;
   // Span over the whole batch, recorded from the worker thread that runs
-  // it (the ring's worker id attributes it). arg packs (shard, index).
-  // A drop-telemetry fault window silences the span for this epoch.
+  // it. arg packs (lane, shard, index): bits 48+ carry the executing
+  // thread's encoded lane (0 = pre-lane trace, 1 = a non-worker thread,
+  // k+2 = pool lane k — see ThreadPool::current_lane_code), bits 32-47
+  // the shard, low bits the sub-batch index. A drop-telemetry fault
+  // window silences the span for this epoch.
   std::optional<trace::Span> trace_span;
-  if (!trace_drop_) {
-    trace_span.emplace(trace::EventKind::kSubBatchSpan, trace_tenant_,
-                       trace_epoch_,
-                       (static_cast<std::uint64_t>(s) << 32) |
-                           static_cast<std::uint64_t>(b));
+  if (!stage.trace_drop) {
+    trace_span.emplace(
+        trace::EventKind::kSubBatchSpan, trace_tenant_, stage.trace_epoch,
+        (static_cast<std::uint64_t>(ThreadPool::current_lane_code()) << 48) |
+            (static_cast<std::uint64_t>(s & 0xFFFF) << 32) |
+            static_cast<std::uint64_t>(b & 0xFFFFFFFF));
     trace_span->value(sub.arrivals);
   }
   // Injected shard slowdown: burn wall clock on this worker before
   // serving. Wall-clock only — the dynamics below never see it.
   if (options_.faults != nullptr) {
     const std::uint64_t slow_us =
-        options_.faults->slowdown_us(trace_tenant_, s, trace_epoch_);
+        options_.faults->slowdown_us(trace_tenant_, s, stage.trace_epoch);
     if (slow_us != 0) {
       static trace::Counter& slowdowns_counter =
           trace::MetricsRegistry::global().counter("faults.slowdowns");
@@ -173,11 +181,51 @@ void EpochEngine::add_epoch(TaskGraph& graph) {
   }
   epoch_in_flight_ = true;
 
+  if (!pipelined_) {
+    // Strict schedule: one epoch per graph, summary in the same graph
+    // (after fold, overlapping the snapshot build), publish host-side in
+    // finish_epoch. This is the reference node order the pipelined
+    // schedule must reproduce value-for-value.
+    const std::uint64_t e = epochs_done();
+    EpochStage& stage = stages_[e % 2];
+    const std::size_t fold =
+        plan_epoch(graph, stage, e, kNone, /*publish_in_graph=*/false);
+    add_summary_node(graph, stage, {fold});
+    planned_ = e + 1;
+    pending_finish_ = e;
+    return;
+  }
+
+  // Pipelined schedule: the previous epoch's summary runs as a ROOT of
+  // this graph, in parallel with this epoch's serve nodes; fold depends
+  // on it (the summary reads the pre-fold master flow for its Wardrop
+  // gap) and the publish moves in-graph after the CDF nodes. The two
+  // in-flight epochs stage into alternating slots, so they share no
+  // state. The final add_epoch (planned_ == epochs_total()) drains the
+  // last deferred summary on its own.
+  std::size_t summary_node = kNone;
+  if (planned_ > epochs_done()) {
+    summary_node = add_summary_node(graph, stages_[(planned_ - 1) % 2], {});
+    pending_finish_ = planned_ - 1;
+  } else {
+    pending_finish_ = kNone;
+  }
+  if (planned_ < epochs_total()) {
+    const std::uint64_t e = planned_;
+    plan_epoch(graph, stages_[e % 2], e, summary_node,
+               /*publish_in_graph=*/true);
+    planned_ = e + 1;
+  }
+}
+
+std::size_t EpochEngine::plan_epoch(TaskGraph& graph, EpochStage& stage,
+                                    std::uint64_t e,
+                                    std::size_t extra_fold_dep,
+                                    bool publish_in_graph) {
   const double T = options_.update_period;
   const std::size_t shards = options_.shards;
-  const std::uint64_t e = epochs_done();
-  trace_epoch_ = e;
-  if (trace::active()) trace_epoch_begin_ns_ = trace::now_ns();
+  stage.trace_epoch = e;
+  if (trace::active()) stage.trace_begin_ns = trace::now_ns();
 
   // Derive this epoch's streams in canonical order: one for the
   // workload, then one per sub-batch in (shard, sub-batch) order.
@@ -198,8 +246,8 @@ void EpochEngine::add_epoch(TaskGraph& graph) {
   // queries are turned away at admission. drop-telemetry only sets the
   // emission gate; slowdowns are applied per sub-batch task.
   const faults::FaultSchedule* fault_plan = options_.faults;
-  trace_drop_ = fault_plan != nullptr &&
-                fault_plan->telemetry_dropped(trace_tenant_, e);
+  stage.trace_drop = fault_plan != nullptr &&
+                     fault_plan->telemetry_dropped(trace_tenant_, e);
   std::size_t shed_queries = 0;
   if (fault_plan != nullptr) {
     const double shed = fault_plan->brownout_shed(trace_tenant_, e);
@@ -249,9 +297,11 @@ void EpochEngine::add_epoch(TaskGraph& graph) {
     const std::size_t batch = total / shards + (s < total % shards ? 1 : 0);
     const std::size_t pieces =
         sub_batch_count(batch, target, shard_clients_[s]);
-    if (ctx_.size() < planned + pieces) ctx_.resize(planned + pieces);
+    if (stage.ctx.size() < planned + pieces) {
+      stage.ctx.resize(planned + pieces);
+    }
     for (std::size_t piece = 0; piece < pieces; ++piece) {
-      detail::SubBatchContext& sub = ctx_[planned + piece];
+      detail::SubBatchContext& sub = stage.ctx[planned + piece];
       const SubRange slice = sub_range(shard_clients_[s], pieces, piece);
       sub.shard = s;
       sub.client_begin = slice.begin;
@@ -263,85 +313,123 @@ void EpochEngine::add_epoch(TaskGraph& graph) {
     }
     planned += pieces;
   }
-  batches_ = planned;
-  ledger_->ensure_slots(batches_);
+  stage.batches = planned;
+  ledger_->ensure_slots(stage.batches);
 
-  // The epoch task graph: serve -> fold -> {next snapshot build,
-  // telemetry summary}. The snapshot's board post and per-commodity CDF
-  // nodes overlap the summary tail; everything after fold reads the
-  // folded flow, nothing writes shared state concurrently — and nothing
-  // outside this engine at all, so epochs of distinct engines coexist in
-  // one graph.
-  served_ = store_->acquire();
-  totals_ = FlowLedger::Totals{};
-  next_.reset();
-  summary_ = EpochSummary{};
+  // The epoch task graph: serve -> fold -> next snapshot build. The
+  // snapshot's board post and per-commodity CDF nodes overlap the summary
+  // tail; everything after fold reads the folded flow, nothing writes
+  // shared state concurrently — and nothing outside this engine at all,
+  // so epochs of distinct engines coexist in one graph. Serve nodes carry
+  // their shard id as the affinity key: every sub-batch of one shard runs
+  // on the same worker lane (cache locality), which never changes what it
+  // computes.
+  stage.served = store_->acquire();
+  stage.totals = FlowLedger::Totals{};
+  stage.next.reset();
+  stage.summary = EpochSummary{};
+  EpochStage* slot = &stage;
 
   std::vector<TaskGraph::NodeId> serve_nodes;
-  serve_nodes.reserve(batches_);
-  for (std::size_t b = 0; b < batches_; ++b) {
-    serve_nodes.push_back(graph.add([this, b] { serve_sub_batch(b); }));
+  serve_nodes.reserve(stage.batches);
+  for (std::size_t b = 0; b < stage.batches; ++b) {
+    serve_nodes.push_back(
+        graph.add([this, slot, b] { serve_sub_batch(*slot, b); }, {},
+                  /*affinity=*/stage.ctx[b].shard));
   }
+  std::vector<TaskGraph::NodeId> fold_deps = std::move(serve_nodes);
+  if (extra_fold_dep != kNone) fold_deps.push_back(extra_fold_dep);
   const TaskGraph::NodeId fold = graph.add(
-      [this] { totals_ = ledger_->fold_into(flow_, batches_); },
-      std::span<const TaskGraph::NodeId>(serve_nodes));
+      [this, slot] {
+        slot->totals = ledger_->fold_into(flow_, slot->batches);
+      },
+      std::span<const TaskGraph::NodeId>(fold_deps));
   const TaskGraph::NodeId post = graph.add(
-      [this, e, T] {
-        next_ = std::make_shared<BoardSnapshot>(
+      [this, slot, e, T] {
+        slot->next = std::make_shared<BoardSnapshot>(
             BoardSnapshot::DeferCdf{}, *instance_, *policy_, e + 1,
             static_cast<double>(e + 1) * T, flow_);
       },
       {fold});
+  std::vector<TaskGraph::NodeId> cdf_nodes;
+  cdf_nodes.reserve(instance_->commodity_count());
   for (std::size_t c = 0; c < instance_->commodity_count(); ++c) {
-    graph.add([this, c] { next_->build_cdf(CommodityId{c}); }, {post});
+    cdf_nodes.push_back(graph.add(
+        [this, slot, c] { slot->next->build_cdf(CommodityId{c}); }, {post}));
   }
-  graph.add(
-      [this, e, T] {
-        summary_.epoch = e;
-        summary_.start_time = static_cast<double>(e) * T;
-        summary_.end_time = static_cast<double>(e + 1) * T;
-        summary_.queries = totals_.queries;
-        summary_.migrations = totals_.migrations;
-        summary_.migration_rate =
-            totals_.queries > 0 ? static_cast<double>(totals_.migrations) /
-                                      static_cast<double>(totals_.queries)
-                                : 0.0;
-        summary_.wardrop_gap = wardrop_gap(*instance_, flow_);
+  if (publish_in_graph) {
+    // The pipelined phase boundary: the board swap happens inside the
+    // graph, as soon as the snapshot is complete — the NEXT epoch's graph
+    // then serves against the fresh board while this epoch's summary is
+    // still pending.
+    if (cdf_nodes.empty()) cdf_nodes.push_back(post);
+    graph.add(
+        [this, slot] {
+          store_->publish(std::move(slot->next));
+          if (trace::active() && !slot->trace_drop) {
+            trace::instant(trace::EventKind::kSnapshotPublish, trace_tenant_,
+                           slot->trace_epoch + 1, /*arg=*/0, /*value=*/0);
+          }
+        },
+        std::span<const TaskGraph::NodeId>(cdf_nodes));
+  }
+  return fold;
+}
+
+std::size_t EpochEngine::add_summary_node(
+    TaskGraph& graph, EpochStage& stage,
+    std::initializer_list<std::size_t> deps) {
+  EpochStage* slot = &stage;
+  return graph.add(
+      [this, slot] {
+        const std::uint64_t e = slot->trace_epoch;
+        const double T = options_.update_period;
+        slot->summary.epoch = e;
+        slot->summary.start_time = static_cast<double>(e) * T;
+        slot->summary.end_time = static_cast<double>(e + 1) * T;
+        slot->summary.queries = slot->totals.queries;
+        slot->summary.migrations = slot->totals.migrations;
+        slot->summary.migration_rate =
+            slot->totals.queries > 0
+                ? static_cast<double>(slot->totals.migrations) /
+                      static_cast<double>(slot->totals.queries)
+                : 0.0;
+        slot->summary.wardrop_gap = wardrop_gap(*instance_, flow_);
         double board_latency = 0.0;
         double board_volume = 0.0;
         for (std::size_t p = 0; p < instance_->path_count(); ++p) {
-          board_latency += served_->board().path_flow()[p] *
-                           served_->board().path_latency()[p];
-          board_volume += served_->board().path_flow()[p];
+          board_latency += slot->served->board().path_flow()[p] *
+                           slot->served->board().path_latency()[p];
+          board_volume += slot->served->board().path_flow()[p];
         }
-        summary_.board_latency =
+        slot->summary.board_latency =
             board_volume > 0.0 ? board_latency / board_volume : 0.0;
 
         // Merge per-sub-batch histograms in plan order (the canonical
         // order the determinism contract fixes) into this epoch's
         // distribution.
-        epoch_route_.reset();
-        for (std::size_t b = 0; b < batches_; ++b) {
-          epoch_route_.merge(ctx_[b].route_hist);
+        slot->epoch_route.reset();
+        for (std::size_t b = 0; b < slot->batches; ++b) {
+          slot->epoch_route.merge(slot->ctx[b].route_hist);
         }
-        if (!epoch_route_.empty()) {
-          summary_.route_p50 = epoch_route_.quantile(0.5);
-          summary_.route_p99 = epoch_route_.quantile(0.99);
-          summary_.route_p999 = epoch_route_.quantile(0.999);
+        if (!slot->epoch_route.empty()) {
+          slot->summary.route_p50 = slot->epoch_route.quantile(0.5);
+          slot->summary.route_p99 = slot->epoch_route.quantile(0.99);
+          slot->summary.route_p999 = slot->epoch_route.quantile(0.999);
         }
         if (options_.record_latency) {
-          epoch_wall_.reset();
-          for (std::size_t b = 0; b < batches_; ++b) {
-            epoch_wall_.merge(ctx_[b].wall_hist);
+          slot->epoch_wall.reset();
+          for (std::size_t b = 0; b < slot->batches; ++b) {
+            slot->epoch_wall.merge(slot->ctx[b].wall_hist);
           }
-          if (!epoch_wall_.empty()) {
-            summary_.p50_us = epoch_wall_.quantile(0.5);
-            summary_.p99_us = epoch_wall_.quantile(0.99);
-            summary_.p999_us = epoch_wall_.quantile(0.999);
+          if (!slot->epoch_wall.empty()) {
+            slot->summary.p50_us = slot->epoch_wall.quantile(0.5);
+            slot->summary.p99_us = slot->epoch_wall.quantile(0.99);
+            slot->summary.p999_us = slot->epoch_wall.quantile(0.999);
           }
         }
       },
-      {fold});
+      std::span<const std::size_t>(deps.begin(), deps.size()));
 }
 
 void EpochEngine::finish_epoch(double epoch_seconds,
@@ -350,26 +438,33 @@ void EpochEngine::finish_epoch(double epoch_seconds,
     throw std::logic_error("EpochEngine::finish_epoch: no epoch in flight");
   }
   epoch_in_flight_ = false;
+  if (pending_finish_ == kNone) {
+    // First pipelined graph: epoch 0 served but its summary is deferred
+    // into the next graph — nothing to record yet.
+    return;
+  }
+  EpochStage& stage = stages_[pending_finish_ % 2];
+  pending_finish_ = kNone;
 
-  // Phase boundary: the folded flow is published as the next board; the
-  // fold tail (summary) and the snapshot build already ran inside the
-  // graph.
-  run_route_.merge(epoch_route_);
+  // Phase boundary: the fold tail (summary) and the snapshot build
+  // already ran inside the graph; the strict schedule publishes the
+  // folded flow's board here, a pipelined one published in-graph.
+  run_route_.merge(stage.epoch_route);
   if (options_.record_latency) {
-    run_wall_us_.merge(epoch_wall_);
-    summary_.queries_per_second =
+    run_wall_us_.merge(stage.epoch_wall);
+    stage.summary.queries_per_second =
         epoch_seconds > 0.0
-            ? static_cast<double>(totals_.queries) / epoch_seconds
+            ? static_cast<double>(stage.totals.queries) / epoch_seconds
             : 0.0;
   }
 
-  total_queries_ += totals_.queries;
-  total_migrations_ += totals_.migrations;
-  epochs_.push_back(summary_);
-  if (observer) observer(summary_);
+  total_queries_ += stage.totals.queries;
+  total_migrations_ += stage.totals.migrations;
+  epochs_.push_back(stage.summary);
+  if (observer) observer(stage.summary);
 
-  store_->publish(std::move(next_));
-  served_.reset();
+  if (!pipelined_) store_->publish(std::move(stage.next));
+  stage.served.reset();
 
   static trace::Counter& epochs_counter =
       trace::MetricsRegistry::global().counter("engine.epochs");
@@ -378,26 +473,36 @@ void EpochEngine::finish_epoch(double epoch_seconds,
   static trace::Counter& migrations_counter =
       trace::MetricsRegistry::global().counter("engine.migrations");
   epochs_counter.inc();
-  queries_counter.add(totals_.queries);
-  migrations_counter.add(totals_.migrations);
+  queries_counter.add(stage.totals.queries);
+  migrations_counter.add(stage.totals.migrations);
 
-  if (trace::active() && !trace_drop_) {
-    // The board just swapped: epoch e+1 is now live for readers.
-    trace::instant(trace::EventKind::kSnapshotPublish, trace_tenant_,
-                   trace_epoch_ + 1, /*arg=*/0, /*value=*/0);
+  if (trace::active() && !stage.trace_drop) {
+    if (!pipelined_) {
+      // The board just swapped: epoch e+1 is now live for readers
+      // (pipelined runs emit this from the in-graph publish node).
+      trace::instant(trace::EventKind::kSnapshotPublish, trace_tenant_,
+                     stage.trace_epoch + 1, /*arg=*/0, /*value=*/0);
+    }
     trace::TraceEvent epoch_event;
     epoch_event.kind = trace::EventKind::kEpochSpan;
     epoch_event.tenant = trace_tenant_;
-    epoch_event.epoch = trace_epoch_;
-    epoch_event.arg = batches_;
-    epoch_event.begin_ns = trace_epoch_begin_ns_;
+    epoch_event.epoch = stage.trace_epoch;
+    epoch_event.arg = stage.batches;
+    epoch_event.begin_ns = stage.trace_begin_ns;
     epoch_event.end_ns = trace::now_ns();
-    epoch_event.value = totals_.queries;
+    epoch_event.value = stage.totals.queries;
     trace::emit(epoch_event);
   }
 }
 
 EngineCheckpoint EpochEngine::checkpoint() const {
+  if (pipelined_) {
+    // The master RNG and flow run one epoch ahead of the last summarized
+    // epoch, so no consistent per-epoch cut exists. Hosts reject
+    // --pipeline with the WAL; this is the engine-level backstop.
+    throw std::logic_error(
+        "EpochEngine::checkpoint: not available in pipelined mode");
+  }
   if (epoch_in_flight_ || epochs_.empty()) {
     throw std::logic_error(
         "EpochEngine::checkpoint: need a finished epoch and none in "
@@ -412,7 +517,8 @@ EngineCheckpoint EpochEngine::checkpoint() const {
     cut.client_paths.push_back(
         static_cast<std::uint32_t>(clients_->local_path(c)));
   }
-  cut.route_hist = epoch_route_;  // the just-finished epoch's merge
+  // The just-finished epoch's merge, still staged in its parity slot.
+  cut.route_hist = stages_[(epochs_.size() - 1) % 2].epoch_route;
   return cut;
 }
 
@@ -466,6 +572,10 @@ void EpochEngine::restore(std::span<const EngineCheckpoint> cuts) {
     }
     clients_->reassign(c, path);
   }
+
+  // The plan frontier resumes at the restored epoch count — there is no
+  // deferred summary to drain (every restored epoch is fully recorded).
+  planned_ = epochs_.size();
 
   // Re-publish the board the checkpointed process was serving against:
   // the epoch-n post of the restored flow — the same bits finish_epoch

@@ -28,10 +28,25 @@
 // (see route_server.h for the full contract). Nothing an engine computes
 // depends on which threads run its nodes or on what other engines' nodes
 // are interleaved with them.
+//
+// Cross-epoch pipelining (options.pipeline, non-feedback workloads only):
+// the engine defers epoch e's summary/telemetry node into the NEXT
+// add_epoch's graph, where it runs as a root in parallel with epoch
+// e+1's serve nodes — the snapshot publish moves in-graph (after the CDF
+// nodes), so epoch e+1 starts serving the fresh board while e's telemetry
+// tail is still merging histograms. fold(e+1) depends on summary(e)
+// (summary reads the pre-fold master flow for its Wardrop gap) and the
+// two epochs stage into alternating slots, so nothing is shared between
+// overlapping epochs. The host protocol is unchanged — the same
+// while (!done()) { add_epoch; run; finish_epoch } loop simply runs
+// epochs+1 iterations (the last one drains the final summary). Every
+// value is derived from the same streams in the same order as the strict
+// schedule, so digests are byte-identical with pipelining on or off.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
 #include <vector>
 
@@ -83,21 +98,34 @@ class EpochEngine {
   std::size_t epochs_done() const noexcept { return epochs_.size(); }
   bool done() const noexcept { return epochs_done() >= epochs_total(); }
 
+  /// True when cross-epoch pipelining is active: options.pipeline was set
+  /// AND the workload is feedback-free (a closed-loop-lat tenant silently
+  /// runs the strict schedule — its arrivals need the previous summary).
+  bool pipelined() const noexcept { return pipelined_; }
+
   /// Plans the next epoch (workload arrivals, the deterministic sub-batch
   /// plan, one Rng stream per sub-batch in canonical order) and appends
   /// its serve -> fold -> {board post + per-commodity CDF nodes, summary}
-  /// pipeline to `graph`. The appended nodes touch only this engine, so
-  /// several engines may append to the same graph. Exactly one epoch may
-  /// be in flight per engine: add_epoch / run / finish_epoch, in order.
+  /// pipeline to `graph`. Serve nodes carry their shard id as the graph
+  /// affinity key, so same-shard sub-batches land on the same worker lane
+  /// (locality placement — wall clock only, never values). In pipelined
+  /// mode the graph instead holds the PREVIOUS epoch's deferred summary
+  /// (as a root) plus this epoch's serve/fold/snapshot/publish nodes; the
+  /// final call appends only the last summary. The appended nodes touch
+  /// only this engine, so several engines may append to the same graph.
+  /// Exactly one graph may be in flight per engine: add_epoch / run /
+  /// finish_epoch, in order.
   void add_epoch(TaskGraph& graph);
 
-  /// Completes the epoch added by the last add_epoch (the graph must have
-  /// run): merges the epoch's histograms into the run result, records the
-  /// summary (calling `observer` if set), and publishes the next
-  /// snapshot. `epoch_seconds` is the wall-clock the host measured for
-  /// the epoch's graph (used for queries_per_second when latency
-  /// recording is on; a multi-tenant host passes the whole round's wall
-  /// time, so per-epoch qps then reads "queries per round-second").
+  /// Completes the epoch whose summary node ran in the last add_epoch's
+  /// graph (the graph must have run): merges that epoch's histograms into
+  /// the run result, records the summary (calling `observer` if set),
+  /// and — strict schedule only — publishes the next snapshot (pipelined
+  /// runs publish in-graph; the first pipelined call completes nothing).
+  /// `epoch_seconds` is the wall-clock the host measured for the graph
+  /// (used for queries_per_second when latency recording is on; a
+  /// multi-tenant host passes the whole round's wall time, so per-epoch
+  /// qps then reads "queries per round-second").
   void finish_epoch(double epoch_seconds, const EpochObserver& observer);
 
   /// Finalizes and returns the run result (final flow and gap, wall-clock
@@ -105,9 +133,13 @@ class EpochEngine {
   RouteServerResult finish(double wall_seconds);
 
   /// Snapshot of the dynamics state at the current epoch boundary — the
-  /// recovery WAL's cut record. Requires at least one finished epoch and
-  /// no epoch in flight. Restoring the returned cut (plus its
-  /// predecessors) into a fresh engine continues the run bit-identically.
+  /// recovery WAL's cut record. Requires at least one finished epoch, no
+  /// epoch in flight, and the strict schedule: a pipelined engine runs
+  /// one epoch ahead of its last summarized state, so there IS no
+  /// consistent per-epoch cut — checkpoint() then throws (hosts reject
+  /// --pipeline with the WAL up front). Restoring the returned cut (plus
+  /// its predecessors) into a fresh engine continues the run
+  /// bit-identically.
   EngineCheckpoint checkpoint() const;
 
   /// Tags this engine's trace events with a tenant id (a TenantRegistry
@@ -129,7 +161,44 @@ class EpochEngine {
   void restore(std::span<const EngineCheckpoint> cuts);
 
  private:
-  void serve_sub_batch(std::size_t b);
+  /// Everything one in-flight epoch stages: its sub-batch contexts, the
+  /// snapshot it served against, the fold totals, the board it builds and
+  /// its telemetry accumulators. Two slots alternate by epoch parity so a
+  /// pipelined run can overlap epoch e+1's serving with epoch e's summary
+  /// without sharing a byte; the strict schedule uses the same slots one
+  /// at a time. The trace fields are wall-clock labelling only —
+  /// trace_drop is true while a drop-telemetry fault window covers the
+  /// epoch (the engine then emits no spans; the kFaultSpan marker itself
+  /// still fires).
+  struct EpochStage {
+    std::vector<detail::SubBatchContext> ctx;  // high-water pool
+    std::size_t batches = 0;  // sub-batches planned for this epoch
+    SnapshotPtr served;       // the board this epoch served against
+    FlowLedger::Totals totals;
+    std::shared_ptr<BoardSnapshot> next;
+    EpochSummary summary;
+    LogHistogram epoch_route;  // this epoch's merged route latencies
+    LogHistogram epoch_wall;   // this epoch's merged service times (us)
+    std::uint64_t trace_epoch = 0;
+    std::uint64_t trace_begin_ns = 0;
+    bool trace_drop = false;
+  };
+
+  /// "No epoch" sentinel for pending_finish_.
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  /// Plans epoch `e` into `stage` and appends its serve -> fold -> post ->
+  /// CDF nodes; `extra_fold_dep` (a summary node, pipelined mode) is added
+  /// to fold's dependencies when not kNone; with `publish_in_graph` a
+  /// final node publishes the built snapshot after the CDFs. Returns the
+  /// fold node's id.
+  std::size_t plan_epoch(TaskGraph& graph, EpochStage& stage,
+                         std::uint64_t e, std::size_t extra_fold_dep,
+                         bool publish_in_graph);
+  /// Appends `stage`'s summary/telemetry node with the given deps.
+  std::size_t add_summary_node(TaskGraph& graph, EpochStage& stage,
+                               std::initializer_list<std::size_t> deps);
+  void serve_sub_batch(EpochStage& stage, std::size_t b);
 
   const Instance* instance_;
   const Policy* policy_;
@@ -143,26 +212,13 @@ class EpochEngine {
   std::unique_ptr<FlowLedger> ledger_;
   std::vector<std::size_t> shard_clients_;  // clients per logical shard
 
-  std::vector<detail::SubBatchContext> ctx_;  // per-epoch high-water pool
-  std::size_t batches_ = 0;   // sub-batches planned for the epoch in flight
+  EpochStage stages_[2];  // epoch e stages in stages_[e % 2]
   bool epoch_in_flight_ = false;
+  bool pipelined_ = false;
+  std::size_t planned_ = 0;         // epochs planned so far (plan frontier)
+  std::size_t pending_finish_ = kNone;  // epoch the next finish_epoch records
 
-  // Trace labelling for the epoch in flight — wall-clock telemetry only,
-  // strictly outside the digest contract. trace_drop_ is true while a
-  // drop-telemetry fault window covers the epoch in flight: the engine
-  // then emits no spans (the kFaultSpan marker itself still fires).
   std::uint32_t trace_tenant_ = 0;
-  std::uint64_t trace_epoch_ = 0;
-  std::uint64_t trace_epoch_begin_ns_ = 0;
-  bool trace_drop_ = false;
-
-  // Staging for the epoch in flight (written by graph nodes).
-  SnapshotPtr served_;
-  FlowLedger::Totals totals_;
-  std::shared_ptr<BoardSnapshot> next_;
-  EpochSummary summary_;
-  LogHistogram epoch_route_;  // this epoch's merged route latencies
-  LogHistogram epoch_wall_;   // this epoch's merged service times (us)
 
   // Accumulating run outcome (assembled into a RouteServerResult by
   // finish(); FlowVector has no default state, so the pieces live here).

@@ -1,6 +1,7 @@
 #include "service/route_server.h"
 
 #include <memory>
+#include <stdexcept>
 
 #include "exec/executor.h"
 #include "faults/fault_plan.h"
@@ -21,6 +22,12 @@ RouteServerResult RouteServer::run(const FlowVector& initial,
   // The per-epoch pipeline lives in EpochEngine (shared with the
   // multi-tenant registry); a solo run is one engine driven to exhaustion
   // on its own (or a borrowed) executor.
+  if (options.pipeline && cuts) {
+    throw std::invalid_argument(
+        "RouteServer::run: --pipeline is incompatible with the "
+        "checkpoint/WAL path (the engine runs one epoch ahead of its last "
+        "summarized state, so there is no per-epoch cut to take)");
+  }
   EpochEngine engine(*instance_, *policy_, *workload_, store_);
   engine.begin(initial, options);
   engine.restore(resume);
@@ -30,7 +37,7 @@ RouteServerResult RouteServer::run(const FlowVector& initial,
   std::unique_ptr<Executor> owned_executor;
   Executor* exec = options.executor;
   if (exec == nullptr) {
-    owned_executor = std::make_unique<Executor>(options.threads);
+    owned_executor = std::make_unique<Executor>(options.threads, options.pin);
     // Worker-stall faults apply to the executor this run owns; a borrowed
     // executor's host (sweep runner, tenant CLI) wires its own.
     owned_executor->set_fault_schedule(options.faults);

@@ -102,6 +102,22 @@ struct RouteServerOptions {
   /// fixed sub_batch_queries, with its own digest.
   bool sub_batch_auto = false;
 
+  /// Cross-epoch pipelining: overlap epoch e+1's serving with epoch e's
+  /// summary/telemetry tail. A runtime knob like `threads` — digests and
+  /// dynamics are byte-identical either way — so it is never serialized
+  /// into the WAL header. Auto-disabled for feedback workloads
+  /// (closed-loop-lat reads the previous epoch's summary) and incompatible
+  /// with the checkpoint/WAL path (`cuts`): the engine runs one epoch
+  /// ahead of its last summarized state, so there is no per-epoch cut to
+  /// take. run() throws if both are requested.
+  bool pipeline = false;
+
+  /// Pin worker lane i to CPU core i where available (silently a no-op
+  /// otherwise). Runtime-only wall-clock placement, never semantics;
+  /// ignored when `executor` is set (the borrowed executor's owner
+  /// decides).
+  bool pin = false;
+
   std::uint64_t seed = 1;
 
   /// Materialized fault schedule (src/faults/), nullptr = healthy world.

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <cstddef>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "net/generators.h"
@@ -74,6 +75,37 @@ TEST(SubBatchSplit, RangesPartitionExactlyAndBalanced) {
   }
   EXPECT_THROW(sub_range(10, 0, 0), std::invalid_argument);
   EXPECT_THROW(sub_range(10, 2, 2), std::invalid_argument);
+}
+
+TEST(SubBatchSplit, ShardLanePlacementIsTotalStableAndInRange) {
+  // The locality placement map: every shard id maps to exactly one lane
+  // in [0, lanes), and the map is a pure function of (shard, lanes) — the
+  // same inputs give the same lane on every call, which is what makes
+  // same-shard sub-batches stick to one worker across epochs.
+  for (const std::size_t lanes : {1u, 2u, 3u, 8u, 64u}) {
+    for (std::size_t shard = 0; shard < 100; ++shard) {
+      const std::size_t lane = shard_lane(shard, lanes);
+      EXPECT_LT(lane, lanes);
+      EXPECT_EQ(lane, shard_lane(shard, lanes)) << shard << "/" << lanes;
+    }
+  }
+  // One lane: everything lands there (the single-worker degenerate case).
+  for (std::size_t shard = 0; shard < 16; ++shard) {
+    EXPECT_EQ(shard_lane(shard, 1), 0u);
+  }
+  // More shards than lanes: the finalizer mix spreads work over every
+  // lane instead of leaving some idle.
+  std::vector<std::size_t> counts(8, 0);
+  for (std::size_t shard = 0; shard < 256; ++shard) {
+    ++counts[shard_lane(shard, 8)];
+  }
+  for (std::size_t lane = 0; lane < counts.size(); ++lane) {
+    EXPECT_GT(counts[lane], 0u) << "lane " << lane << " got no shards";
+  }
+  // More lanes than shards: still total and in range (checked above with
+  // lanes=64, shards<100 covers shards<lanes combos); zero lanes is a
+  // usage error.
+  EXPECT_THROW(shard_lane(0, 0), std::invalid_argument);
 }
 
 // ----------------------------------------------------------- TaskGraph
@@ -245,9 +277,11 @@ TEST(ThreadPoolDeathTest, DestructorTerminatesOnUncollectedException) {
 // ------------------------------------------- end-to-end byte identity
 
 /// The property the execution layer exists for: with sub-batch splitting
-/// forced (tiny split threshold, skewed bursty load) and epochs
-/// pipelined, the route service dynamics are byte-identical across 1, 2
-/// and 8 worker threads.
+/// forced (tiny split threshold, skewed bursty load), the route service
+/// dynamics are byte-identical across 1, 2 and 8 worker threads — in
+/// EVERY combination of thread pinning and cross-epoch pipelining. The
+/// locality placement map is always on, so this also pins that sticky
+/// shard->lane routing never reaches the values.
 TEST(ExecDeterminism, RouteServerByteIdenticalUnderForcedSplits) {
   const Instance instance = uniform_parallel_links(8, 0.5, 1.0);
   const Policy policy = make_replicator_policy(instance);
@@ -262,40 +296,51 @@ TEST(ExecDeterminism, RouteServerByteIdenticalUnderForcedSplits) {
   options.seed = 23;
   options.record_latency = false;
 
-  std::vector<EpochSummary> reference;
-  std::vector<double> reference_flow;
-  LogHistogram reference_hist;
+  // Reference: the strict single-threaded schedule, no knobs.
+  RouteServer reference_server(instance, policy, *workload);
+  const RouteServerResult reference =
+      reference_server.run(FlowVector::uniform(instance), options);
+  // The forced split actually split: more sub-batch streams than shards
+  // means the bursty peaks exceeded the threshold.
+  EXPECT_GT(reference.total_queries, 4u * 128u);
+
   for (const std::size_t threads :
        {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
-    options.threads = threads;
-    RouteServer server(instance, policy, *workload);
-    const RouteServerResult result =
-        server.run(FlowVector::uniform(instance), options);
-    if (threads == 1) {
-      reference = result.epochs;
-      reference_flow.assign(result.final_flow.values().begin(),
-                            result.final_flow.values().end());
-      reference_hist = result.route_latency;
-      // The forced split actually split: more sub-batch streams than
-      // shards means the bursty peaks exceeded the threshold.
-      EXPECT_GT(result.total_queries, 4u * 128u);
-      continue;
+    for (const bool pin : {false, true}) {
+      for (const bool pipeline : {false, true}) {
+        if (threads == 1 && !pin && !pipeline) continue;  // the reference
+        options.threads = threads;
+        options.pin = pin;
+        options.pipeline = pipeline;
+        RouteServer server(instance, policy, *workload);
+        const RouteServerResult result =
+            server.run(FlowVector::uniform(instance), options);
+        const std::string label = std::to_string(threads) + " threads pin=" +
+                                  std::to_string(pin) +
+                                  " pipeline=" + std::to_string(pipeline);
+        EXPECT_EQ(telemetry_digest(result.epochs),
+                  telemetry_digest(reference.epochs))
+            << label;
+        ASSERT_EQ(result.epochs.size(), reference.epochs.size()) << label;
+        for (std::size_t e = 0; e < reference.epochs.size(); ++e) {
+          EXPECT_EQ(result.epochs[e].queries, reference.epochs[e].queries);
+          EXPECT_EQ(result.epochs[e].migrations,
+                    reference.epochs[e].migrations);
+          EXPECT_EQ(result.epochs[e].wardrop_gap,
+                    reference.epochs[e].wardrop_gap);
+          EXPECT_EQ(result.epochs[e].route_p50, reference.epochs[e].route_p50);
+          EXPECT_EQ(result.epochs[e].route_p999,
+                    reference.epochs[e].route_p999);
+        }
+        for (std::size_t p = 0; p < reference.final_flow.size(); ++p) {
+          EXPECT_EQ(result.final_flow.values()[p],
+                    reference.final_flow.values()[p])
+              << label;
+        }
+        // Histogram equality is exact: same counts, extremes and sum.
+        EXPECT_TRUE(result.route_latency == reference.route_latency) << label;
+      }
     }
-    EXPECT_EQ(telemetry_digest(result.epochs), telemetry_digest(reference))
-        << threads;
-    ASSERT_EQ(result.epochs.size(), reference.size());
-    for (std::size_t e = 0; e < reference.size(); ++e) {
-      EXPECT_EQ(result.epochs[e].queries, reference[e].queries);
-      EXPECT_EQ(result.epochs[e].migrations, reference[e].migrations);
-      EXPECT_EQ(result.epochs[e].wardrop_gap, reference[e].wardrop_gap);
-      EXPECT_EQ(result.epochs[e].route_p50, reference[e].route_p50);
-      EXPECT_EQ(result.epochs[e].route_p999, reference[e].route_p999);
-    }
-    for (std::size_t p = 0; p < reference_flow.size(); ++p) {
-      EXPECT_EQ(result.final_flow.values()[p], reference_flow[p]);
-    }
-    // Histogram equality is exact: same counts, extremes and sum.
-    EXPECT_TRUE(result.route_latency == reference_hist) << threads;
   }
 }
 

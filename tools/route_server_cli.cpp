@@ -5,6 +5,7 @@
 //                        [--period <T>] [--epochs <n>] [--clients <n>]
 //                        [--workload <spec>] [--shards <k>]
 //                        [--sub-batch <q>|auto] [--threads <k>]
+//                        [--pin] [--pipeline]
 //                        [--seed <s>] [--deterministic] [--csv <path>]
 //                        [--tenants <spec>[;<spec>...]]
 //                        [--wal <path> | --resume <path>]
@@ -18,6 +19,13 @@
 // a digest of the deterministic telemetry (used by the CI golden test).
 // With --deterministic, wall-clock latency recording is off and the CSV
 // holds only deterministic columns — byte-identical for any --threads.
+//
+// --pin and --pipeline are runtime performance knobs, digest-neutral
+// like --threads: --pin pins worker lane i to CPU core i (silently a
+// no-op where unavailable); --pipeline overlaps each epoch's summary
+// tail with the next epoch's serving (auto-off for the feedback-driven
+// closed-loop-lat workload, and rejected with --wal/--resume — a
+// pipelined engine has no per-epoch cut to log).
 //
 // --tenants switches to multi-tenant mode: each ;-separated spec
 // (<name>[:key=value,...], keys scenario/policy/workload/clients/shards/
@@ -118,6 +126,7 @@ const std::set<std::string> kConfigFlags = {
       "                       [--period <T>] [--epochs <n>] [--clients <n>]\n"
       "                       [--workload <spec>] [--shards <k>]\n"
       "                       [--sub-batch <q>|auto] [--threads <k>]\n"
+      "                       [--pin] [--pipeline]\n"
       "                       [--seed <s>] [--deterministic] [--csv <path>]\n"
       "                       [--tenants <spec>[;<spec>...]]\n"
       "                       [--wal <path> | --resume <path>]\n"
@@ -335,7 +344,8 @@ EpochObserver make_epoch_observer(std::size_t total_epochs,
 int run_tenants_manifest(const std::string& wal_path,
                          const recovery::RunManifest& manifest,
                          const recovery::RecoveredRun* resume,
-                         std::size_t threads, const std::string& csv_path,
+                         std::size_t threads, bool pipeline, bool pin,
+                         const std::string& csv_path,
                          std::size_t report_every, std::size_t progress_every,
                          bool quiet) {
   const ScenarioRegistry registry = ScenarioRegistry::builtin();
@@ -348,6 +358,8 @@ int run_tenants_manifest(const std::string& wal_path,
     TenantOptions options;
     options.server = tenant.options;
     options.server.threads = threads;
+    options.server.pipeline = pipeline;
+    options.server.pin = pin;
     options.server.executor = nullptr;
     // All tenants share the run's one fault schedule; per-tenant clauses
     // select their victim with tenant= (registry index).
@@ -402,7 +414,7 @@ int run_tenants_manifest(const std::string& wal_path,
     log.emplace(wal_path, manifest);
   }
 
-  Executor executor(threads);
+  Executor executor(threads, pin);
   if (!fault_schedule.empty()) executor.set_fault_schedule(&fault_schedule);
   const MultiTenantResult result =
       tenants.run(executor, observer,
@@ -460,12 +472,15 @@ recovery::RunManifest resolve_tenant_manifest(
 int run_single_manifest(const std::string& wal_path,
                         const recovery::RunManifest& manifest,
                         const recovery::RecoveredRun* resume,
-                        std::size_t threads, const std::string& csv_path,
+                        std::size_t threads, bool pipeline, bool pin,
+                        const std::string& csv_path,
                         std::size_t report_every, std::size_t progress_every,
                         bool quiet) {
   const recovery::TenantManifest& self = manifest.tenants.front();
   RouteServerOptions options = self.options;
   options.threads = threads;
+  options.pipeline = pipeline;
+  options.pin = pin;
   options.executor = nullptr;
   const faults::FaultSchedule fault_schedule =
       make_fault_schedule(manifest, quiet);
@@ -514,7 +529,9 @@ int run_single_manifest(const std::string& wal_path,
 }
 
 /// --resume: the WAL header is the configuration; serve what remains.
-int do_resume(const std::string& path, std::size_t threads,
+/// Pipelining is rejected with --resume at the flag layer; --pin passes
+/// through (a runtime knob like --threads).
+int do_resume(const std::string& path, std::size_t threads, bool pin,
               const std::string& csv_path, std::size_t report_every,
               std::size_t progress_every, bool quiet) {
   recovery::RecoveredRun state;
@@ -542,11 +559,12 @@ int do_resume(const std::string& path, std::size_t threads,
 
   if (state.manifest.multi_tenant) {
     return run_tenants_manifest(path, state.manifest, &state, threads,
-                                csv_path, report_every, progress_every,
-                                quiet);
+                                /*pipeline=*/false, pin, csv_path,
+                                report_every, progress_every, quiet);
   }
   return run_single_manifest(path, state.manifest, &state, threads,
-                             csv_path, report_every, progress_every, quiet);
+                             /*pipeline=*/false, pin, csv_path, report_every,
+                             progress_every, quiet);
 }
 
 /// Starts the recorder for --trace and guarantees the trailer is written
@@ -611,6 +629,10 @@ int do_run(const std::map<std::string, std::string>& flags) {
       }
     } else if (key == "threads") {
       options.threads = cli::parse_count(value, "--threads");
+    } else if (key == "pin") {
+      options.pin = true;
+    } else if (key == "pipeline") {
+      options.pipeline = true;
     } else if (key == "seed") {
       options.seed = cli::parse_count(value, "--seed");
     } else if (key == "deterministic") {
@@ -640,14 +662,22 @@ int do_run(const std::map<std::string, std::string>& flags) {
     }
   }
   cli::validate_recovery_flags(recovery_flags, flags, kConfigFlags);
+  // Pipelining is digest-neutral but leaves no per-epoch cut to log (the
+  // engine runs one epoch ahead of its last summarized state), so the
+  // WAL paths refuse it up front. --pin composes with everything.
+  if (options.pipeline &&
+      (!recovery_flags.wal.empty() || recovery_flags.resuming())) {
+    throw cli::UsageError("--pipeline cannot be combined with --wal/--resume "
+                          "(no per-epoch checkpoint exists while pipelining)");
+  }
 
   // --trace/--progress are runtime knobs (wall-clock telemetry only), so
   // like --threads/--csv they stay legal alongside --resume.
   const TraceScope trace_scope(trace_path);
 
   if (recovery_flags.resuming()) {
-    return do_resume(recovery_flags.resume, options.threads, csv_path,
-                     report_every, progress_every, quiet);
+    return do_resume(recovery_flags.resume, options.threads, options.pin,
+                     csv_path, report_every, progress_every, quiet);
   }
 
   if (tenants_given) {
@@ -655,7 +685,8 @@ int do_run(const std::map<std::string, std::string>& flags) {
         tenants_flag, scenario_name, policy_name, workload_spec, options);
     manifest.faults = faults_spec;
     return run_tenants_manifest(recovery_flags.wal, manifest, nullptr,
-                                options.threads, csv_path, report_every,
+                                options.threads, options.pipeline,
+                                options.pin, csv_path, report_every,
                                 progress_every, quiet);
   }
 
@@ -679,8 +710,8 @@ int do_run(const std::map<std::string, std::string>& flags) {
   self.weight = 1;
   manifest.tenants.push_back(std::move(self));
   return run_single_manifest(recovery_flags.wal, manifest, nullptr,
-                             options.threads, csv_path, report_every,
-                             progress_every, quiet);
+                             options.threads, options.pipeline, options.pin,
+                             csv_path, report_every, progress_every, quiet);
 }
 
 int run_main(int argc, char** argv) {
@@ -690,7 +721,8 @@ int run_main(int argc, char** argv) {
   try {
     if (command == "list") return do_list();
     if (command == "run") {
-      return do_run(cli::parse_flags(args, 1, {"quiet", "deterministic"}));
+      return do_run(cli::parse_flags(
+          args, 1, {"quiet", "deterministic", "pin", "pipeline"}));
     }
   } catch (const cli::UsageError& e) {
     usage(e.what());
