@@ -18,6 +18,7 @@ std::string encode_run_header(const RunManifest& manifest) {
   binio::Writer w;
   w.u32(kWalVersion);
   w.u8(manifest.multi_tenant ? 1 : 0);
+  w.u8(manifest.pipeline ? 1 : 0);  // v3
   w.str(manifest.faults);
   w.u32(static_cast<std::uint32_t>(manifest.tenants.size()));
   for (const TenantManifest& tenant : manifest.tenants) {
@@ -43,13 +44,19 @@ std::string encode_run_header(const RunManifest& manifest) {
 RunManifest decode_run_header(std::string_view payload) {
   binio::Reader r(payload);
   const std::uint32_t version = r.u32();
-  if (version != kWalVersion) {
+  // A v3 reader still accepts v2 files: the only layout change is the
+  // pipeline byte (absent in v2, meaning a strict-schedule run). Anything
+  // else is a future format this build cannot decode — which is also how
+  // a v2 reader treats a v3 header.
+  if (version != 2 && version != kWalVersion) {
     throw std::runtime_error("WAL header: unknown payload version " +
-                             std::to_string(version) + " (this build reads " +
+                             std::to_string(version) +
+                             " (this build reads 2.." +
                              std::to_string(kWalVersion) + ")");
   }
   RunManifest manifest;
   manifest.multi_tenant = r.u8() != 0;
+  if (version >= 3) manifest.pipeline = r.u8() != 0;
   manifest.faults = r.str();
   const std::uint32_t count = r.u32();
   if (count == 0 || (!manifest.multi_tenant && count != 1)) {

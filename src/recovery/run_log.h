@@ -60,6 +60,13 @@ struct TenantManifest {
 
 struct RunManifest {
   bool multi_tenant = false;
+  /// Cross-epoch pipelining was on for this run (v3 headers; v2 files
+  /// decode as false). Cut CONTENT is schedule-independent — the flag is
+  /// logged so a resumed run re-serves with the crashed run's schedule
+  /// instead of silently downgrading to strict, and so tooling knows
+  /// committed cuts trail the crashed process's serving frontier by one
+  /// epoch.
+  bool pipeline = false;
   /// The run's `--faults` spec ("" = healthy). The SPEC is what the WAL
   /// stores — a resumed run re-materializes the schedule from it plus the
   /// logged (seed, epochs), reproducing the exact fault timing of the

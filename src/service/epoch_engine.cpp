@@ -1,6 +1,7 @@
 #include "service/epoch_engine.h"
 
 #include <algorithm>
+#include <iostream>
 #include <limits>
 #include <optional>
 #include <stdexcept>
@@ -61,9 +62,20 @@ void EpochEngine::begin(const FlowVector& initial,
 
   options_ = options;
   // Pipelining is digest-neutral only when arrivals ignore LoadFeedback:
-  // a feedback workload (closed-loop-lat) silently falls back to the
-  // strict schedule, its arrivals need the previous epoch's summary.
+  // a feedback workload (closed-loop-lat) falls back to the strict
+  // schedule, its arrivals need the previous epoch's summary. The
+  // fallback is announced — once on stderr and as a metrics counter — so
+  // a traced run records that the knob was ignored.
   pipelined_ = options.pipeline && !workload_->uses_feedback();
+  if (options.pipeline && !pipelined_) {
+    static trace::Counter& fallback_counter =
+        trace::MetricsRegistry::global().counter("engine.pipeline_fallbacks");
+    fallback_counter.inc();
+    std::cerr << "note: pipeline disabled for feedback workload '"
+              << workload_->name()
+              << "' (arrivals need the previous epoch's summary); "
+                 "serving the strict schedule\n";
+  }
   master_ = Rng(options.seed);
   clients_ = std::make_unique<Population>(*instance_, options.num_clients,
                                           initial.values());
@@ -205,7 +217,15 @@ void EpochEngine::add_epoch(TaskGraph& graph) {
   // last deferred summary on its own.
   std::size_t summary_node = kNone;
   if (planned_ > epochs_done()) {
-    summary_node = add_summary_node(graph, stages_[(planned_ - 1) % 2], {});
+    EpochStage& prev = stages_[(planned_ - 1) % 2];
+    // The overlap-spanning cut point: right here — host-side, no graph in
+    // flight — epoch planned_-1 is fully served and folded and epoch
+    // planned_'s mutations have not been planned, so the engine state IS
+    // that epoch's boundary state. It is transient (the plan below splits
+    // the master RNG), so snapshot it for the checkpoint() that becomes
+    // answerable once the deferred summary drains.
+    if (capture_cuts_) capture_pending_cut(prev);
+    summary_node = add_summary_node(graph, prev, {});
     pending_finish_ = planned_ - 1;
   } else {
     pending_finish_ = kNone;
@@ -495,30 +515,50 @@ void EpochEngine::finish_epoch(double epoch_seconds,
   }
 }
 
-EngineCheckpoint EpochEngine::checkpoint() const {
-  if (pipelined_) {
-    // The master RNG and flow run one epoch ahead of the last summarized
-    // epoch, so no consistent per-epoch cut exists. Hosts reject
-    // --pipeline with the WAL; this is the engine-level backstop.
-    throw std::logic_error(
-        "EpochEngine::checkpoint: not available in pipelined mode");
+void EpochEngine::capture_pending_cut(EpochStage& stage) {
+  stage.cut.rng_state = master_.state();
+  stage.cut.flow = flow_;
+  stage.cut.client_paths.clear();
+  stage.cut.client_paths.reserve(clients_->size());
+  for (std::size_t c = 0; c < clients_->size(); ++c) {
+    stage.cut.client_paths.push_back(
+        static_cast<std::uint32_t>(clients_->local_path(c)));
   }
+  stage.cut.valid = true;
+}
+
+EngineCheckpoint EpochEngine::checkpoint() const {
   if (epoch_in_flight_ || epochs_.empty()) {
     throw std::logic_error(
         "EpochEngine::checkpoint: need a finished epoch and none in "
         "flight");
   }
+  // The just-finished epoch's stage, still holding its parity slot.
+  const EpochStage& stage = stages_[(epochs_.size() - 1) % 2];
   EngineCheckpoint cut;
   cut.summary = epochs_.back();
-  cut.rng_state = master_.state();
-  cut.flow = flow_;
-  cut.client_paths.reserve(clients_->size());
-  for (std::size_t c = 0; c < clients_->size(); ++c) {
-    cut.client_paths.push_back(
-        static_cast<std::uint32_t>(clients_->local_path(c)));
+  if (pipelined_) {
+    // The live engine state runs one epoch ahead of the last summarized
+    // epoch; the boundary state this cut needs was captured by add_epoch
+    // at the overlap boundary, before the next epoch was planned.
+    if (!stage.cut.valid) {
+      throw std::logic_error(
+          "EpochEngine::checkpoint: pipelined cuts need "
+          "set_cut_capture(true) before the epoch was planned");
+    }
+    cut.rng_state = stage.cut.rng_state;
+    cut.flow = stage.cut.flow;
+    cut.client_paths = stage.cut.client_paths;
+  } else {
+    cut.rng_state = master_.state();
+    cut.flow = flow_;
+    cut.client_paths.reserve(clients_->size());
+    for (std::size_t c = 0; c < clients_->size(); ++c) {
+      cut.client_paths.push_back(
+          static_cast<std::uint32_t>(clients_->local_path(c)));
+    }
   }
-  // The just-finished epoch's merge, still staged in its parity slot.
-  cut.route_hist = stages_[(epochs_.size() - 1) % 2].epoch_route;
+  cut.route_hist = stage.epoch_route;
   return cut;
 }
 

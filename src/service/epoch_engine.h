@@ -42,8 +42,20 @@
 // epochs+1 iterations (the last one drains the final summary). Every
 // value is derived from the same streams in the same order as the strict
 // schedule, so digests are byte-identical with pipelining on or off.
+//
+// Pipelining composes with the recovery WAL via overlap-spanning cuts:
+// with set_cut_capture(true), a pipelined add_epoch snapshots the
+// boundary state of the epoch it is about to defer (RNG cursor, flow,
+// client paths — captured host-side, when no graph is in flight) into
+// that stage's PendingCut; checkpoint() hands the cut out one graph
+// later, once the deferred summary has drained. Cuts therefore trail the
+// serving frontier by exactly one epoch, but their CONTENT is identical
+// to the strict schedule's — restore() works unchanged, and the first
+// pipelined add_epoch after a resume primes the double-buffer exactly as
+// a fresh begin() does.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <initializer_list>
@@ -132,14 +144,26 @@ class EpochEngine {
   /// aggregates from `wall_seconds`). The engine is spent afterwards.
   RouteServerResult finish(double wall_seconds);
 
-  /// Snapshot of the dynamics state at the current epoch boundary — the
-  /// recovery WAL's cut record. Requires at least one finished epoch, no
-  /// epoch in flight, and the strict schedule: a pipelined engine runs
-  /// one epoch ahead of its last summarized state, so there IS no
-  /// consistent per-epoch cut — checkpoint() then throws (hosts reject
-  /// --pipeline with the WAL up front). Restoring the returned cut (plus
-  /// its predecessors) into a fresh engine continues the run
-  /// bit-identically.
+  /// Tells the engine whether a host observer will ask for checkpoint()s.
+  /// A pipelined engine's boundary state is transient — by the time epoch
+  /// e's summary exists the engine has already planned (and possibly
+  /// folded) epoch e+1 — so with capture on, add_epoch snapshots the
+  /// PendingCut (RNG cursor, flow, client paths) at the overlap boundary
+  /// before planning further. Off by default: un-logged pipelined runs
+  /// pay nothing. Strict engines ignore the flag (their boundary state is
+  /// live whenever checkpoint() may be called). Set before the first
+  /// add_epoch.
+  void set_cut_capture(bool capture) noexcept { capture_cuts_ = capture; }
+
+  /// Snapshot of the dynamics state at the last finished epoch's boundary
+  /// — the recovery WAL's cut record. Requires at least one finished
+  /// epoch and no epoch in flight. Strict engines read the live state; a
+  /// pipelined engine returns the PendingCut its add_epoch captured at
+  /// the one-epoch overlap boundary (requires set_cut_capture(true)
+  /// before the epoch was planned, else throws) — same bytes, one graph
+  /// later. Restoring the returned cut (plus its predecessors) into a
+  /// fresh engine continues the run bit-identically, under either
+  /// schedule.
   EngineCheckpoint checkpoint() const;
 
   /// Tags this engine's trace events with a tenant id (a TenantRegistry
@@ -170,6 +194,19 @@ class EpochEngine {
   /// trace_drop is true while a drop-telemetry fault window covers the
   /// epoch (the engine then emits no spans; the kFaultSpan marker itself
   /// still fires).
+  /// A pipelined epoch's checkpointable boundary state, captured by
+  /// add_epoch at the instant this stage's epoch is the engine frontier
+  /// (post-fold, post-serve, pre-plan of the next epoch) and handed out
+  /// by checkpoint() one graph later, once the summary has drained. The
+  /// strict schedule never fills one — its boundary state is still live
+  /// when checkpoint() runs.
+  struct PendingCut {
+    std::array<std::uint64_t, 4> rng_state{};
+    std::vector<double> flow;
+    std::vector<std::uint32_t> client_paths;
+    bool valid = false;
+  };
+
   struct EpochStage {
     std::vector<detail::SubBatchContext> ctx;  // high-water pool
     std::size_t batches = 0;  // sub-batches planned for this epoch
@@ -179,6 +216,7 @@ class EpochEngine {
     EpochSummary summary;
     LogHistogram epoch_route;  // this epoch's merged route latencies
     LogHistogram epoch_wall;   // this epoch's merged service times (us)
+    PendingCut cut;            // pipelined: boundary state for the WAL
     std::uint64_t trace_epoch = 0;
     std::uint64_t trace_begin_ns = 0;
     bool trace_drop = false;
@@ -199,6 +237,10 @@ class EpochEngine {
   std::size_t add_summary_node(TaskGraph& graph, EpochStage& stage,
                                std::initializer_list<std::size_t> deps);
   void serve_sub_batch(EpochStage& stage, std::size_t b);
+  /// Copies the engine's current boundary state (RNG cursor, flow, client
+  /// paths) into `stage`'s PendingCut. Only meaningful when called from a
+  /// pipelined add_epoch, host-side, with no graph in flight.
+  void capture_pending_cut(EpochStage& stage);
 
   const Instance* instance_;
   const Policy* policy_;
@@ -215,6 +257,7 @@ class EpochEngine {
   EpochStage stages_[2];  // epoch e stages in stages_[e % 2]
   bool epoch_in_flight_ = false;
   bool pipelined_ = false;
+  bool capture_cuts_ = false;  // pipelined: snapshot PendingCuts for the WAL
   std::size_t planned_ = 0;         // epochs planned so far (plan frontier)
   std::size_t pending_finish_ = kNone;  // epoch the next finish_epoch records
 

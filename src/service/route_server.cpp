@@ -21,15 +21,12 @@ RouteServerResult RouteServer::run(const FlowVector& initial,
                                    std::span<const EngineCheckpoint> resume) {
   // The per-epoch pipeline lives in EpochEngine (shared with the
   // multi-tenant registry); a solo run is one engine driven to exhaustion
-  // on its own (or a borrowed) executor.
-  if (options.pipeline && cuts) {
-    throw std::invalid_argument(
-        "RouteServer::run: --pipeline is incompatible with the "
-        "checkpoint/WAL path (the engine runs one epoch ahead of its last "
-        "summarized state, so there is no per-epoch cut to take)");
-  }
+  // on its own (or a borrowed) executor. A pipelined engine can serve the
+  // cut observer too — it captures each epoch's boundary state at the
+  // overlap boundary and hands the cut out one graph later.
   EpochEngine engine(*instance_, *policy_, *workload_, store_);
   engine.begin(initial, options);
+  engine.set_cut_capture(static_cast<bool>(cuts));
   engine.restore(resume);
 
   // The execution layer: borrowed from the caller (shared-pool mode, e.g.
@@ -50,8 +47,11 @@ RouteServerResult RouteServer::run(const FlowVector& initial,
     engine.add_epoch(graph);
     const Stopwatch epoch_watch;
     exec->run(graph);
+    const std::size_t recorded = engine.epochs_done();
     engine.finish_epoch(epoch_watch.seconds(), observer);
-    if (cuts) cuts(engine.checkpoint());
+    // A cut exists only when an epoch actually closed — a pipelined run's
+    // priming graph records nothing (its first summary is still deferred).
+    if (cuts && engine.epochs_done() > recorded) cuts(engine.checkpoint());
     // The crash point fires AFTER the cut observer so the WAL holds
     // exactly the epochs a resumed run must replay.
     if (options.faults != nullptr &&

@@ -104,12 +104,16 @@ struct RouteServerOptions {
 
   /// Cross-epoch pipelining: overlap epoch e+1's serving with epoch e's
   /// summary/telemetry tail. A runtime knob like `threads` — digests and
-  /// dynamics are byte-identical either way — so it is never serialized
-  /// into the WAL header. Auto-disabled for feedback workloads
-  /// (closed-loop-lat reads the previous epoch's summary) and incompatible
-  /// with the checkpoint/WAL path (`cuts`): the engine runs one epoch
-  /// ahead of its last summarized state, so there is no per-epoch cut to
-  /// take. run() throws if both are requested.
+  /// dynamics are byte-identical either way. Composes with the
+  /// checkpoint/WAL path (`cuts`): the engine captures each epoch's
+  /// boundary state at the one-epoch overlap boundary and emits the cut
+  /// one graph behind the serving frontier, with content identical to the
+  /// strict schedule's. The v3 WAL run header records the flag (not in
+  /// the per-tenant options payload) so a resumed run re-serves with the
+  /// same schedule instead of silently downgrading to strict.
+  /// Auto-disabled, with a stderr notice and an `engine.pipeline_fallbacks`
+  /// counter bump, for feedback workloads (closed-loop-lat reads the
+  /// previous epoch's summary).
   bool pipeline = false;
 
   /// Pin worker lane i to CPU core i where available (silently a no-op

@@ -114,6 +114,9 @@ MultiTenantResult TenantRegistry::run(Executor& executor,
     engines.back()->set_trace_tenant(static_cast<std::uint32_t>(i));
     engines.back()->begin(FlowVector::uniform(*tenant.instance),
                           tenant.options.server);
+    // Pipelined engines must snapshot their overlap-boundary state for
+    // the round cuts; capture is free for strict engines.
+    engines.back()->set_cut_capture(static_cast<bool>(rounds));
     if (resume != nullptr && !resume->cuts.empty()) {
       engines.back()->restore(resume->cuts[i]);
     }
@@ -133,6 +136,7 @@ MultiTenantResult TenantRegistry::run(Executor& executor,
   }
   if (resume != nullptr) result.rounds = resume->rounds;
   std::vector<std::size_t> scheduled;
+  std::vector<std::size_t> drained;  // scheduled tenants that closed an epoch
   // Crash-fault lookup: the registry crashes on ROUND commit points, so
   // any tenant's schedule (they share one --faults spec in the CLI; the
   // first non-null pointer wins) drives the whole host's crash clause.
@@ -146,6 +150,7 @@ MultiTenantResult TenantRegistry::run(Executor& executor,
   const Stopwatch run_watch;
   for (;;) {
     scheduled.clear();
+    drained.clear();
     for (std::size_t i = 0; i < engines.size(); ++i) {
       if (engines[i]->done()) continue;
       credits[i] += tenants_[i].options.weight;
@@ -184,18 +189,23 @@ MultiTenantResult TenantRegistry::run(Executor& executor,
             observer(i, summary);
           };
         }
+        const std::size_t recorded = engines[i]->epochs_done();
         engines[i]->finish_epoch(round_seconds, epoch_observer);
+        if (engines[i]->epochs_done() > recorded) drained.push_back(i);
       }
     }
     if (rounds) {
       // The round's WAL cut: even a credits-only round is checkpointed —
       // the credit vector changed, and resume must restart from exactly
-      // this boundary.
+      // this boundary. A round commits cuts only for tenants whose
+      // overlap has drained (an epoch actually closed): a pipelined
+      // tenant's priming round contributes no cut, and its cuts
+      // thereafter trail its serving frontier by one epoch.
       RoundCheckpoint cut;
       cut.rounds = result.rounds;
       cut.credits = credits;
-      cut.cuts.reserve(scheduled.size());
-      for (const std::size_t i : scheduled) {
+      cut.cuts.reserve(drained.size());
+      for (const std::size_t i : drained) {
         cut.cuts.emplace_back(i, engines[i]->checkpoint());
       }
       rounds(cut);

@@ -5,9 +5,13 @@
 // byte of its write-ahead log — a torn tail, a clean record boundary, a
 // flipped bit — and recover_wal + resume reproduce the uninterrupted
 // run's deterministic telemetry byte for byte: same per-epoch digests,
-// same final flow, same route-latency histogram. The protocol invariants
-// ride along: cut records commit only at round marks, a single-server
-// WAL is record-for-record identical to a one-tenant registry's, and the
+// same final flow, same route-latency histogram. The contract holds
+// under BOTH execution schedules: strict epoch-at-a-time and cross-epoch
+// pipelining (--pipeline), whose overlap-spanning cuts must be byte-
+// identical to strict ones. The protocol invariants ride along: cut
+// records commit only at round marks, a single-server WAL is
+// record-for-record identical to a one-tenant registry's, the v3 header
+// records the pipeline flag (v2 files decode as strict), and the
 // CLI-facing recovery flags fail closed (exit 2) on conflicting or
 // unusable paths.
 #include <gtest/gtest.h>
@@ -32,6 +36,7 @@
 #include "recovery/recovery.h"
 #include "service/service.h"
 #include "sweep/spec.h"
+#include "trace/metrics.h"
 #include "util/binio.h"
 #include "util/fnv.h"
 #include "util/log_histogram.h"
@@ -454,6 +459,125 @@ TEST(WalLog, BitFlippedCutRecoversToLastGoodEpoch) {
   EXPECT_EQ(resume_single_to_completion(path, resumed_fixture), golden);
 }
 
+// ------------------------- pipelining × WAL (overlap-spanning cuts)
+
+TEST(PipelinedCuts, MatchStrictCutsFieldForField) {
+  SingleRun strict;
+  std::vector<EngineCheckpoint> strict_cuts;
+  strict.run([&](const EngineCheckpoint& c) { strict_cuts.push_back(c); });
+
+  SingleRun pipelined;
+  pipelined.options.pipeline = true;
+  std::vector<EngineCheckpoint> pipe_cuts;
+  pipelined.run([&](const EngineCheckpoint& c) { pipe_cuts.push_back(c); });
+
+  // Cut CONTENT is schedule-independent: the overlap-spanning capture in
+  // pipelined mode must produce the exact bytes the strict schedule logs.
+  ASSERT_EQ(pipe_cuts.size(), strict_cuts.size());
+  for (std::size_t e = 0; e < strict_cuts.size(); ++e) {
+    EXPECT_EQ(pipe_cuts[e].rng_state, strict_cuts[e].rng_state) << "cut " << e;
+    EXPECT_EQ(pipe_cuts[e].flow, strict_cuts[e].flow) << "cut " << e;
+    EXPECT_EQ(pipe_cuts[e].client_paths, strict_cuts[e].client_paths)
+        << "cut " << e;
+    EXPECT_TRUE(pipe_cuts[e].route_hist == strict_cuts[e].route_hist)
+        << "cut " << e;
+    EXPECT_EQ(telemetry_digest(std::span(&pipe_cuts[e].summary, 1)),
+              telemetry_digest(std::span(&strict_cuts[e].summary, 1)))
+        << "cut " << e;
+  }
+}
+
+TEST(Resume, PipelinedKillAtEveryCutPointResumesBitIdentically) {
+  SingleRun fixture;
+  fixture.options.pipeline = true;
+  std::vector<EngineCheckpoint> cuts;
+  const RouteServerResult full =
+      fixture.run([&cuts](const EngineCheckpoint& c) { cuts.push_back(c); });
+  ASSERT_EQ(cuts.size(), fixture.options.epochs);
+  const std::uint64_t golden = telemetry_digest(full.epochs);
+
+  // The pinnable property: pipelined digest == strict 1-thread digest.
+  SingleRun strict;
+  ASSERT_EQ(telemetry_digest(strict.run().epochs), golden);
+
+  for (std::size_t k = 0; k <= cuts.size(); ++k) {
+    // Resume under the pipelined schedule...
+    const RouteServerResult resumed =
+        fixture.run(nullptr, std::span(cuts).subspan(0, k));
+    EXPECT_EQ(telemetry_digest(resumed.epochs), golden) << "cut " << k;
+    EXPECT_TRUE(resumed.route_latency == full.route_latency) << "cut " << k;
+    EXPECT_EQ(resumed.total_queries, full.total_queries) << "cut " << k;
+    // ...and under the strict one: a cut restores into either schedule.
+    SingleRun strict_resume;
+    EXPECT_EQ(telemetry_digest(
+                  strict_resume.run(nullptr, std::span(cuts).subspan(0, k))
+                      .epochs),
+              golden)
+        << "cut " << k;
+  }
+}
+
+TEST(WalLog, PipelinedKilledAtAnyByteResumesToTheSameDigest) {
+  SingleRun fixture;
+  fixture.options.pipeline = true;
+  recovery::RunManifest manifest = fixture.manifest();
+  manifest.pipeline = true;
+  const std::string clean_path = temp_path("pipekillbytes.wal");
+  std::uint64_t golden = 0;
+  {
+    recovery::WalLog log(clean_path, manifest);
+    golden = telemetry_digest(fixture.run(log.single_observer()).epochs);
+    log.finish();
+  }
+  // Strict cross-check: the pipelined WAL describes the strict dynamics.
+  SingleRun strict;
+  ASSERT_EQ(telemetry_digest(strict.run().epochs), golden);
+
+  const std::string clean = read_file(clean_path);
+  const recovery::WalScan scan = recovery::scan_wal(clean_path);
+  std::vector<std::size_t> prefixes;
+  for (std::size_t i = 0; i + 1 < scan.records.size(); ++i) {
+    prefixes.push_back(scan.records[i].end_offset);      // boundary
+    prefixes.push_back(scan.records[i].end_offset + 5);  // torn mid-record
+  }
+  const std::string crash_path = temp_path("pipekillbytes_crash.wal");
+  for (const std::size_t keep : prefixes) {
+    write_file(crash_path, clean.substr(0, keep));
+    // The header's pipeline flag survives every crash image...
+    const recovery::RecoveredRun probe = recovery::recover_wal(crash_path);
+    EXPECT_TRUE(probe.manifest.pipeline) << "killed at byte " << keep;
+    // ...and the resumed run, honoring it, lands on the same digest.
+    SingleRun resumed_fixture;
+    resumed_fixture.options.pipeline = true;
+    EXPECT_EQ(resume_single_to_completion(crash_path, resumed_fixture),
+              golden)
+        << "killed at byte " << keep;
+    const recovery::RecoveredRun healed = recovery::recover_wal(crash_path);
+    EXPECT_TRUE(healed.clean_shutdown) << "killed at byte " << keep;
+    EXPECT_EQ(healed.digests[0], golden) << "killed at byte " << keep;
+  }
+}
+
+TEST(PipelinedFallback, FeedbackWorkloadServesStrictAndBumpsCounter) {
+  trace::Counter& fallbacks =
+      trace::MetricsRegistry::global().counter("engine.pipeline_fallbacks");
+
+  SingleRun strict;
+  strict.workload = make_workload("closed-loop-lat:400,0.01");
+  strict.options.epochs = 4;
+  const std::uint64_t golden = telemetry_digest(strict.run().epochs);
+  const std::uint64_t before = fallbacks.load();
+
+  // Same feedback workload with --pipeline: the engine must fall back to
+  // the strict schedule (identical telemetry) and count the fallback.
+  SingleRun pipelined;
+  pipelined.workload = make_workload("closed-loop-lat:400,0.01");
+  pipelined.options.epochs = 4;
+  pipelined.options.pipeline = true;
+  EXPECT_EQ(telemetry_digest(pipelined.run().epochs), golden);
+  EXPECT_EQ(fallbacks.load(), before + 1);
+}
+
 TEST(RecoverWal, RejectsHeaderlessWal) {
   const std::string path = temp_path("headerless.wal");
   { recovery::WalWriter::create(path); }  // magic only, no records
@@ -501,7 +625,7 @@ TEST(WalProtocol, SingleServerMatchesOneTenantRegistryRecordForRecord) {
 
 // --------------------------------------------------- multi-tenant WAL
 
-/// Two heterogeneous tenants with different weights, budgets and
+/// Three heterogeneous tenants with different weights, budgets and
 /// scenarios — the interleaving actually exercises the round protocol.
 struct MultiRun {
   Instance braess_instance = braess(true);
@@ -510,8 +634,11 @@ struct MultiRun {
   Policy links_policy = named_policy("replicator").make(links, 0.1);
   WorkloadPtr workload_a = make_workload("closed-loop:800");
   WorkloadPtr workload_b = make_workload("closed-loop:400");
+  WorkloadPtr workload_c = make_workload("closed-loop:300");
   TenantOptions options_a;
   TenantOptions options_b;
+  TenantOptions options_c;
+  bool pipeline = false;
 
   MultiRun() {
     options_a.server.update_period = 0.1;
@@ -527,17 +654,35 @@ struct MultiRun {
     options_b.server.num_clients = 200;
     options_b.server.seed = 9;
     options_b.weight = 1;
+
+    options_c.server = options_a.server;
+    options_c.server.epochs = 5;
+    options_c.server.num_clients = 250;
+    options_c.server.seed = 13;
+    options_c.weight = 1;
+  }
+
+  /// Switches every tenant to the pipelined schedule (the registry
+  /// pipelines per engine; the manifest records the run-level flag).
+  void enable_pipeline() {
+    pipeline = true;
+    options_a.server.pipeline = true;
+    options_b.server.pipeline = true;
+    options_c.server.pipeline = true;
   }
 
   void add_tenants(TenantRegistry& registry) const {
     registry.add("alpha", braess_instance, braess_policy, *workload_a,
                  options_a);
     registry.add("beta", links, links_policy, *workload_b, options_b);
+    registry.add("gamma", braess_instance, braess_policy, *workload_c,
+                 options_c);
   }
 
   recovery::RunManifest manifest() const {
     recovery::RunManifest m;
     m.multi_tenant = true;
+    m.pipeline = pipeline;
     recovery::TenantManifest alpha;
     alpha.name = "alpha";
     alpha.scenario = "braess";
@@ -552,8 +697,16 @@ struct MultiRun {
     beta.workload = "closed-loop:400";
     beta.options = options_b.server;
     beta.weight = options_b.weight;
+    recovery::TenantManifest gamma;
+    gamma.name = "gamma";
+    gamma.scenario = "braess";
+    gamma.policy = "replicator";
+    gamma.workload = "closed-loop:300";
+    gamma.options = options_c.server;
+    gamma.weight = options_c.weight;
     m.tenants.push_back(std::move(alpha));
     m.tenants.push_back(std::move(beta));
+    m.tenants.push_back(std::move(gamma));
     return m;
   }
 
@@ -614,6 +767,90 @@ TEST(WalLog, MultiTenantKilledMidRunResumesBitIdentically) {
       EXPECT_EQ(healed.digests, golden) << "killed at byte " << keep;
     }
   }
+}
+
+TEST(WalLog, PipelinedThreeTenantsKilledMidRunResumeBitIdentically) {
+  // Strict reference digests first: the pipelined run, every crash image,
+  // and every resumed run must all land on exactly these.
+  MultiRun strict;
+  const std::vector<std::uint64_t> golden = tenant_digests(strict.run());
+
+  MultiRun fixture;
+  fixture.enable_pipeline();
+  const std::string path = temp_path("multipipe.wal");
+  {
+    recovery::WalLog log(path, fixture.manifest());
+    EXPECT_EQ(tenant_digests(fixture.run(log.round_observer())), golden);
+    log.finish();
+  }
+
+  const std::string bytes = read_file(path);
+  const recovery::WalScan scan = recovery::scan_wal(path);
+  const std::string crash_path = temp_path("multipipe_crash.wal");
+  for (std::size_t i = 0; i + 1 < scan.records.size(); i += 2) {
+    for (const std::size_t keep :
+         {scan.records[i].end_offset, scan.records[i].end_offset + 7}) {
+      write_file(crash_path, bytes.substr(0, keep));
+      const recovery::RecoveredRun state = recovery::recover_wal(crash_path);
+      ASSERT_FALSE(state.clean_shutdown);
+      EXPECT_TRUE(state.manifest.pipeline) << "killed at byte " << keep;
+      recovery::WalLog log(crash_path, state);
+      const RegistryResume resume = recovery::registry_resume(state);
+      MultiRun resumed_fixture;
+      resumed_fixture.enable_pipeline();
+      const MultiTenantResult resumed =
+          resumed_fixture.run(log.round_observer(), &resume);
+      log.finish();
+      EXPECT_EQ(tenant_digests(resumed), golden) << "killed at byte " << keep;
+
+      const recovery::RecoveredRun healed = recovery::recover_wal(crash_path);
+      EXPECT_TRUE(healed.clean_shutdown) << "killed at byte " << keep;
+      EXPECT_EQ(healed.digests, golden) << "killed at byte " << keep;
+    }
+  }
+}
+
+// ------------------------------------------- WAL header version skew
+
+TEST(WalHeader, V3RecordsPipelineAndReadsV2) {
+  SingleRun fixture;
+  recovery::RunManifest manifest = fixture.manifest();
+  manifest.pipeline = true;
+  const std::string v3 = recovery::encode_run_header(manifest);
+
+  // Wire layout under test: u32 version (LE), u8 multi_tenant, u8
+  // pipeline — the pipeline byte is exactly what v3 added.
+  binio::Reader head(v3);
+  ASSERT_EQ(recovery::kWalVersion, 3u);
+  EXPECT_EQ(head.u32(), recovery::kWalVersion);
+  EXPECT_EQ(head.u8(), 0u);  // multi_tenant
+  EXPECT_EQ(head.u8(), 1u);  // pipeline
+
+  const recovery::RunManifest decoded = recovery::decode_run_header(v3);
+  EXPECT_TRUE(decoded.pipeline);
+  ASSERT_EQ(decoded.tenants.size(), 1u);
+  EXPECT_EQ(decoded.tenants[0].options.epochs, fixture.options.epochs);
+
+  // A v2 header is the same payload minus the pipeline byte. Splice it
+  // out and patch the version word: a v3 reader must accept it and
+  // default pipeline off — every pre-existing WAL stays resumable.
+  std::string v2 = v3;
+  v2.erase(5, 1);
+  v2[0] = 2;
+  const recovery::RunManifest old = recovery::decode_run_header(v2);
+  EXPECT_FALSE(old.pipeline);
+  ASSERT_EQ(old.tenants.size(), 1u);
+  EXPECT_EQ(old.tenants[0].scenario, "braess");
+  EXPECT_EQ(old.tenants[0].workload, "closed-loop:800");
+  EXPECT_EQ(old.tenants[0].options.epochs, fixture.options.epochs);
+  EXPECT_EQ(old.tenants[0].options.seed, fixture.options.seed);
+
+  // An unknown version fails closed. This is also how the OTHER side of
+  // the skew behaves: a v2 reader's version check rejects anything but
+  // its own version, so a v3 WAL never half-decodes on an old build.
+  std::string v4 = v3;
+  v4[0] = 4;
+  EXPECT_THROW(recovery::decode_run_header(v4), std::runtime_error);
 }
 
 // ------------------------------------------------- CLI recovery flags

@@ -23,9 +23,13 @@
 // --pin and --pipeline are runtime performance knobs, digest-neutral
 // like --threads: --pin pins worker lane i to CPU core i (silently a
 // no-op where unavailable); --pipeline overlaps each epoch's summary
-// tail with the next epoch's serving (auto-off for the feedback-driven
-// closed-loop-lat workload, and rejected with --wal/--resume — a
-// pipelined engine has no per-epoch cut to log).
+// tail with the next epoch's serving. Pipelining composes with
+// --wal/--resume — cuts are captured at the one-epoch overlap boundary
+// and commit one graph behind the serving frontier — except for the
+// feedback-driven closed-loop-lat workload, where the engine falls back
+// to the strict schedule (stderr notice + engine.pipeline_fallbacks
+// counter) and the WAL paths reject the flag up front so the logged
+// header never misdescribes the run.
 //
 // --tenants switches to multi-tenant mode: each ;-separated spec
 // (<name>[:key=value,...], keys scenario/policy/workload/clients/shards/
@@ -44,8 +48,11 @@
 // run's. --resume takes the ENTIRE dynamics configuration from the WAL
 // header, so configuration flags (--scenario, --seed, --epochs, ...)
 // conflict with it; runtime knobs (--threads, --csv, --report-every,
-// --quiet, --trace, --progress) remain legal. Inspect or re-execute a
-// WAL offline with wal_replay_cli.
+// --quiet, --trace, --progress) remain legal. The pipeline setting is
+// honored from the logged header (a v3 field) — a resumed pipelined run
+// re-serves pipelined; passing --pipeline is legal only when the header
+// agrees, and a contradiction exits 2. Inspect or re-execute a WAL
+// offline with wal_replay_cli.
 //
 // Fault injection (src/faults/): --faults <spec> schedules typed faults
 // (shard slowdowns, worker stalls, dropped telemetry, tenant brownouts,
@@ -97,7 +104,9 @@ constexpr const char* kRecoveryGrammar =
     "recovery:  --wal <path> logs every epoch cut to a write-ahead log;\n"
     "           --resume <path> continues a crashed run from its WAL\n"
     "           (configuration flags conflict — the WAL header is the\n"
-    "           configuration; --threads/--csv/--report-every/--quiet ok)\n";
+    "           configuration; --threads/--csv/--report-every/--quiet ok;\n"
+    "           the logged pipeline setting is honored, --pipeline must\n"
+    "           agree with it)\n";
 constexpr const char* kTraceGrammar =
     "tracing:   --trace <path> records a binary trace for trace_dump_cli\n"
     "           (digest-neutral); --progress <n> prints a stderr\n"
@@ -344,7 +353,7 @@ EpochObserver make_epoch_observer(std::size_t total_epochs,
 int run_tenants_manifest(const std::string& wal_path,
                          const recovery::RunManifest& manifest,
                          const recovery::RecoveredRun* resume,
-                         std::size_t threads, bool pipeline, bool pin,
+                         std::size_t threads, bool pin,
                          const std::string& csv_path,
                          std::size_t report_every, std::size_t progress_every,
                          bool quiet) {
@@ -355,10 +364,20 @@ int run_tenants_manifest(const std::string& wal_path,
   TenantRegistry tenants;
   for (const recovery::TenantManifest& tenant : manifest.tenants) {
     hosts.push_back(make_host(tenant, registry));
+    // A feedback workload would silently fall back to the strict
+    // schedule, so a logged pipeline header would misdescribe the run:
+    // the WAL paths fail closed instead.
+    if (manifest.pipeline && !wal_path.empty() &&
+        hosts.back().workload->uses_feedback()) {
+      throw cli::UsageError(
+          "--pipeline cannot be combined with --wal/--resume for feedback "
+          "workload '" + hosts.back().workload->name() + "' (tenant '" +
+          tenant.name + "' falls back to the strict schedule)");
+    }
     TenantOptions options;
     options.server = tenant.options;
     options.server.threads = threads;
-    options.server.pipeline = pipeline;
+    options.server.pipeline = manifest.pipeline;
     options.server.pin = pin;
     options.server.executor = nullptr;
     // All tenants share the run's one fault schedule; per-tenant clauses
@@ -472,14 +491,14 @@ recovery::RunManifest resolve_tenant_manifest(
 int run_single_manifest(const std::string& wal_path,
                         const recovery::RunManifest& manifest,
                         const recovery::RecoveredRun* resume,
-                        std::size_t threads, bool pipeline, bool pin,
+                        std::size_t threads, bool pin,
                         const std::string& csv_path,
                         std::size_t report_every, std::size_t progress_every,
                         bool quiet) {
   const recovery::TenantManifest& self = manifest.tenants.front();
   RouteServerOptions options = self.options;
   options.threads = threads;
-  options.pipeline = pipeline;
+  options.pipeline = manifest.pipeline;
   options.pin = pin;
   options.executor = nullptr;
   const faults::FaultSchedule fault_schedule =
@@ -488,6 +507,16 @@ int run_single_manifest(const std::string& wal_path,
 
   const ScenarioRegistry registry = ScenarioRegistry::builtin();
   const Host host = make_host(self, registry);
+  // Fail closed before the WAL file is created/appended: a feedback
+  // workload falls back to the strict schedule, so a pipeline=1 header
+  // would misdescribe the run.
+  if (manifest.pipeline && !wal_path.empty() &&
+      host.workload->uses_feedback()) {
+    throw cli::UsageError(
+        "--pipeline cannot be combined with --wal/--resume for feedback "
+        "workload '" + host.workload->name() +
+        "' (it falls back to the strict schedule)");
+  }
 
   if (!quiet) {
     std::cout << "route_server: " << self.scenario << " ("
@@ -529,16 +558,25 @@ int run_single_manifest(const std::string& wal_path,
 }
 
 /// --resume: the WAL header is the configuration; serve what remains.
-/// Pipelining is rejected with --resume at the flag layer; --pin passes
-/// through (a runtime knob like --threads).
-int do_resume(const std::string& path, std::size_t threads, bool pin,
-              const std::string& csv_path, std::size_t report_every,
-              std::size_t progress_every, bool quiet) {
+/// The header's pipeline flag is honored — a pipelined run resumes
+/// pipelined, a strict one strict. An explicit --pipeline is legal only
+/// when it agrees with the header (exit 2 on contradiction, like any
+/// config flag fighting the WAL); --pin passes through (a runtime knob
+/// like --threads).
+int do_resume(const std::string& path, std::size_t threads,
+              bool pipeline_flag, bool pin, const std::string& csv_path,
+              std::size_t report_every, std::size_t progress_every,
+              bool quiet) {
   recovery::RecoveredRun state;
   try {
     state = recovery::recover_wal(path);
   } catch (const std::runtime_error& e) {
     throw cli::UsageError(e.what());
+  }
+  if (pipeline_flag && !state.manifest.pipeline) {
+    throw cli::UsageError(
+        "--pipeline contradicts the WAL header (the logged run served the "
+        "strict schedule); a resumed run honors the logged setting");
   }
 
   if (state.clean_shutdown) {
@@ -558,13 +596,12 @@ int do_resume(const std::string& path, std::size_t threads, bool pin,
   }
 
   if (state.manifest.multi_tenant) {
-    return run_tenants_manifest(path, state.manifest, &state, threads,
-                                /*pipeline=*/false, pin, csv_path,
-                                report_every, progress_every, quiet);
+    return run_tenants_manifest(path, state.manifest, &state, threads, pin,
+                                csv_path, report_every, progress_every,
+                                quiet);
   }
-  return run_single_manifest(path, state.manifest, &state, threads,
-                             /*pipeline=*/false, pin, csv_path, report_every,
-                             progress_every, quiet);
+  return run_single_manifest(path, state.manifest, &state, threads, pin,
+                             csv_path, report_every, progress_every, quiet);
 }
 
 /// Starts the recorder for --trace and guarantees the trailer is written
@@ -662,32 +699,31 @@ int do_run(const std::map<std::string, std::string>& flags) {
     }
   }
   cli::validate_recovery_flags(recovery_flags, flags, kConfigFlags);
-  // Pipelining is digest-neutral but leaves no per-epoch cut to log (the
-  // engine runs one epoch ahead of its last summarized state), so the
-  // WAL paths refuse it up front. --pin composes with everything.
-  if (options.pipeline &&
-      (!recovery_flags.wal.empty() || recovery_flags.resuming())) {
-    throw cli::UsageError("--pipeline cannot be combined with --wal/--resume "
-                          "(no per-epoch checkpoint exists while pipelining)");
-  }
+  // --pipeline composes with --wal/--resume: cuts span the one-epoch
+  // overlap and the v3 WAL header records the schedule. It is not in
+  // kConfigFlags — on resume an AGREEING --pipeline stays legal (the
+  // header is authoritative either way; do_resume rejects a
+  // contradiction). The only hard rejection left is feedback workloads,
+  // checked per run path once the workload is resolved.
 
   // --trace/--progress are runtime knobs (wall-clock telemetry only), so
   // like --threads/--csv they stay legal alongside --resume.
   const TraceScope trace_scope(trace_path);
 
   if (recovery_flags.resuming()) {
-    return do_resume(recovery_flags.resume, options.threads, options.pin,
-                     csv_path, report_every, progress_every, quiet);
+    return do_resume(recovery_flags.resume, options.threads,
+                     options.pipeline, options.pin, csv_path, report_every,
+                     progress_every, quiet);
   }
 
   if (tenants_given) {
     recovery::RunManifest manifest = resolve_tenant_manifest(
         tenants_flag, scenario_name, policy_name, workload_spec, options);
     manifest.faults = faults_spec;
+    manifest.pipeline = options.pipeline;
     return run_tenants_manifest(recovery_flags.wal, manifest, nullptr,
-                                options.threads, options.pipeline,
-                                options.pin, csv_path, report_every,
-                                progress_every, quiet);
+                                options.threads, options.pin, csv_path,
+                                report_every, progress_every, quiet);
   }
 
   // Default offered load: every client activates once per unit time on
@@ -702,6 +738,7 @@ int do_run(const std::map<std::string, std::string>& flags) {
   recovery::RunManifest manifest;
   manifest.multi_tenant = false;
   manifest.faults = faults_spec;
+  manifest.pipeline = options.pipeline;
   recovery::TenantManifest self;
   self.scenario = scenario_name;
   self.policy = policy_name;
@@ -710,8 +747,8 @@ int do_run(const std::map<std::string, std::string>& flags) {
   self.weight = 1;
   manifest.tenants.push_back(std::move(self));
   return run_single_manifest(recovery_flags.wal, manifest, nullptr,
-                             options.threads, options.pipeline, options.pin,
-                             csv_path, report_every, progress_every, quiet);
+                             options.threads, options.pin, csv_path,
+                             report_every, progress_every, quiet);
 }
 
 int run_main(int argc, char** argv) {
