@@ -1,7 +1,6 @@
 #include "service/epoch_engine.h"
 
 #include <algorithm>
-#include <iostream>
 #include <limits>
 #include <optional>
 #include <stdexcept>
@@ -64,17 +63,21 @@ void EpochEngine::begin(const FlowVector& initial,
   // Pipelining is digest-neutral only when arrivals ignore LoadFeedback:
   // a feedback workload (closed-loop-lat) falls back to the strict
   // schedule, its arrivals need the previous epoch's summary. The
-  // fallback is announced — once on stderr and as a metrics counter — so
-  // a traced run records that the knob was ignored.
+  // fallback is announced — once through the host's notice sink and as a
+  // metrics counter — so a traced run records that the knob was ignored.
+  // Library code never writes to stderr itself: a host without a sink
+  // (sweep cells, tests) gets the counter only.
   pipelined_ = options.pipeline && !workload_->uses_feedback();
   if (options.pipeline && !pipelined_) {
     static trace::Counter& fallback_counter =
         trace::MetricsRegistry::global().counter("engine.pipeline_fallbacks");
     fallback_counter.inc();
-    std::cerr << "note: pipeline disabled for feedback workload '"
-              << workload_->name()
-              << "' (arrivals need the previous epoch's summary); "
-                 "serving the strict schedule\n";
+    if (options_.notice) {
+      options_.notice("note: pipeline disabled for feedback workload '" +
+                      workload_->name() +
+                      "' (arrivals need the previous epoch's summary); "
+                      "serving the strict schedule");
+    }
   }
   master_ = Rng(options.seed);
   clients_ = std::make_unique<Population>(*instance_, options.num_clients,

@@ -53,8 +53,14 @@ RouteServerResult RouteServer::run(const FlowVector& initial,
     // priming graph records nothing (its first summary is still deferred).
     if (cuts && engine.epochs_done() > recorded) cuts(engine.checkpoint());
     // The crash point fires AFTER the cut observer so the WAL holds
-    // exactly the epochs a resumed run must replay.
-    if (options.faults != nullptr &&
+    // exactly the epochs a resumed run must replay — and only on an
+    // iteration that actually committed one, mirroring the cut gate
+    // above. crash_after is stateless and a resumed run re-materializes
+    // the same --faults spec, so without the progress gate a pipelined
+    // resume's priming iteration (which closes no epoch) would
+    // re-evaluate the clause at the restored count and re-crash every
+    // resume at the same commit point, forever.
+    if (options.faults != nullptr && engine.epochs_done() > recorded &&
         options.faults->crash_after(engine.epochs_done()))
       faults::crash_process(engine.epochs_done());
   }

@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/policy.h"
@@ -111,9 +112,9 @@ struct RouteServerOptions {
   /// strict schedule's. The v3 WAL run header records the flag (not in
   /// the per-tenant options payload) so a resumed run re-serves with the
   /// same schedule instead of silently downgrading to strict.
-  /// Auto-disabled, with a stderr notice and an `engine.pipeline_fallbacks`
-  /// counter bump, for feedback workloads (closed-loop-lat reads the
-  /// previous epoch's summary).
+  /// Auto-disabled for feedback workloads (closed-loop-lat reads the
+  /// previous epoch's summary) — announced through the `notice` sink and
+  /// an `engine.pipeline_fallbacks` counter bump, never silently.
   bool pipeline = false;
 
   /// Pin worker lane i to CPU core i where available (silently a no-op
@@ -133,6 +134,15 @@ struct RouteServerOptions {
   /// digest-neutral; a crash clause _Exit(137)s the process right after
   /// the matching commit point. Must outlive run().
   const faults::FaultSchedule* faults = nullptr;
+
+  /// Sink for the engine's rare one-line human-facing notices (today:
+  /// the pipeline-to-strict fallback for a feedback workload). Library
+  /// code never writes to stderr itself — the host decides where notices
+  /// go (the CLIs print them unless --quiet; embedders like the sweep
+  /// runner and tests stay silent by default). nullptr = drop the text;
+  /// the metrics counters tick either way. A runtime hook like
+  /// `executor` — never serialized into the WAL.
+  std::function<void(const std::string&)> notice = nullptr;
 
   /// Record wall-clock per-query service time into per-shard
   /// LogHistograms. Off = deterministic replay mode: all telemetry fields

@@ -127,8 +127,19 @@ MultiTenantResult TenantRegistry::run(Executor& executor,
   // weights and the tenants' epoch budgets: the round schedule — and with
   // it every tenant's interleaving — is deterministic, though no tenant's
   // *outcome* depends on it (isolation contract). A resumed run picks the
-  // credit vector up at the checkpointed round boundary, so the remaining
-  // schedule is the one the uninterrupted run would have executed.
+  // credit vector up at the checkpointed round boundary. Under the
+  // strict schedule the remaining rounds are exactly the ones the
+  // uninterrupted run would have executed. Under --pipeline they are
+  // NOT: a round mark's credits include credit already spent on overlap
+  // epochs that were served but not yet drained (no cut committed for
+  // them in that round), so a resumed pipelined tenant restarts one
+  // epoch behind a credit state that says the epoch was paid for,
+  // shifting its remaining interleaving relative to the uninterrupted
+  // run. Digests still match ONLY because of the isolation contract —
+  // per-tenant outcomes are independent of round interleaving. A
+  // scheduler change that lets one tenant's dynamics observe another's
+  // progress (or the round number) would silently break pipelined
+  // resume; the pipelined multi-tenant resume tests pin this.
   MultiTenantResult result;
   std::vector<std::size_t> credits(tenants_.size(), 0);
   if (resume != nullptr && !resume->credits.empty()) {

@@ -19,6 +19,7 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -31,6 +32,7 @@
 
 #include "cli_common.h"
 #include "exec/exec.h"
+#include "faults/fault_plan.h"
 #include "net/flow.h"
 #include "net/generators.h"
 #include "recovery/recovery.h"
@@ -569,13 +571,60 @@ TEST(PipelinedFallback, FeedbackWorkloadServesStrictAndBumpsCounter) {
   const std::uint64_t before = fallbacks.load();
 
   // Same feedback workload with --pipeline: the engine must fall back to
-  // the strict schedule (identical telemetry) and count the fallback.
+  // the strict schedule (identical telemetry), count the fallback, and
+  // announce it through the host's notice sink — exactly once, and only
+  // there (library code never prints itself; no sink = counter only).
   SingleRun pipelined;
   pipelined.workload = make_workload("closed-loop-lat:400,0.01");
   pipelined.options.epochs = 4;
   pipelined.options.pipeline = true;
+  std::vector<std::string> notices;
+  pipelined.options.notice = [&notices](const std::string& message) {
+    notices.push_back(message);
+  };
   EXPECT_EQ(telemetry_digest(pipelined.run().epochs), golden);
   EXPECT_EQ(fallbacks.load(), before + 1);
+  ASSERT_EQ(notices.size(), 1u);
+  EXPECT_NE(notices[0].find("pipeline disabled for feedback workload"),
+            std::string::npos);
+  EXPECT_NE(notices[0].find("closed-loop-lat"), std::string::npos);
+}
+
+TEST(ResumeDeathTest, PipelinedResumeOfCrashFaultRunMakesProgress) {
+  // A run under --faults "crash:at=4" _Exit(137)s right after commit
+  // point 4 hits the WAL, and the resumed process re-materializes the
+  // SAME schedule from the logged spec — crash_after is stateless. The
+  // host's crash check must therefore fire only on iterations that
+  // committed NEW progress: a pipelined resume's priming iteration
+  // closes no epoch, so re-evaluating the clause at the restored count
+  // there would re-crash every resume at commit point 4 with zero new
+  // progress — an unrecoverable loop. Run the resume in a death-test
+  // child so a regression shows up as exit 137, not a dead test binary.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+
+  SingleRun fixture;
+  fixture.options.pipeline = true;
+  std::vector<EngineCheckpoint> cuts;
+  const std::uint64_t golden = telemetry_digest(
+      fixture.run([&cuts](const EngineCheckpoint& c) { cuts.push_back(c); })
+          .epochs);
+  ASSERT_GT(cuts.size(), 4u);
+
+  EXPECT_EXIT(
+      {
+        const faults::FaultSchedule schedule =
+            faults::FaultSchedule::materialize(
+                faults::parse_fault_plan("crash:at=4"),
+                fixture.options.seed, fixture.options.epochs);
+        // The crash image: 4 committed cuts, same spec, pipelined.
+        SingleRun resumed;
+        resumed.options.pipeline = true;
+        resumed.options.faults = &schedule;
+        const RouteServerResult result =
+            resumed.run(nullptr, std::span(cuts).subspan(0, 4));
+        std::_Exit(telemetry_digest(result.epochs) == golden ? 0 : 1);
+      },
+      ::testing::ExitedWithCode(0), "");
 }
 
 TEST(RecoverWal, RejectsHeaderlessWal) {

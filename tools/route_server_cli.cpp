@@ -380,6 +380,13 @@ int run_tenants_manifest(const std::string& wal_path,
     options.server.pipeline = manifest.pipeline;
     options.server.pin = pin;
     options.server.executor = nullptr;
+    // Engine notices (the feedback pipeline fallback) print to stderr
+    // unless --quiet; the library never writes there itself.
+    if (!quiet) {
+      options.server.notice = [](const std::string& message) {
+        std::cerr << message << "\n";
+      };
+    }
     // All tenants share the run's one fault schedule; per-tenant clauses
     // select their victim with tenant= (registry index).
     options.server.faults =
@@ -501,6 +508,14 @@ int run_single_manifest(const std::string& wal_path,
   options.pipeline = manifest.pipeline;
   options.pin = pin;
   options.executor = nullptr;
+  // The engine routes its one-line notices (the feedback pipeline
+  // fallback) through this sink instead of printing itself; --quiet
+  // silences them like the rest of the chatter.
+  if (!quiet) {
+    options.notice = [](const std::string& message) {
+      std::cerr << message << "\n";
+    };
+  }
   const faults::FaultSchedule fault_schedule =
       make_fault_schedule(manifest, quiet);
   if (!fault_schedule.empty()) options.faults = &fault_schedule;
